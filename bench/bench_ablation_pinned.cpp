@@ -1,0 +1,81 @@
+// Ablation: pinned vs pageable pricing of small boundary transfers
+// (Section IV-C2 motivates pinned memory for the small per-front copies).
+//
+// Measured directly against the simulated transfer engine across copy
+// sizes, plus the end-to-end effect: an anti-diagonal run whose per-front
+// boundary copies are priced pageable (by doubling the modeled pinned
+// latency/bandwidth gap through a modified platform spec).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "problems/alignment.h"
+#include "problems/levenshtein.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+void BM_TransferCost(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const bool pinned = state.range(1) != 0;
+  const auto spec = sim::GpuSpec::tesla_k20();
+  double total = 0;
+  for (auto _ : state) {
+    const double t = sim::transfer_seconds(
+        spec, bytes,
+        pinned ? sim::MemoryKind::kPinned : sim::MemoryKind::kPageable);
+    total = t;
+    state.SetIterationTime(t);
+  }
+  state.counters["us"] = total * 1e6;
+  state.SetLabel(pinned ? "pinned" : "pageable");
+}
+BENCHMARK(BM_TransferCost)
+    ->ArgsProduct({{4, 64, 1024, 16384, 1 << 20}, {0, 1}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void print_series() {
+  std::printf("\n=== Ablation: pinned vs pageable boundary transfers ===\n");
+  const auto spec = sim::GpuSpec::tesla_k20();
+  std::printf("%10s %14s %14s\n", "bytes", "pageable (us)", "pinned (us)");
+  CsvWriter csv("ablation_pinned.csv");
+  csv.header({"bytes", "pageable_us", "pinned_us"});
+  for (std::size_t bytes : {4u, 64u, 1024u, 16384u, 1u << 20}) {
+    const double pageable =
+        sim::transfer_seconds(spec, bytes, sim::MemoryKind::kPageable) * 1e6;
+    const double pinned =
+        sim::transfer_seconds(spec, bytes, sim::MemoryKind::kPinned) * 1e6;
+    std::printf("%10zu %14.3f %14.3f\n", bytes, pageable, pinned);
+    csv.row(bytes, pageable, pinned);
+  }
+  csv.save();
+
+  // End-to-end: make "pinned" as slow as pageable and rerun Levenshtein.
+  problems::LevenshteinProblem p(problems::random_sequence(4096, 1),
+                                 problems::random_sequence(4096, 2));
+  RunConfig fast = lddp::bench::config_for("Hetero-High",
+                                           Mode::kHeterogeneous);
+  RunConfig slow = fast;
+  slow.platform.gpu.pinned_latency_us = slow.platform.gpu.pageable_latency_us;
+  slow.platform.gpu.pinned_bandwidth_gbs =
+      slow.platform.gpu.pageable_bandwidth_gbs;
+  const double t_fast = solve(p, fast).stats.sim_seconds * 1e3;
+  const double t_slow = solve(p, slow).stats.sim_seconds * 1e3;
+  std::printf("Levenshtein 4k hetero: pinned boundaries %.3f ms, pageable "
+              "boundaries %.3f ms (%.1f%% slower)\n",
+              t_fast, t_slow, 100.0 * (t_slow - t_fast) / t_fast);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation: per-cell wavefronts vs tiled block-per-thread execution on the
+// CPU (Section IV-A's two mappings), with a tile-size sweep. The tiled
+// mapping amortizes synchronization over blocks and keeps each block's
+// sweep cache-resident — the cache-efficient schedule of Chowdhury et al.
+// that the paper's related work surveys.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "problems/alignment.h"
+#include "problems/levenshtein.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::LevenshteinProblem make_problem(std::size_t n) {
+  return problems::LevenshteinProblem(problems::random_sequence(n, 301),
+                                      problems::random_sequence(n, 302));
+}
+
+void BM_TiledSweep(benchmark::State& state) {
+  const auto p = make_problem(4096);
+  auto cfg = lddp::bench::config_for("Hetero-High", Mode::kCpuTiled);
+  cfg.cpu_tile = static_cast<std::size_t>(state.range(0));
+  lddp::bench::run_once(state, p, cfg);
+}
+BENCHMARK(BM_TiledSweep)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PerCellBaseline(benchmark::State& state) {
+  const auto p = make_problem(4096);
+  auto cfg = lddp::bench::config_for("Hetero-High", Mode::kCpuParallel);
+  lddp::bench::run_once(state, p, cfg);
+}
+BENCHMARK(BM_PerCellBaseline)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_series() {
+  std::printf("\n=== Ablation: CPU tiling (Levenshtein 4k x 4k, Hetero-High, "
+              "sim ms) ===\n");
+  CsvWriter csv("ablation_tiling.csv");
+  csv.header({"config", "sim_ms"});
+  const auto p = make_problem(4096);
+  {
+    auto cfg = lddp::bench::config_for("Hetero-High", Mode::kCpuParallel);
+    const double t = solve(p, cfg).stats.sim_seconds * 1e3;
+    std::printf("%-22s %10.3f\n", "per-cell fork/join", t);
+    csv.row("per-cell", t);
+  }
+  for (std::size_t tile : {16u, 32u, 64u, 128u, 256u}) {
+    auto cfg = lddp::bench::config_for("Hetero-High", Mode::kCpuTiled);
+    cfg.cpu_tile = tile;
+    const double t = solve(p, cfg).stats.sim_seconds * 1e3;
+    std::printf("tiled %-4zu             %10.3f\n", tile, t);
+    csv.row("tiled-" + std::to_string(tile), t);
+  }
+  csv.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

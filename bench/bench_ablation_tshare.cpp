@@ -1,0 +1,75 @@
+// Ablation: the t_share sweep (the second half of the Section V-A tuning
+// procedure) and the quality of the model-based default against the
+// empirically tuned optimum, per pattern.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "problems/checkerboard.h"
+#include "problems/levenshtein.h"
+#include "problems/alignment.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+void BM_TShareSweep(benchmark::State& state) {
+  static const problems::LevenshteinProblem p(
+      problems::random_sequence(4096, 7), problems::random_sequence(4096, 8));
+  auto cfg = lddp::bench::config_for("Hetero-High", Mode::kHeterogeneous);
+  cfg.hetero = HeteroParams{-1, state.range(0)};
+  lddp::bench::run_once(state, p, cfg);
+}
+BENCHMARK(BM_TShareSweep)
+    ->DenseRange(0, 4096, 512)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+template <typename P>
+void report(const char* name, const P& p, CsvWriter& csv) {
+  RunConfig cfg = lddp::bench::config_for("Hetero-High",
+                                          Mode::kHeterogeneous);
+  const TuneResult tuned = tune(p, cfg, 13);
+  cfg.hetero = tuned.best;
+  const double t_tuned = solve(p, cfg).stats.sim_seconds * 1e3;
+  cfg.hetero = HeteroParams{-1, -1};
+  const auto def = solve(p, cfg);
+  std::printf("%-14s default(ts=%lld,sh=%lld) %9.3f ms | tuned(ts=%lld,"
+              "sh=%lld) %9.3f ms | gap %5.1f%%\n",
+              name, def.stats.t_switch, def.stats.t_share,
+              def.stats.sim_seconds * 1e3, tuned.best.t_switch,
+              tuned.best.t_share, t_tuned,
+              100.0 * (def.stats.sim_seconds * 1e3 - t_tuned) / t_tuned);
+  csv.row(name, def.stats.t_switch, def.stats.t_share,
+          def.stats.sim_seconds * 1e3, tuned.best.t_switch,
+          tuned.best.t_share, t_tuned);
+}
+
+void print_series() {
+  std::printf("\n=== Ablation: model defaults vs empirically tuned "
+              "parameters (Hetero-High) ===\n");
+  CsvWriter csv("ablation_tshare.csv");
+  csv.header({"problem", "default_t_switch", "default_t_share", "default_ms",
+              "tuned_t_switch", "tuned_t_share", "tuned_ms"});
+  report("levenshtein",
+         problems::LevenshteinProblem(problems::random_sequence(2048, 1),
+                                      problems::random_sequence(2048, 2)),
+         csv);
+  report("checkerboard",
+         problems::CheckerboardProblem(
+             problems::random_cost_board(2048, 2048, 3)),
+         csv);
+  csv.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Headline metric: *simulated* platform time (deterministic, reproduces
+// the paper's Hetero-High / Hetero-Low testbeds); reported to
+// google-benchmark as manual time so its output reads in simulated
+// seconds. Real host wall-clock is attached as a counter. Each benchmark
+// runs exactly one iteration — the simulation is deterministic, repetition
+// adds nothing.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/tuner.h"
+#include "util/csv.h"
+
+namespace lddp::bench {
+
+/// Solves once and feeds the simulated time to google-benchmark.
+template <typename P>
+SolveStats run_once(benchmark::State& state, const P& problem,
+                    const RunConfig& cfg) {
+  SolveStats stats;
+  for (auto _ : state) {
+    auto result = solve(problem, cfg);
+    benchmark::DoNotOptimize(result.table.data());
+    stats = result.stats;
+    state.SetIterationTime(stats.sim_seconds);
+  }
+  state.counters["sim_ms"] = stats.sim_seconds * 1e3;
+  state.counters["real_ms"] = stats.real_seconds * 1e3;
+  state.counters["cpu_busy_ms"] = stats.cpu_busy_seconds * 1e3;
+  state.counters["gpu_busy_ms"] = stats.gpu_busy_seconds * 1e3;
+  state.counters["h2d_KB"] = static_cast<double>(stats.h2d_bytes) / 1024.0;
+  state.counters["d2h_KB"] = static_cast<double>(stats.d2h_bytes) / 1024.0;
+  return stats;
+}
+
+inline RunConfig config_for(const std::string& platform_name, Mode mode) {
+  RunConfig cfg;
+  cfg.platform = platform_name == "Hetero-Low"
+                     ? sim::PlatformSpec::hetero_low()
+                     : sim::PlatformSpec::hetero_high();
+  cfg.mode = mode;
+  return cfg;
+}
+
+/// The three implementations every case-study figure compares.
+inline const char* mode_label(Mode m) {
+  switch (m) {
+    case Mode::kCpuParallel:
+      return "CPU";
+    case Mode::kGpu:
+      return "GPU";
+    case Mode::kHeterogeneous:
+      return "Framework";
+    default:
+      return "?";
+  }
+}
+
+/// Prints (and CSV-dumps) a case-study figure: one row per table size, one
+/// column per (platform, implementation) pair — the layout of the paper's
+/// Figs 9, 10, 12 and 13.
+template <typename Factory>
+void case_study_series(const char* title, const char* csv_path,
+                       const std::vector<std::size_t>& sizes,
+                       Factory&& make_problem) {
+  std::printf("\n=== %s (simulated ms) ===\n", title);
+  std::printf("%8s | %10s %10s %10s | %10s %10s %10s\n", "size", "High/CPU",
+              "High/GPU", "High/Frm", "Low/CPU", "Low/GPU", "Low/Frm");
+  CsvWriter csv(csv_path);
+  csv.header({"size", "high_cpu_ms", "high_gpu_ms", "high_framework_ms",
+              "low_cpu_ms", "low_gpu_ms", "low_framework_ms"});
+  for (std::size_t n : sizes) {
+    const auto problem = make_problem(n);
+    double t[6];
+    int k = 0;
+    for (const char* platform : {"Hetero-High", "Hetero-Low"}) {
+      for (Mode mode :
+           {Mode::kCpuParallel, Mode::kGpu, Mode::kHeterogeneous}) {
+        const RunConfig cfg = config_for(platform, mode);
+        t[k++] = solve(problem, cfg).stats.sim_seconds * 1e3;
+      }
+    }
+    std::printf("%8zu | %10.3f %10.3f %10.3f | %10.3f %10.3f %10.3f\n", n,
+                t[0], t[1], t[2], t[3], t[4], t[5]);
+    csv.row(n, t[0], t[1], t[2], t[3], t[4], t[5]);
+  }
+  csv.save();
+}
+
+}  // namespace lddp::bench

@@ -1,0 +1,101 @@
+// Extension bench: CPU + several accelerators on one platform, on rows
+// wide enough that per-row kernels leave the launch-overhead floor. Both
+// transfer regimes then scale with device count; narrow tables are bound
+// by launch overhead (one-way) or the per-row device<->device round trip
+// (two-way) and gain nothing — the unit tests pin that regime down.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/multi.h"
+#include "problems/checkerboard.h"
+#include "problems/synthetic.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+std::vector<sim::GpuSpec> k20s(int count) {
+  return std::vector<sim::GpuSpec>(static_cast<std::size_t>(count),
+                                   sim::GpuSpec::tesla_k20());
+}
+
+template <typename P>
+double multi_seconds(const P& p, int devices) {
+  sim::Platform platform(cpu::CpuSpec::i7_980(), k20s(devices));
+  SolveStats stats;
+  solve_multi_horizontal(p, platform, MultiSplit{}, &stats);
+  return stats.sim_seconds;
+}
+
+void BM_MultiOneWay(benchmark::State& state) {
+  const auto devices = static_cast<int>(state.range(0));
+  problems::MinNwNProblem p(1024, 131072, 1);
+  double t = 0;
+  for (auto _ : state) {
+    t = multi_seconds(p, devices);
+    state.SetIterationTime(t);
+  }
+  state.counters["sim_ms"] = t * 1e3;
+}
+BENCHMARK(BM_MultiOneWay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiTwoWay(benchmark::State& state) {
+  const auto devices = static_cast<int>(state.range(0));
+  problems::CheckerboardProblem p(
+      problems::random_cost_board(1024, 131072, 11));
+  double t = 0;
+  for (auto _ : state) {
+    t = multi_seconds(p, devices);
+    state.SetIterationTime(t);
+  }
+  state.counters["sim_ms"] = t * 1e3;
+}
+BENCHMARK(BM_MultiTwoWay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_series() {
+  std::printf("\n=== Extension: CPU + N x K20 on 1024 x 131072 tables (sim "
+              "ms) ===\n");
+  std::printf("%8s %16s %16s\n", "devices", "one-way (case-1)",
+              "two-way (case-2)");
+  CsvWriter csv("ext_multi.csv");
+  csv.header({"devices", "oneway_ms", "twoway_ms"});
+  problems::MinNwNProblem one_way(1024, 131072, 1);
+  problems::CheckerboardProblem two_way(
+      problems::random_cost_board(1024, 131072, 11));
+  for (int devices = 1; devices <= 4; ++devices) {
+    const double a = multi_seconds(one_way, devices) * 1e3;
+    const double b = multi_seconds(two_way, devices) * 1e3;
+    std::printf("%8d %16.3f %16.3f\n", devices, a, b);
+    csv.row(devices, a, b);
+  }
+  std::printf("expected: near-linear scaling on very wide rows; on narrow "
+              "rows (launch- or round-trip-bound) extra devices do not pay "
+              "— see MultiAcceleratorTest.TwoWayPingPong*\n");
+  csv.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

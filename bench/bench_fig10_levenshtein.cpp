@@ -1,0 +1,50 @@
+// Figure 10: Levenshtein distance (anti-diagonal pattern) — CPU vs GPU vs
+// Framework across table sizes on both platforms.
+//
+// Expected shape: the low-work regions at both ends of the anti-diagonal
+// schedule let the framework beat the pure GPU even at small sizes, with
+// the gap growing as the table grows (Section VI-A).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "problems/alignment.h"
+#include "problems/levenshtein.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::LevenshteinProblem make_problem(std::size_t n) {
+  return problems::LevenshteinProblem(problems::random_sequence(n, 101),
+                                      problems::random_sequence(n, 102));
+}
+
+void BM_Fig10(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const char* platform = state.range(1) ? "Hetero-Low" : "Hetero-High";
+  const Mode mode = static_cast<Mode>(state.range(2));
+  auto cfg = lddp::bench::config_for(platform, mode);
+  lddp::bench::run_once(state, make_problem(n), cfg);
+  state.SetLabel(std::string(platform) + "/" + lddp::bench::mode_label(mode));
+}
+
+BENCHMARK(BM_Fig10)
+    ->ArgsProduct({{1024, 2048, 4096, 8192},
+                   {0, 1},
+                   {static_cast<long>(Mode::kCpuParallel),
+                    static_cast<long>(Mode::kGpu),
+                    static_cast<long>(Mode::kHeterogeneous)}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lddp::bench::case_study_series("Fig 10: Levenshtein distance",
+                                 "fig10_levenshtein.csv",
+                                 {512, 1024, 2048, 4096, 8192}, make_problem);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

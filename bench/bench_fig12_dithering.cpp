@@ -1,0 +1,49 @@
+// Figure 12: Floyd–Steinberg dithering (knight-move pattern) — CPU vs GPU
+// vs Framework across image sizes on both platforms.
+//
+// Expected shape (Section VI-B): for small images the multicore CPU beats
+// the GPU and the framework tracks the CPU; for large images the GPU takes
+// over and work sharing puts the framework ahead of both.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "problems/floyd_steinberg.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::FloydSteinbergProblem make_problem(std::size_t n) {
+  return problems::FloydSteinbergProblem(
+      problems::plasma_image(n, n, /*seed=*/n));
+}
+
+void BM_Fig12(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const char* platform = state.range(1) ? "Hetero-Low" : "Hetero-High";
+  const Mode mode = static_cast<Mode>(state.range(2));
+  auto cfg = lddp::bench::config_for(platform, mode);
+  lddp::bench::run_once(state, make_problem(n), cfg);
+  state.SetLabel(std::string(platform) + "/" + lddp::bench::mode_label(mode));
+}
+
+BENCHMARK(BM_Fig12)
+    ->ArgsProduct({{512, 1024, 2048, 4096},
+                   {0, 1},
+                   {static_cast<long>(Mode::kCpuParallel),
+                    static_cast<long>(Mode::kGpu),
+                    static_cast<long>(Mode::kHeterogeneous)}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lddp::bench::case_study_series("Fig 12: Floyd-Steinberg dithering",
+                                 "fig12_dithering.csv",
+                                 {256, 512, 1024, 2048, 4096}, make_problem);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 13: checkerboard shortest path (horizontal case-2) — CPU vs GPU
+// vs Framework across table sizes on both platforms.
+//
+// Expected shape (Section VI-C): no low-work region exists; the two-way
+// mapped-pinned boundary and kernel setup dominate small tables (framework
+// >= pure GPU there), and work partitioning only pays off at the largest
+// sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "problems/checkerboard.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::CheckerboardProblem make_problem(std::size_t n) {
+  return problems::CheckerboardProblem(
+      problems::random_cost_board(n, n, /*seed=*/n));
+}
+
+void BM_Fig13(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const char* platform = state.range(1) ? "Hetero-Low" : "Hetero-High";
+  const Mode mode = static_cast<Mode>(state.range(2));
+  auto cfg = lddp::bench::config_for(platform, mode);
+  lddp::bench::run_once(state, make_problem(n), cfg);
+  state.SetLabel(std::string(platform) + "/" + lddp::bench::mode_label(mode));
+}
+
+BENCHMARK(BM_Fig13)
+    ->ArgsProduct({{1024, 2048, 4096, 8192},
+                   {0, 1},
+                   {static_cast<long>(Mode::kCpuParallel),
+                    static_cast<long>(Mode::kGpu),
+                    static_cast<long>(Mode::kHeterogeneous)}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lddp::bench::case_study_series(
+      "Fig 13: checkerboard problem", "fig13_checkerboard.csv",
+      {512, 1024, 2048, 4096, 8192, 16384}, make_problem);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

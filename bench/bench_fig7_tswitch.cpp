@@ -1,0 +1,70 @@
+// Figure 7: heterogeneous time vs t_switch for LCS on a 4k x 4k table with
+// t_share fixed to 0 — the paper's concave tuning curve (Section V-A).
+//
+// Expected shape: time falls as the CPU absorbs low-work anti-diagonals,
+// reaches an interior minimum, then rises as the CPU keeps fronts the GPU
+// would process faster.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "problems/alignment.h"
+#include "problems/lcs.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+constexpr std::size_t kLen = 4096;  // the paper's "4k x 4k" DP table
+
+const problems::LcsProblem& shared_problem() {
+  static const problems::LcsProblem p(problems::random_sequence(kLen, 71),
+                                      problems::random_sequence(kLen, 72));
+  return p;
+}
+
+void BM_Fig7_TSwitchSweep(benchmark::State& state) {
+  auto cfg = lddp::bench::config_for("Hetero-High", Mode::kHeterogeneous);
+  cfg.hetero = HeteroParams{state.range(0), 0};
+  lddp::bench::run_once(state, shared_problem(), cfg);
+}
+BENCHMARK(BM_Fig7_TSwitchSweep)
+    ->DenseRange(0, 4096, 512)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_curve() {
+  std::printf("\n=== Fig 7: LCS 4k x 4k, t_share = 0, Hetero-High ===\n");
+  std::printf("%10s %14s\n", "t_switch", "sim time (ms)");
+  CsvWriter csv("fig7_tswitch.csv");
+  csv.header({"t_switch", "sim_ms"});
+  double best_t = 1e300;
+  long long best_v = 0;
+  for (long long ts = 0; ts <= 4096; ts += 256) {
+    auto cfg = lddp::bench::config_for("Hetero-High", Mode::kHeterogeneous);
+    cfg.hetero = HeteroParams{ts, 0};
+    const auto r = solve(shared_problem(), cfg);
+    std::printf("%10lld %14.3f\n", ts, r.stats.sim_seconds * 1e3);
+    csv.row(ts, r.stats.sim_seconds * 1e3);
+    if (r.stats.sim_seconds < best_t) {
+      best_t = r.stats.sim_seconds;
+      best_v = ts;
+    }
+  }
+  std::printf("minimum at t_switch = %lld (%.3f ms) -> concave valley as in "
+              "the paper\n",
+              best_v, best_t * 1e3);
+  csv.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_curve();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 8: inverted-L (iL) vs horizontal case-1 (H1) execution of the
+// same {NW}-dependent problem, on CPU and on GPU (Section V-B).
+//
+// The paper's function: f(i,j) = max(cell(i,j), f(i-1,j-1)) + c.
+// Expected shape: H1 beats iL on the GPU (uniform fronts + coalescing-
+// friendly row-major layout vs the shell's strided column part); the gap
+// on the CPU is smaller but same-signed (cache lines vs strided columns).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "problems/synthetic.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::MaxNwProblem il_problem(std::size_t n) {
+  return problems::MaxNwProblem(problems::random_input_grid(n, n, n), 3);
+}
+
+// The same f declared with contributing set {NW, N}: the framework then
+// runs it as horizontal case-1 (N is simply ignored by f).
+auto h1_problem(std::size_t n) {
+  auto grid = std::make_shared<Grid<std::int32_t>>(
+      problems::random_input_grid(n, n, n));
+  auto p = problems::make_function_problem<std::int64_t>(
+      n, n, ContributingSet{Dep::kNW, Dep::kN}, 0LL,
+      [grid](std::size_t i, std::size_t j,
+             const Neighbors<std::int64_t>& nb) {
+        const std::int64_t v = grid->at(i, j);
+        return (v > nb.nw ? v : nb.nw) + 3;
+      });
+  p.set_result_bytes(n * sizeof(std::int64_t));  // same result as the iL run
+  return p;
+}
+
+void BM_Fig8_iL(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mode mode = state.range(1) ? Mode::kGpu : Mode::kCpuParallel;
+  auto cfg = lddp::bench::config_for("Hetero-High", mode);
+  lddp::bench::run_once(state, il_problem(n), cfg);
+  state.SetLabel(std::string("iL/") + lddp::bench::mode_label(mode));
+}
+
+void BM_Fig8_H1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Mode mode = state.range(1) ? Mode::kGpu : Mode::kCpuParallel;
+  auto cfg = lddp::bench::config_for("Hetero-High", mode);
+  lddp::bench::run_once(state, h1_problem(n), cfg);
+  state.SetLabel(std::string("H1/") + lddp::bench::mode_label(mode));
+}
+
+BENCHMARK(BM_Fig8_iL)
+    ->ArgsProduct({{1024, 2048, 4096}, {0, 1}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig8_H1)
+    ->ArgsProduct({{1024, 2048, 4096}, {0, 1}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_series() {
+  std::printf("\n=== Fig 8: inverted-L vs horizontal case-1 (sim ms, "
+              "Hetero-High) ===\n");
+  std::printf("%8s %12s %12s %12s %12s\n", "size", "iL/CPU", "H1/CPU",
+              "iL/GPU", "H1/GPU");
+  CsvWriter csv("fig8_il_vs_h1.csv");
+  csv.header({"size", "il_cpu_ms", "h1_cpu_ms", "il_gpu_ms", "h1_gpu_ms"});
+  for (std::size_t n : {1024u, 2048u, 4096u}) {
+    double t[4];
+    int k = 0;
+    for (Mode mode : {Mode::kCpuParallel, Mode::kGpu}) {
+      auto cfg = lddp::bench::config_for("Hetero-High", mode);
+      t[k++] = solve(il_problem(n), cfg).stats.sim_seconds * 1e3;
+      t[k++] = solve(h1_problem(n), cfg).stats.sim_seconds * 1e3;
+    }
+    std::printf("%8zu %12.3f %12.3f %12.3f %12.3f\n", n, t[0], t[1], t[2],
+                t[3]);
+    csv.row(n, t[0], t[1], t[2], t[3]);
+  }
+  std::printf("expected: H1 <= iL in every column, decisively on the GPU\n");
+  csv.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 9: horizontal case-1 pattern (f = min(NW, N) + c) — CPU vs GPU vs
+// Framework across table sizes on both platforms.
+//
+// Expected shape: small tables favour the CPU (kernel-launch and transfer
+// overheads dominate); the GPU overtakes as tables grow; the framework's
+// pipelined split tracks the best unit and wins at scale.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "problems/synthetic.h"
+
+namespace {
+
+using namespace lddp;
+
+problems::MinNwNProblem make_problem(std::size_t n) {
+  return problems::MinNwNProblem(n, n, 1);
+}
+
+void BM_Fig9(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const char* platform = state.range(1) ? "Hetero-Low" : "Hetero-High";
+  const Mode mode = static_cast<Mode>(state.range(2));
+  auto cfg = lddp::bench::config_for(platform, mode);
+  lddp::bench::run_once(state, make_problem(n), cfg);
+  state.SetLabel(std::string(platform) + "/" + lddp::bench::mode_label(mode));
+}
+
+BENCHMARK(BM_Fig9)
+    ->ArgsProduct({{1024, 2048, 4096, 8192},
+                   {0, 1},
+                   {static_cast<long>(Mode::kCpuParallel),
+                    static_cast<long>(Mode::kGpu),
+                    static_cast<long>(Mode::kHeterogeneous)}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lddp::bench::case_study_series(
+      "Fig 9: horizontal case-1, f = min(NW, N) + c", "fig9_horizontal1.csv",
+      {512, 1024, 2048, 4096, 8192, 16384}, make_problem);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

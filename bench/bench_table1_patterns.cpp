@@ -1,0 +1,59 @@
+// Reproduces Table I (all 15 contributing sets -> patterns) and the
+// Figure 2 wavefront numberings, and times classification itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/pattern.h"
+#include "tables/layout.h"
+
+namespace {
+
+using namespace lddp;
+
+void print_table1() {
+  std::printf("\n=== Table I: contributing sets and corresponding pattern "
+              "===\n");
+  std::printf("%-6s %-6s %-6s %-6s  %s\n", "W", "NW", "N", "NE", "Pattern");
+  for (int idx = 0; idx < kNumContributingSets; ++idx) {
+    const ContributingSet cs = contributing_set_by_index(idx);
+    std::printf("%-6s %-6s %-6s %-6s  %s\n", cs.has_w() ? "Y" : "N",
+                cs.has_nw() ? "Y" : "N", cs.has_n() ? "Y" : "N",
+                cs.has_ne() ? "Y" : "N", to_string(classify(cs)).c_str());
+  }
+}
+
+template <typename Layout>
+void print_numbering(const char* title) {
+  const Layout lay(6, 6);
+  std::printf("\n--- Figure 2: %s (front of each cell, 6x6) ---\n", title);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j)
+      std::printf("%3zu", lay.front_of(i, j) + 1);
+    std::printf("\n");
+  }
+}
+
+void BM_ClassifyAll15(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int idx = 0; idx < kNumContributingSets; ++idx) {
+      benchmark::DoNotOptimize(classify(contributing_set_by_index(idx)));
+    }
+  }
+}
+BENCHMARK(BM_ClassifyAll15);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  print_numbering<AntiDiagonalLayout>("Anti-Diagonal");
+  print_numbering<RowMajorLayout>("Horizontal");
+  print_numbering<ShellLayout>("Inverted-L");
+  print_numbering<KnightMoveLayout>("Knight-Move");
+  print_numbering<ColumnMajorLayout>("Vertical");
+  print_numbering<MirrorShellLayout>("mInverted-L");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

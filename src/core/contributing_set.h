@@ -1,0 +1,88 @@
+// The representative set and contributing sets (Section II of the paper).
+//
+// For cell (i, j) the representative set is the four non-conflicting
+// neighbours { W=(i,j-1), NW=(i-1,j-1), N=(i-1,j), NE=(i-1,j+1) } — the set
+// marked 'a' in Figure 1(b). A problem's *contributing set* is the
+// non-empty subset its update function f actually reads; it determines the
+// wavefront pattern (Table I) and the CPU<->GPU transfer needs (Table II).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/check.h"
+
+namespace lddp {
+
+/// One representative cell, as a bit.
+enum class Dep : std::uint8_t {
+  kW = 1u << 0,   ///< cell(i,   j-1) — left
+  kNW = 1u << 1,  ///< cell(i-1, j-1) — upper-left
+  kN = 1u << 2,   ///< cell(i-1, j  ) — above
+  kNE = 1u << 3,  ///< cell(i-1, j+1) — upper-right
+};
+
+/// A non-empty subset of {W, NW, N, NE}. By restricting to the
+/// representative set, conflicting (cyclic) dependencies are excluded by
+/// construction — cf. Figure 1(a).
+class ContributingSet {
+ public:
+  /// Constructs from raw bits; mask must be in [1, 15].
+  explicit constexpr ContributingSet(std::uint8_t mask) : mask_(mask) {
+    // constexpr-friendly validation: throws at runtime, fails compile in
+    // constant evaluation.
+    if (mask_ == 0 || mask_ > 15)
+      throw CheckError("ContributingSet mask must be in [1, 15]");
+  }
+
+  ContributingSet(std::initializer_list<Dep> deps) : mask_(0) {
+    for (Dep d : deps) mask_ |= static_cast<std::uint8_t>(d);
+    LDDP_CHECK_MSG(mask_ != 0, "contributing set must be non-empty");
+  }
+
+  constexpr bool has(Dep d) const {
+    return (mask_ & static_cast<std::uint8_t>(d)) != 0;
+  }
+  constexpr bool has_w() const { return has(Dep::kW); }
+  constexpr bool has_nw() const { return has(Dep::kNW); }
+  constexpr bool has_n() const { return has(Dep::kN); }
+  constexpr bool has_ne() const { return has(Dep::kNE); }
+
+  constexpr std::uint8_t mask() const { return mask_; }
+
+  constexpr int count() const {
+    int c = 0;
+    for (std::uint8_t m = mask_; m; m &= static_cast<std::uint8_t>(m - 1)) ++c;
+    return c;
+  }
+
+  constexpr bool operator==(const ContributingSet&) const = default;
+
+  /// "W+NW+N" style label for reports and test names.
+  std::string to_string() const {
+    std::string s;
+    auto add = [&s](const char* name) {
+      if (!s.empty()) s += '+';
+      s += name;
+    };
+    if (has_w()) add("W");
+    if (has_nw()) add("NW");
+    if (has_n()) add("N");
+    if (has_ne()) add("NE");
+    return s;
+  }
+
+ private:
+  std::uint8_t mask_;
+};
+
+/// All 15 non-empty contributing sets, by ascending mask — handy for
+/// exhaustive tests and the Table I reproduction.
+inline constexpr int kNumContributingSets = 15;
+inline ContributingSet contributing_set_by_index(int idx) {
+  LDDP_CHECK(idx >= 0 && idx < kNumContributingSets);
+  return ContributingSet(static_cast<std::uint8_t>(idx + 1));
+}
+
+}  // namespace lddp

@@ -1,0 +1,178 @@
+// Public entry point of the LDDP-Plus framework (Section V-C).
+//
+// A user supplies a problem — the function f, its contributing set, the
+// boundary/initialization values — and calls solve(). The framework
+// classifies the contributing set into a pattern (Table I), reduces
+// Vertical / mirrored-Inverted-L to their canonical siblings by symmetry,
+// picks the wavefront-contiguous layout and the execution strategy for the
+// requested mode, and returns the filled table plus timing statistics.
+//
+//   LevenshteinProblem p(a, b);
+//   auto [table, stats] = lddp::solve(p);   // heterogeneous by default
+//   int distance = table.at(p.rows() - 1, p.cols() - 1);
+#pragma once
+
+#include "core/adapters.h"
+#include "core/pattern.h"
+#include "core/problem.h"
+#include "core/run_config.h"
+#include "core/strategies/cpu_strategy.h"
+#include "core/strategies/cpu_tiled.h"
+#include "core/strategies/gpu_strategy.h"
+#include "core/strategies/hetero_antidiagonal.h"
+#include "core/strategies/hetero_horizontal.h"
+#include "core/strategies/hetero_invertedl.h"
+#include "core/strategies/hetero_knightmove.h"
+#include "sim/platform.h"
+
+namespace lddp {
+
+/// The filled DP table (row-major) and the run's measurements.
+template <LddpProblem P>
+struct SolveResult {
+  Grid<typename P::Value> table;
+  SolveStats stats;
+};
+
+namespace detail {
+
+/// Auto mode: small tables run on the multicore CPU (kernel-launch and
+/// transfer overheads dominate them — the Section VI observation); large
+/// tables use the heterogeneous split.
+inline Mode resolve_auto(Mode mode, std::size_t cells) {
+  if (mode != Mode::kAuto) return mode;
+  constexpr std::size_t kHeteroThresholdCells = 512 * 512;
+  return cells < kHeteroThresholdCells ? Mode::kCpuParallel
+                                       : Mode::kHeterogeneous;
+}
+
+template <LddpProblem P>
+SolveResult<P> solve_canonical(const P& p, Pattern pattern,
+                               const RunConfig& cfg) {
+  sim::Platform platform(cfg.platform, cfg.pool);
+  const Mode mode = resolve_auto(cfg.mode, p.rows() * p.cols());
+  SolveResult<P> result;
+  switch (mode) {
+    case Mode::kCpuSerial:
+      result.table = solve_cpu_serial(p, &platform, &result.stats);
+      break;
+
+    case Mode::kCpuTiled:
+      result.table = solve_cpu_tiled(p, platform, cfg.cpu_tile,
+                                     &result.stats);
+      break;
+
+    case Mode::kCpuParallel:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table = solve_cpu_parallel(
+              p, AntiDiagonalLayout(p.rows(), p.cols()), platform,
+              &result.stats, detail::kDiagonalCpuAmplification);
+          break;
+        case Pattern::kHorizontal:
+          result.table = solve_cpu_parallel(
+              p, RowMajorLayout(p.rows(), p.cols()), platform, &result.stats);
+          break;
+        case Pattern::kKnightMove:
+          result.table = solve_cpu_parallel(
+              p, KnightMoveLayout(p.rows(), p.cols()), platform,
+              &result.stats, detail::kDiagonalCpuAmplification);
+          break;
+        case Pattern::kInvertedL:
+          result.table = solve_cpu_invertedl(p, platform, &result.stats);
+          break;
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kGpu:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table =
+              solve_gpu(p, AntiDiagonalLayout(p.rows(), p.cols()), platform,
+                        &result.stats);
+          break;
+        case Pattern::kHorizontal:
+          result.table = solve_gpu(p, RowMajorLayout(p.rows(), p.cols()),
+                                   platform, &result.stats);
+          break;
+        case Pattern::kKnightMove:
+          result.table = solve_gpu(p, KnightMoveLayout(p.rows(), p.cols()),
+                                   platform, &result.stats);
+          break;
+        case Pattern::kInvertedL:
+          result.table = solve_gpu_invertedl(p, platform, &result.stats);
+          break;
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kHeterogeneous:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table =
+              solve_hetero_antidiagonal(p, platform, cfg.hetero,
+                                        &result.stats);
+          break;
+        case Pattern::kHorizontal:
+          result.table =
+              solve_hetero_horizontal(p, platform, cfg.hetero, &result.stats);
+          break;
+        case Pattern::kKnightMove:
+          result.table =
+              solve_hetero_knightmove(p, platform, cfg.hetero, &result.stats);
+          break;
+        case Pattern::kInvertedL:
+          result.table =
+              solve_hetero_invertedl(p, platform, cfg.hetero, &result.stats);
+          break;
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kAuto:
+      LDDP_CHECK_MSG(false, "unreachable: auto mode was resolved above");
+  }
+  if (!cfg.trace_path.empty())
+    platform.timeline().export_chrome_trace(cfg.trace_path);
+  return result;
+}
+
+}  // namespace detail
+
+/// Solves the problem with the configured platform and mode. Thread-safe
+/// for distinct problem/config objects; one call uses one simulated
+/// platform instance.
+template <LddpProblem P>
+SolveResult<P> solve(const P& p, const RunConfig& cfg = RunConfig{}) {
+  LDDP_CHECK_MSG(p.rows() > 0 && p.cols() > 0,
+                 "problem table must be non-empty");
+  const Pattern pattern = classify(p.deps());
+
+  if (pattern == Pattern::kVertical) {
+    // Horizontal on the transposed table (Section III symmetry).
+    TransposedProblem<P> t(p);
+    auto inner = detail::solve_canonical(t, Pattern::kHorizontal, cfg);
+    SolveResult<P> out;
+    out.table = transpose_grid(inner.table);
+    out.stats = inner.stats;
+    out.stats.pattern = Pattern::kVertical;
+    return out;
+  }
+  if (pattern == Pattern::kMirroredInvertedL) {
+    // Inverted-L on the mirrored table.
+    MirroredProblem<P> mp(p);
+    auto inner = detail::solve_canonical(mp, Pattern::kInvertedL, cfg);
+    SolveResult<P> out;
+    out.table = mirror_grid(inner.table);
+    out.stats = inner.stats;
+    out.stats.pattern = Pattern::kMirroredInvertedL;
+    return out;
+  }
+  return detail::solve_canonical(p, pattern, cfg);
+}
+
+}  // namespace lddp

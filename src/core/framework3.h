@@ -1,0 +1,417 @@
+// Execution of 3-D LDDP-Plus problems over anti-diagonal plane wavefronts:
+// serial reference scan, multicore planes, simulated-GPU planes, and the
+// heterogeneous slab split (the 3-D analogue of the anti-diagonal
+// strategy: the CPU owns the slab i < t_share of every plane; boundary
+// slab cells ship one way, CPU to GPU, pipelined on a copy stream; the
+// first and last t_switch planes — the low-work corners — run entirely on
+// the CPU).
+#pragma once
+
+#include <cmath>
+
+#include "core/problem3.h"
+#include "core/run_config.h"
+#include "core/strategies/common.h"
+#include "core/strategies/heuristics.h"
+#include "sim/platform.h"
+#include "tables/grid3.h"
+#include "util/stopwatch.h"
+
+namespace lddp {
+
+namespace detail {
+
+/// Reads the declared neighbours of (i, j, k) through `read(i, j, k)`.
+template <LddpProblem3 P, typename ReadFn>
+typename P::Value compute_cell3(const P& p, ContributingSet3 deps,
+                                typename P::Value bound, std::size_t i,
+                                std::size_t j, std::size_t k, ReadFn&& read) {
+  using V = typename P::Value;
+  Neighbors3<V> nb{bound, bound, bound, bound, bound, bound, bound};
+  const bool bi = i > 0, bj = j > 0, bk = k > 0;
+  if (deps.has(Dep3::kD100) && bi) nb.d100 = read(i - 1, j, k);
+  if (deps.has(Dep3::kD010) && bj) nb.d010 = read(i, j - 1, k);
+  if (deps.has(Dep3::kD001) && bk) nb.d001 = read(i, j, k - 1);
+  if (deps.has(Dep3::kD110) && bi && bj) nb.d110 = read(i - 1, j - 1, k);
+  if (deps.has(Dep3::kD101) && bi && bk) nb.d101 = read(i - 1, j, k - 1);
+  if (deps.has(Dep3::kD011) && bj && bk) nb.d011 = read(i, j - 1, k - 1);
+  if (deps.has(Dep3::kD111) && bi && bj && bk)
+    nb.d111 = read(i - 1, j - 1, k - 1);
+  return p.compute(i, j, k, nb);
+}
+
+}  // namespace detail
+
+/// Serial lexicographic reference scan (valid for every contributing set:
+/// all offsets are coordinate-wise predecessors).
+template <LddpProblem3 P>
+Grid3<typename P::Value> solve3_serial(const P& p, sim::Platform* platform,
+                                       SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const std::size_t ni = p.ni(), nj = p.nj(), nk = p.nk();
+  const ContributingSet3 deps = p.deps();
+  const V bound = p.boundary();
+  Grid3<V> t(ni, nj, nk);
+  auto read = [&](std::size_t a, std::size_t b, std::size_t c) {
+    return t.at(a, b, c);
+  };
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j)
+      for (std::size_t k = 0; k < nk; ++k)
+        t.at(i, j, k) = detail::compute_cell3(p, deps, bound, i, j, k, read);
+  if (platform)
+    platform->cpu_charge(ni * nj * nk, work_profile_of3(p), false);
+  if (stats) {
+    stats->mode_used = Mode::kCpuSerial;
+    stats->cells = ni * nj * nk;
+    stats->fronts = ni;
+    if (platform) {
+      stats->sim_seconds = platform->elapsed();
+      stats->cpu_busy_seconds = platform->cpu_busy();
+    }
+    stats->real_seconds = wall.seconds();
+  }
+  return t;
+}
+
+/// Multicore plane wavefronts (fork/join per plane, OpenMP-style).
+template <LddpProblem3 P>
+Grid3<typename P::Value> solve3_cpu(const P& p, sim::Platform& platform,
+                                    SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const ContributingSet3 deps = p.deps();
+  const V bound = p.boundary();
+  const cpu::WorkProfile work = work_profile_of3(p);
+  const AntiDiagonalLayout3 layout(p.ni(), p.nj(), p.nk());
+  Grid3<V> t(p.ni(), p.nj(), p.nk());
+  auto read = [&](std::size_t a, std::size_t b, std::size_t c) {
+    return t.at(a, b, c);
+  };
+  for (std::size_t d = 0; d < layout.num_fronts(); ++d) {
+    sim::Platform::CpuFrontOpts opts;
+    opts.mem_amplification = detail::kDiagonalCpuAmplification;
+    opts.parallel = cpu::parallel_beats_serial(
+        platform.spec().cpu, work, layout.front_size(d),
+        opts.mem_amplification);
+    platform.cpu_front(
+        layout.front_size(d), work,
+        [&, d](std::size_t c) {
+          const CellIndex3 cell = layout.cell(d, c);
+          t.at(cell.i, cell.j, cell.k) = detail::compute_cell3(
+              p, deps, bound, cell.i, cell.j, cell.k, read);
+        },
+        opts);
+  }
+  if (stats) {
+    stats->mode_used = Mode::kCpuParallel;
+    stats->cells = layout.size();
+    stats->fronts = layout.num_fronts();
+    stats->sim_seconds = platform.elapsed();
+    stats->cpu_busy_seconds = platform.cpu_busy();
+    stats->real_seconds = wall.seconds();
+  }
+  return t;
+}
+
+/// Pure simulated-GPU plane wavefronts, thread per cell, plane-contiguous
+/// storage (coalesced).
+template <LddpProblem3 P>
+Grid3<typename P::Value> solve3_gpu(const P& p, sim::Platform& platform,
+                                    SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const ContributingSet3 deps = p.deps();
+  const V bound = p.boundary();
+  const AntiDiagonalLayout3 layout(p.ni(), p.nj(), p.nk());
+  sim::Device& gpu = platform.gpu();
+  sim::KernelInfo info;
+  info.work = work_profile_of3(p);
+  sim::DeviceBuffer<V> dt = gpu.template alloc<V>(layout.size());
+  V* dp = dt.device_ptr();
+  auto read = [&, dp](std::size_t a, std::size_t b, std::size_t c) {
+    return dp[layout.flat(a, b, c)];
+  };
+  const auto stream = gpu.default_stream();
+  gpu.record_h2d(stream, input_bytes_of3(p), sim::MemoryKind::kPageable);
+  for (std::size_t d = 0; d < layout.num_fronts(); ++d) {
+    const std::size_t base = layout.front_offset(d);
+    gpu.launch(stream, info, layout.front_size(d),
+               [&, d, base, dp](std::size_t c) {
+                 const CellIndex3 cell = layout.cell(d, c);
+                 dp[base + c] = detail::compute_cell3(
+                     p, deps, bound, cell.i, cell.j, cell.k, read);
+               });
+  }
+  Grid3<V> t(p.ni(), p.nj(), p.nk());
+  for (std::size_t i = 0; i < p.ni(); ++i)
+    for (std::size_t j = 0; j < p.nj(); ++j)
+      for (std::size_t k = 0; k < p.nk(); ++k)
+        t.at(i, j, k) = dp[layout.flat(i, j, k)];
+  const sim::OpId done = gpu.record_d2h(stream, result_bytes_of3(p),
+                                        sim::MemoryKind::kPageable);
+  platform.cpu_sync(done);
+  if (stats) {
+    stats->mode_used = Mode::kGpu;
+    stats->cells = layout.size();
+    stats->fronts = layout.num_fronts();
+    stats->sim_seconds = platform.elapsed();
+    stats->gpu_busy_seconds = gpu.compute_busy();
+    stats->copy_busy_seconds = gpu.copy_busy();
+    stats->h2d_bytes = gpu.stats().h2d_bytes;
+    stats->d2h_bytes = gpu.stats().d2h_bytes;
+    stats->real_seconds = wall.seconds();
+  }
+  return t;
+}
+
+/// Heterogeneous slab split with t_switch low-work phases at both ends.
+template <LddpProblem3 P>
+Grid3<typename P::Value> solve3_hetero(const P& p, sim::Platform& platform,
+                                       HeteroParams params_in,
+                                       SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const std::size_t ni = p.ni(), nj = p.nj(), nk = p.nk();
+  const ContributingSet3 deps = p.deps();
+  const V bound = p.boundary();
+  const cpu::WorkProfile work = work_profile_of3(p);
+  const AntiDiagonalLayout3 layout(ni, nj, nk);
+  const std::size_t num_fronts = layout.num_fronts();
+  sim::Device& gpu = platform.gpu();
+  sim::KernelInfo info;
+  info.work = work;
+
+  // Defaults: crossover front for t_switch, balanced slab for t_share
+  // (reusing the 2-D machinery — the models are dimension-agnostic).
+  if (params_in.t_switch < 0) {
+    std::size_t max_front = 0;
+    for (std::size_t d = 0; d < num_fronts; ++d)
+      max_front = std::max(max_front, layout.front_size(d));
+    const std::size_t fc = detail::gpu_crossover_front_cells(
+        platform.spec(), info, max_front, detail::kDiagonalCpuAmplification);
+    // Plane d has ~d^2/2 cells while growing: invert for the plane index.
+    params_in.t_switch = static_cast<long long>(
+        std::min<std::size_t>(num_fronts / 2,
+                              static_cast<std::size_t>(
+                                  std::sqrt(2.0 * static_cast<double>(fc)))));
+  }
+  if (params_in.t_share < 0) {
+    const long long balanced = detail::balanced_t_share(
+        platform.spec(), info, nj * nk, detail::kDiagonalCpuAmplification,
+        num_fronts > 0 ? static_cast<double>(input_bytes_of3(p)) /
+                             static_cast<double>(num_fronts)
+                       : 0.0);
+    // Convert a cell share of the fattest plane (~nj*nk) into a slab count.
+    params_in.t_share = std::min<long long>(
+        static_cast<long long>(ni) / 2,
+        balanced / static_cast<long long>(std::max<std::size_t>(
+                       1, (nj + nk) / 2)));
+  }
+  const std::size_t ts = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max<long long>(0, params_in.t_switch)),
+      num_fronts / 2);
+  const std::size_t s = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max<long long>(0, params_in.t_share)),
+      ni);
+  const std::size_t p2_begin = ts, p2_end = num_fronts - ts;
+
+  Grid3<V> table(ni, nj, nk);
+  sim::DeviceBuffer<V> dt = gpu.template alloc<V>(layout.size());
+  V* dp = dt.device_ptr();
+  auto hread = [&](std::size_t a, std::size_t b, std::size_t c) {
+    return table.at(a, b, c);
+  };
+  auto dread = [&, dp](std::size_t a, std::size_t b, std::size_t c) {
+    return dp[layout.flat(a, b, c)];
+  };
+
+  const auto compute_stream = gpu.default_stream();
+  const auto h2d_stream = gpu.create_stream();
+  const auto d2h_stream = gpu.create_stream();
+  gpu.record_h2d(compute_stream,
+                 static_cast<std::size_t>(
+                     static_cast<double>(input_bytes_of3(p)) *
+                     static_cast<double>(ni - std::min(s, ni)) /
+                     static_cast<double>(ni)),
+                 sim::MemoryKind::kPageable);
+
+  auto run_cpu = [&](std::size_t d, std::size_t count, sim::OpId dep) {
+    sim::Platform::CpuFrontOpts opts;
+    opts.streamed = true;
+    opts.mem_amplification = detail::kDiagonalCpuAmplification;
+    opts.parallel = cpu::parallel_beats_serial(
+        platform.spec().cpu, work, count, opts.mem_amplification, true);
+    opts.dep1 = dep;
+    return platform.cpu_front(
+        count, work,
+        [&, d](std::size_t c) {
+          const CellIndex3 cell = layout.cell(d, c);
+          table.at(cell.i, cell.j, cell.k) = detail::compute_cell3(
+              p, deps, bound, cell.i, cell.j, cell.k, hread);
+        },
+        opts);
+  };
+
+  sim::OpId last_cpu = sim::kNoOp, last_gpu = sim::kNoOp;
+
+  // ---- phase 1 ----------------------------------------------------------
+  for (std::size_t d = 0; d < p2_begin; ++d)
+    last_cpu = run_cpu(d, layout.front_size(d), sim::kNoOp);
+
+  // Phase-2 entry: GPU planes read slabs >= s-1 of the three preceding
+  // planes (offsets with di = 1 reach back up to d - 3).
+  sim::OpId h2d_win[3] = {sim::kNoOp, sim::kNoOp, sim::kNoOp};
+  if (p2_begin < p2_end && p2_begin > 0) {
+    const std::size_t lo_slab = s == 0 ? 0 : s - 1;
+    std::size_t bytes = 0;
+    for (std::size_t back = 1; back <= 3 && back <= p2_begin; ++back) {
+      const std::size_t d = p2_begin - back;
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = layout.slab_prefix(d, lo_slab);
+           c < layout.front_size(d); ++c) {
+        dp[base + c] = [&] {
+          const CellIndex3 cell = layout.cell(d, c);
+          return table.at(cell.i, cell.j, cell.k);
+        }();
+        bytes += sizeof(V);
+      }
+    }
+    h2d_win[0] = h2d_win[1] = h2d_win[2] =
+        gpu.record_h2d(h2d_stream, bytes, sim::MemoryKind::kPageable,
+                       last_cpu);
+  }
+
+  // ---- phase 2 ----------------------------------------------------------
+  for (std::size_t d = p2_begin; d < p2_end; ++d) {
+    const std::size_t fs = layout.front_size(d);
+    const std::size_t c = layout.slab_prefix(d, s);
+
+    sim::OpId cpu_op = sim::kNoOp;
+    if (c > 0) {
+      cpu_op = run_cpu(d, c, sim::kNoOp);
+      last_cpu = cpu_op;
+    }
+
+    // Boundary slab i = s-1 of this plane: a contiguous range within the
+    // front (it is the last CPU slab row).
+    sim::OpId h2d_op = sim::kNoOp;
+    if (c > 0 && s > 0 && s - 1 >= layout.i_min(d) &&
+        s - 1 <= layout.i_max(d)) {
+      const std::size_t lo = layout.slab_prefix(d, s - 1);
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t q = lo; q < c; ++q) {
+        const CellIndex3 cell = layout.cell(d, q);
+        dp[base + q] = table.at(cell.i, cell.j, cell.k);
+      }
+      h2d_op = gpu.record_h2d(h2d_stream, (c - lo) * sizeof(V),
+                              sim::MemoryKind::kPinned, cpu_op);
+    }
+
+    if (c < fs) {
+      gpu.stream_wait(compute_stream, h2d_win[1]);
+      gpu.stream_wait(compute_stream, h2d_win[2]);
+      const std::size_t base = layout.front_offset(d);
+      last_gpu = gpu.launch(
+          compute_stream, info, fs - c,
+          [&, d, c, base, dp](std::size_t q) {
+            const CellIndex3 cell = layout.cell(d, c + q);
+            dp[base + c + q] = detail::compute_cell3(
+                p, deps, bound, cell.i, cell.j, cell.k, dread);
+          },
+          h2d_win[0]);
+    }
+    h2d_win[2] = h2d_win[1];
+    h2d_win[1] = h2d_win[0];
+    h2d_win[0] = h2d_op;
+  }
+
+  // Phase-3 entry: CPU reads everything in the three preceding planes.
+  sim::OpId entry_d2h = sim::kNoOp;
+  if (p2_end < num_fronts) {
+    std::size_t bytes = 0;
+    for (std::size_t back = 1; back <= 3 && back <= p2_end; ++back) {
+      const std::size_t d = p2_end - back;
+      if (d < p2_begin) break;
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = layout.slab_prefix(d, s); c < layout.front_size(d);
+           ++c) {
+        const CellIndex3 cell = layout.cell(d, c);
+        table.at(cell.i, cell.j, cell.k) = dp[base + c];
+        bytes += sizeof(V);
+      }
+    }
+    entry_d2h = gpu.record_d2h(d2h_stream, bytes, sim::MemoryKind::kPageable,
+                               last_gpu);
+  }
+
+  // ---- phase 3 ----------------------------------------------------------
+  for (std::size_t d = p2_end; d < num_fronts; ++d) {
+    last_cpu = run_cpu(d, layout.front_size(d), entry_d2h);
+    entry_d2h = sim::kNoOp;
+  }
+
+  // Final download of the GPU-owned region.
+  {
+    std::size_t bytes = 0;
+    for (std::size_t d = p2_begin; d < p2_end; ++d) {
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = layout.slab_prefix(d, s); c < layout.front_size(d);
+           ++c) {
+        const CellIndex3 cell = layout.cell(d, c);
+        table.at(cell.i, cell.j, cell.k) = dp[base + c];
+        bytes += sizeof(V);
+      }
+    }
+    const sim::OpId fin =
+        gpu.record_d2h(d2h_stream, std::min(bytes, result_bytes_of3(p)),
+                       sim::MemoryKind::kPageable, last_gpu);
+    platform.cpu_sync(fin, last_cpu);
+  }
+
+  if (stats) {
+    stats->mode_used = Mode::kHeterogeneous;
+    stats->cells = layout.size();
+    stats->fronts = num_fronts;
+    stats->t_switch = static_cast<long long>(ts);
+    stats->t_share = static_cast<long long>(s);
+    stats->sim_seconds = platform.elapsed();
+    stats->cpu_busy_seconds = platform.cpu_busy();
+    stats->gpu_busy_seconds = gpu.compute_busy();
+    stats->copy_busy_seconds = gpu.copy_busy();
+    stats->h2d_bytes = gpu.stats().h2d_bytes;
+    stats->d2h_bytes = gpu.stats().d2h_bytes;
+    stats->real_seconds = wall.seconds();
+  }
+  return table;
+}
+
+/// Convenience dispatcher mirroring the 2-D solve().
+template <LddpProblem3 P>
+Grid3<typename P::Value> solve3(const P& p, const RunConfig& cfg,
+                                SolveStats* stats = nullptr) {
+  sim::Platform platform(cfg.platform, cfg.pool);
+  const Mode mode = cfg.mode == Mode::kAuto
+                        ? (p.ni() * p.nj() * p.nk() < (1u << 18)
+                               ? Mode::kCpuParallel
+                               : Mode::kHeterogeneous)
+                        : cfg.mode;
+  switch (mode) {
+    case Mode::kCpuSerial:
+      return solve3_serial(p, &platform, stats);
+    case Mode::kCpuParallel:
+    case Mode::kCpuTiled:  // no 3-D tiling yet; fall back to planes
+      return solve3_cpu(p, platform, stats);
+    case Mode::kGpu:
+      return solve3_gpu(p, platform, stats);
+    case Mode::kHeterogeneous:
+      return solve3_hetero(p, platform, cfg.hetero, stats);
+    case Mode::kAuto:
+      break;
+  }
+  LDDP_CHECK_MSG(false, "unreachable 3-D mode dispatch");
+  return Grid3<typename P::Value>(1, 1, 1);
+}
+
+}  // namespace lddp

@@ -1,0 +1,90 @@
+#include "core/parallelism_profile.h"
+
+namespace lddp {
+
+namespace {
+
+template <typename Layout>
+std::vector<std::size_t> profile_of(const Layout& lay) {
+  std::vector<std::size_t> p(lay.num_fronts());
+  for (std::size_t f = 0; f < lay.num_fronts(); ++f) p[f] = lay.front_size(f);
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::size_t> parallelism_profile(Pattern pattern,
+                                             std::size_t rows,
+                                             std::size_t cols) {
+  switch (pattern) {
+    case Pattern::kAntiDiagonal:
+      return profile_of(AntiDiagonalLayout(rows, cols));
+    case Pattern::kHorizontal:
+      return profile_of(RowMajorLayout(rows, cols));
+    case Pattern::kVertical:
+      return profile_of(ColumnMajorLayout(rows, cols));
+    case Pattern::kInvertedL:
+      return profile_of(ShellLayout(rows, cols));
+    case Pattern::kMirroredInvertedL:
+      return profile_of(MirrorShellLayout(rows, cols));
+    case Pattern::kKnightMove:
+      return profile_of(KnightMoveLayout(rows, cols));
+  }
+  LDDP_CHECK_MSG(false, "invalid pattern");
+  return {};
+}
+
+ProfileShape profile_shape(Pattern pattern) {
+  switch (canonical(pattern)) {
+    case Pattern::kHorizontal:
+      return ProfileShape::kConstant;
+    case Pattern::kInvertedL:
+      return ProfileShape::kMonotoneFalling;
+    case Pattern::kAntiDiagonal:
+    case Pattern::kKnightMove:
+      return ProfileShape::kRiseAndFall;
+    default:
+      LDDP_CHECK_MSG(false, "unreachable: canonical() returned an alias");
+      return ProfileShape::kConstant;
+  }
+}
+
+ProfileShape classify_profile(const std::vector<std::size_t>& raw) {
+  LDDP_CHECK_MSG(!raw.empty(), "empty parallelism profile");
+  // Zero-size fronts (knight-move on single-column tables) are scheduling
+  // gaps, not parallelism changes — ignore them.
+  std::vector<std::size_t> profile;
+  profile.reserve(raw.size());
+  for (std::size_t v : raw)
+    if (v > 0) profile.push_back(v);
+  LDDP_CHECK_MSG(!profile.empty(), "profile has no non-empty fronts");
+  bool rises = false, falls = false, falls_then_rises = false;
+  for (std::size_t f = 1; f < profile.size(); ++f) {
+    if (profile[f] > profile[f - 1]) {
+      rises = true;
+      if (falls) falls_then_rises = true;
+    } else if (profile[f] < profile[f - 1]) {
+      falls = true;
+    }
+  }
+  LDDP_CHECK_MSG(!falls_then_rises,
+                 "profile is not one of the LDDP-Plus shapes (it rises "
+                 "after falling)");
+  if (!rises && !falls) return ProfileShape::kConstant;
+  if (!rises) return ProfileShape::kMonotoneFalling;
+  return ProfileShape::kRiseAndFall;
+}
+
+std::string to_string(ProfileShape s) {
+  switch (s) {
+    case ProfileShape::kConstant:
+      return "constant";
+    case ProfileShape::kRiseAndFall:
+      return "rise-and-fall";
+    case ProfileShape::kMonotoneFalling:
+      return "monotone-falling";
+  }
+  return "?";
+}
+
+}  // namespace lddp

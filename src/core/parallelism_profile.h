@@ -1,0 +1,39 @@
+// Parallelism profiles — "degree of parallelism v/s time plot" (Section I).
+// The paper categorizes LDDP-Plus problems by these profiles: growing-then-
+// shrinking (anti-diagonal, knight-move), constant (horizontal, vertical),
+// shrinking (inverted-L). This module computes the profile for any pattern
+// and table shape, and classifies its shape — the basis for which
+// heterogeneous phase structure applies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "tables/layout.h"
+
+namespace lddp {
+
+/// Front sizes in execution order: profile[f] = cells computable in
+/// parallel at iteration f.
+std::vector<std::size_t> parallelism_profile(Pattern pattern,
+                                             std::size_t rows,
+                                             std::size_t cols);
+
+/// The three qualitative shapes the paper's execution strategies key on.
+enum class ProfileShape {
+  kConstant,        ///< horizontal / vertical: one phase, split every front
+  kRiseAndFall,     ///< anti-diagonal / knight-move: t_switch at both ends
+  kMonotoneFalling, ///< inverted-L: t_switch at the tail only
+};
+
+ProfileShape profile_shape(Pattern pattern);
+
+/// Classifies a measured profile (useful for validating custom layouts):
+/// tolerates plateaus; a profile must be non-trivial to be rise-and-fall.
+ProfileShape classify_profile(const std::vector<std::size_t>& profile);
+
+std::string to_string(ProfileShape s);
+
+}  // namespace lddp

@@ -1,0 +1,100 @@
+#include "core/pattern.h"
+
+namespace lddp {
+
+Pattern classify(ContributingSet deps) {
+  // Table I, all 15 rows. Order of the tests matters:
+  //  * W and NE together span the widest reach — knight-move (2i+j fronts);
+  //  * W and N (without NE) couple row and column — anti-diagonal;
+  //  * a remaining W ({W} or {W, NW}) only reaches left — vertical;
+  //  * a lone NW (resp. lone NE) gives the inverted-L shells;
+  //  * everything else reads only row i-1 — horizontal.
+  if (deps.has_w() && deps.has_ne()) return Pattern::kKnightMove;
+  if (deps.has_w() && deps.has_n()) return Pattern::kAntiDiagonal;
+  if (deps.has_w()) return Pattern::kVertical;
+  if (deps.has_nw() && !deps.has_n() && !deps.has_ne())
+    return Pattern::kInvertedL;
+  if (deps.has_ne() && !deps.has_n() && !deps.has_nw())
+    return Pattern::kMirroredInvertedL;
+  return Pattern::kHorizontal;
+}
+
+Pattern canonical(Pattern p) {
+  switch (p) {
+    case Pattern::kVertical:
+      return Pattern::kHorizontal;
+    case Pattern::kMirroredInvertedL:
+      return Pattern::kInvertedL;
+    default:
+      return p;
+  }
+}
+
+bool is_symmetric_alias(Pattern p) {
+  return p == Pattern::kVertical || p == Pattern::kMirroredInvertedL;
+}
+
+TransferNeed transfer_need(ContributingSet deps) {
+  switch (classify(deps)) {
+    case Pattern::kAntiDiagonal:
+      // Row-strip split; GPU reads the CPU's boundary row via N/NW/W.
+      return TransferNeed::kOneWay;
+    case Pattern::kKnightMove:
+      // Column split; NE crosses GPU->CPU while W/NW cross CPU->GPU.
+      return TransferNeed::kTwoWay;
+    case Pattern::kInvertedL:
+    case Pattern::kMirroredInvertedL:
+      // Column-strip split; the single diagonal dependency crosses one way.
+      return TransferNeed::kOneWay;
+    case Pattern::kHorizontal: {
+      // Column split: NW crosses CPU->GPU, NE crosses GPU->CPU, N stays
+      // within each unit's own columns.
+      const bool cpu_to_gpu = deps.has_nw();
+      const bool gpu_to_cpu = deps.has_ne();
+      if (cpu_to_gpu && gpu_to_cpu) return TransferNeed::kTwoWay;
+      if (cpu_to_gpu || gpu_to_cpu) return TransferNeed::kOneWay;
+      return TransferNeed::kNone;
+    }
+    case Pattern::kVertical:
+      // Row-strip split: NW crosses CPU->GPU; W stays within the strip.
+      return deps.has_nw() ? TransferNeed::kOneWay : TransferNeed::kNone;
+  }
+  LDDP_CHECK_MSG(false, "unreachable: invalid pattern");
+  return TransferNeed::kNone;
+}
+
+bool is_horizontal_case2(ContributingSet deps) {
+  return deps.has_nw() && deps.has_ne();
+}
+
+std::string to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kAntiDiagonal:
+      return "Anti-diagonal";
+    case Pattern::kHorizontal:
+      return "Horizontal";
+    case Pattern::kInvertedL:
+      return "Inverted-L";
+    case Pattern::kKnightMove:
+      return "Knight-Move";
+    case Pattern::kVertical:
+      return "Vertical";
+    case Pattern::kMirroredInvertedL:
+      return "mInverted-L";
+  }
+  return "?";
+}
+
+std::string to_string(TransferNeed t) {
+  switch (t) {
+    case TransferNeed::kNone:
+      return "none";
+    case TransferNeed::kOneWay:
+      return "1 way";
+    case TransferNeed::kTwoWay:
+      return "2 way";
+  }
+  return "?";
+}
+
+}  // namespace lddp

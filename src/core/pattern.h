@@ -1,0 +1,59 @@
+// Pattern classification — the paper's Table I and Table II, plus the
+// symmetry reduction of Section III.
+#pragma once
+
+#include <string>
+
+#include "core/contributing_set.h"
+
+namespace lddp {
+
+/// The six wavefront patterns of Figure 2.
+enum class Pattern {
+  kAntiDiagonal,       ///< fronts are anti-diagonals i+j
+  kHorizontal,         ///< fronts are rows
+  kInvertedL,          ///< fronts are shells min(i,j)
+  kKnightMove,         ///< fronts are 2i+j lines
+  kVertical,           ///< fronts are columns (symmetric to Horizontal)
+  kMirroredInvertedL,  ///< shells min(i, cols-1-j) (symmetric to InvertedL)
+};
+
+/// CPU<->GPU boundary traffic required by the heterogeneous split
+/// (Table II). One-way transfers use the pipelined stream scheme; two-way
+/// transfers use pinned memory (Section IV-C).
+enum class TransferNeed {
+  kNone,    ///< contributing set {N} (or {W} for Vertical): no boundary deps
+  kOneWay,  ///< CPU -> GPU only
+  kTwoWay,  ///< both directions, every iteration
+};
+
+/// Maps a contributing set to its pattern — the paper's Table I, all 15
+/// rows. Logic: W together with N (or with nothing to its right) serializes
+/// rows into anti-diagonals or columns; W with NE forces the knight-move
+/// spacing; row-only dependencies give Horizontal; a lone NW (resp. NE)
+/// gives the Inverted-L (resp. mirrored) shells.
+Pattern classify(ContributingSet deps);
+
+/// Symmetry reduction (Section III): Vertical is Horizontal transposed and
+/// MirroredInvertedL is InvertedL mirrored, leaving four canonical patterns.
+Pattern canonical(Pattern p);
+
+/// True for the two patterns that are handled "by appealing to symmetry".
+bool is_symmetric_alias(Pattern p);
+
+/// Table II: transfer needs of the heterogeneous execution per contributing
+/// set. {N} alone ({W} alone for Vertical) needs no transfers at all; sets
+/// whose *only* cross-boundary dependency points from CPU region to GPU
+/// region are one-way; sets reaching both ways (NE together with W or NW on
+/// a column split) are two-way.
+TransferNeed transfer_need(ContributingSet deps);
+
+/// Horizontal pattern sub-case (Section III-B): case-1 sets need at most
+/// one-way transfers; case-2 sets (containing NE alongside NW) need two-way.
+/// Only meaningful when classify(deps) is Horizontal/Vertical.
+bool is_horizontal_case2(ContributingSet deps);
+
+std::string to_string(Pattern p);
+std::string to_string(TransferNeed t);
+
+}  // namespace lddp

@@ -1,0 +1,86 @@
+// The user-facing problem concept (Section V-C): to use the framework, a
+// user supplies (1) the function f — here `compute` — and (2) the
+// initialization — here `boundary` values plus whatever base-case logic f
+// encodes for the table edges, exactly like the paper's Levenshtein
+// formulation handles min(i,j)==0 inside f.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+
+#include "core/contributing_set.h"
+#include "cpu/cost_model.h"
+
+namespace lddp {
+
+/// Values of the four representative cells, as seen by f. Fields for
+/// dependencies outside the problem's contributing set — or outside the
+/// table — hold the problem's boundary() value.
+template <typename T>
+struct Neighbors {
+  T w;   ///< cell(i,   j-1)
+  T nw;  ///< cell(i-1, j-1)
+  T n;   ///< cell(i-1, j  )
+  T ne;  ///< cell(i-1, j+1)
+};
+
+/// An LDDP-Plus problem instance.
+///
+/// Requirements beyond the signature: `compute(i, j, nb)` must be a pure
+/// function of its arguments and the problem's own immutable state (input
+/// sequences, cost grids, ...), and must only read the `nb` fields named in
+/// `deps()` — the framework schedules and transfers data based on `deps()`,
+/// so reading an undeclared neighbour yields stale values on the simulated
+/// device, just as it would on a real one.
+template <typename P>
+concept LddpProblem = requires(const P& p, std::size_t i, std::size_t j,
+                               const Neighbors<typename P::Value>& nb) {
+  typename P::Value;
+  requires std::is_trivially_copyable_v<typename P::Value>;
+  { p.rows() } -> std::convertible_to<std::size_t>;
+  { p.cols() } -> std::convertible_to<std::size_t>;
+  { p.deps() } -> std::convertible_to<ContributingSet>;
+  { p.boundary() } -> std::convertible_to<typename P::Value>;
+  { p.compute(i, j, nb) } -> std::convertible_to<typename P::Value>;
+};
+
+/// Optional hook: a problem may expose `work()` to describe the per-cell
+/// cost of its f for the timing models; otherwise a generic profile is
+/// assumed.
+template <typename P>
+cpu::WorkProfile work_profile_of(const P& p) {
+  if constexpr (requires { { p.work() } -> std::convertible_to<cpu::WorkProfile>; }) {
+    return p.work();
+  } else {
+    return cpu::WorkProfile{};
+  }
+}
+
+/// Optional hook: bytes of problem input (sequences, cost grid, image) that
+/// a GPU-side execution must upload once before the first kernel.
+template <typename P>
+std::size_t input_bytes_of(const P& p) {
+  if constexpr (requires { { p.input_bytes() } -> std::convertible_to<std::size_t>; }) {
+    return p.input_bytes();
+  } else {
+    return 0;
+  }
+}
+
+/// Optional hook: bytes of the *result* a consumer downloads from the
+/// device when the fill finishes — e.g. one row for a shortest-path cost,
+/// the bitmap for dithering, the whole table when a traceback follows.
+/// Defaults to the full table. (The framework always assembles the full
+/// host-side table for verification; this hook only prices the final
+/// transfer the production use case would issue.)
+template <typename P>
+std::size_t result_bytes_of(const P& p) {
+  if constexpr (requires { { p.result_bytes() } -> std::convertible_to<std::size_t>; }) {
+    return p.result_bytes();
+  } else {
+    return p.rows() * p.cols() * sizeof(typename P::Value);
+  }
+}
+
+}  // namespace lddp

@@ -1,0 +1,112 @@
+// The 3-D LDDP-Plus problem interface (the k = 3 instance of the paper's
+// k-dimensional class definition in Section II).
+//
+// The representative set generalizes to the 7 lower-corner offsets
+// (di, dj, dk) in {0,1}^3 \ {(0,0,0)}: cell (i,j,k) may read
+// (i-di, j-dj, k-dk). All 7 are mutually non-conflicting (no straight line
+// through two of them passes through the centre cell) and every one of
+// them strictly decreases the plane index d = i+j+k, so the anti-diagonal
+// plane wavefront serves any non-empty contributing subset. A richer 3-D
+// taxonomy (the analogue of Table I's six patterns, from offsets such as
+// (1,-1,0)) is left as future work, mirroring the paper's own 2-D scoping.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/problem.h"
+
+namespace lddp {
+
+/// One 3-D representative offset, as a bit. Naming: kD<di><dj><dk>.
+enum class Dep3 : std::uint8_t {
+  kD100 = 1u << 0,  ///< (i-1, j,   k  )
+  kD010 = 1u << 1,  ///< (i,   j-1, k  )
+  kD001 = 1u << 2,  ///< (i,   j,   k-1)
+  kD110 = 1u << 3,  ///< (i-1, j-1, k  )
+  kD101 = 1u << 4,  ///< (i-1, j,   k-1)
+  kD011 = 1u << 5,  ///< (i,   j-1, k-1)
+  kD111 = 1u << 6,  ///< (i-1, j-1, k-1)
+};
+
+/// Non-empty subset of the 7 lower-corner offsets.
+class ContributingSet3 {
+ public:
+  explicit constexpr ContributingSet3(std::uint8_t mask) : mask_(mask) {
+    if (mask_ == 0 || mask_ > 127)
+      throw CheckError("ContributingSet3 mask must be in [1, 127]");
+  }
+  ContributingSet3(std::initializer_list<Dep3> deps) : mask_(0) {
+    for (Dep3 d : deps) mask_ |= static_cast<std::uint8_t>(d);
+    LDDP_CHECK_MSG(mask_ != 0, "contributing set must be non-empty");
+  }
+
+  constexpr bool has(Dep3 d) const {
+    return (mask_ & static_cast<std::uint8_t>(d)) != 0;
+  }
+  constexpr std::uint8_t mask() const { return mask_; }
+  constexpr bool operator==(const ContributingSet3&) const = default;
+
+ private:
+  std::uint8_t mask_;
+};
+
+inline constexpr int kNumContributingSets3 = 127;
+
+/// Values of the 7 representative cells; unused / out-of-table entries
+/// hold the problem's boundary value.
+template <typename T>
+struct Neighbors3 {
+  T d100, d010, d001, d110, d101, d011, d111;
+};
+
+/// A 3-D LDDP-Plus problem. Same contract as the 2-D concept: compute()
+/// must be pure and read only declared offsets.
+template <typename P>
+concept LddpProblem3 = requires(const P& p, std::size_t i, std::size_t j,
+                                std::size_t k,
+                                const Neighbors3<typename P::Value>& nb) {
+  typename P::Value;
+  requires std::is_trivially_copyable_v<typename P::Value>;
+  { p.ni() } -> std::convertible_to<std::size_t>;
+  { p.nj() } -> std::convertible_to<std::size_t>;
+  { p.nk() } -> std::convertible_to<std::size_t>;
+  { p.deps() } -> std::convertible_to<ContributingSet3>;
+  { p.boundary() } -> std::convertible_to<typename P::Value>;
+  { p.compute(i, j, k, nb) } -> std::convertible_to<typename P::Value>;
+};
+
+template <typename P>
+cpu::WorkProfile work_profile_of3(const P& p) {
+  if constexpr (requires {
+                  { p.work() } -> std::convertible_to<cpu::WorkProfile>;
+                }) {
+    return p.work();
+  } else {
+    return cpu::WorkProfile{};
+  }
+}
+
+template <typename P>
+std::size_t input_bytes_of3(const P& p) {
+  if constexpr (requires {
+                  { p.input_bytes() } -> std::convertible_to<std::size_t>;
+                }) {
+    return p.input_bytes();
+  } else {
+    return 0;
+  }
+}
+
+template <typename P>
+std::size_t result_bytes_of3(const P& p) {
+  if constexpr (requires {
+                  { p.result_bytes() } -> std::convertible_to<std::size_t>;
+                }) {
+    return p.result_bytes();
+  } else {
+    return p.ni() * p.nj() * p.nk() * sizeof(typename P::Value);
+  }
+}
+
+}  // namespace lddp

@@ -1,0 +1,23 @@
+#include "core/run_config.h"
+
+namespace lddp {
+
+std::string to_string(Mode m) {
+  switch (m) {
+    case Mode::kCpuSerial:
+      return "cpu-serial";
+    case Mode::kCpuParallel:
+      return "cpu-parallel";
+    case Mode::kCpuTiled:
+      return "cpu-tiled";
+    case Mode::kGpu:
+      return "gpu";
+    case Mode::kHeterogeneous:
+      return "heterogeneous";
+    case Mode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+}  // namespace lddp

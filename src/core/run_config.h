@@ -1,0 +1,79 @@
+// Execution configuration and result statistics for Framework::solve.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/pattern.h"
+#include "cpu/thread_pool.h"
+#include "sim/device_spec.h"
+
+namespace lddp {
+
+/// Which implementation runs the table fill.
+enum class Mode {
+  kCpuSerial,      ///< single-threaded reference scan
+  kCpuParallel,    ///< multicore wavefronts (fork/join per front)
+  kCpuTiled,       ///< multicore tile wavefronts (block-per-thread; only
+                   ///< for NE-free contributing sets)
+  kGpu,            ///< pure simulated-GPU wavefronts (thread-per-cell)
+  kHeterogeneous,  ///< the paper's CPU+GPU split
+  kAuto,           ///< framework picks by problem size (Section VI findings)
+};
+
+std::string to_string(Mode m);
+
+/// Workload-division parameters (Sections III and V-A).
+/// Negative values mean "let the framework pick a model-based default";
+/// the Tuner (core/tuner.h) refines them empirically.
+struct HeteroParams {
+  /// Iterations at each low-work end handled entirely by the CPU.
+  long long t_switch = -1;
+  /// Cells of each high-work front handled by the CPU (the CPU's strip
+  /// width: rows for anti-diagonal, columns for the other patterns).
+  long long t_share = -1;
+};
+
+/// Everything solve() needs besides the problem itself.
+struct RunConfig {
+  sim::PlatformSpec platform = sim::PlatformSpec::hetero_high();
+  Mode mode = Mode::kAuto;
+  HeteroParams hetero;
+  /// Tile side for Mode::kCpuTiled.
+  std::size_t cpu_tile = 64;
+  /// Optional host pool for real execution; null runs everything on the
+  /// calling thread (simulated timings are identical either way).
+  cpu::ThreadPool* pool = nullptr;
+  /// If non-empty, the simulated schedule is written here as a
+  /// chrome://tracing / Perfetto JSON file after the run.
+  std::string trace_path;
+};
+
+/// Measured outcome of one solve() call.
+struct SolveStats {
+  Mode mode_used = Mode::kCpuSerial;
+  Pattern pattern = Pattern::kHorizontal;
+  TransferNeed transfer = TransferNeed::kNone;
+
+  double sim_seconds = 0.0;   ///< simulated platform makespan — the
+                              ///< headline number in every figure
+  double real_seconds = 0.0;  ///< actual host wall-clock, for reference
+
+  std::size_t fronts = 0;
+  std::size_t cells = 0;
+
+  // Heterogeneous split actually used (0/0 for non-hetero modes).
+  long long t_switch = 0;
+  long long t_share = 0;
+
+  // Simulated resource accounting.
+  double cpu_busy_seconds = 0.0;
+  double gpu_busy_seconds = 0.0;
+  double copy_busy_seconds = 0.0;
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t h2d_copies = 0;
+  std::size_t d2h_copies = 0;
+};
+
+}  // namespace lddp

@@ -1,0 +1,88 @@
+// Pure-CPU executions.
+//
+// * solve_cpu_serial — single-threaded row-major scan. A row-major sweep
+//   (i ascending, j ascending) respects every LDDP-Plus dependency (all
+//   four representative cells lie up or left), so this is the universal
+//   correctness reference for all patterns.
+// * solve_cpu_parallel — the paper's multicore baseline: wavefronts of the
+//   problem's pattern, block-per-thread within each front (Section IV-A).
+#pragma once
+
+#include "core/strategies/common.h"
+
+namespace lddp {
+
+/// Serial reference. Records a single serial-priced op on the platform's
+/// CPU timeline if `platform` is given; execution always happens.
+template <LddpProblem P>
+Grid<typename P::Value> solve_cpu_serial(const P& p, sim::Platform* platform,
+                                         SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const std::size_t n = p.rows(), m = p.cols();
+  const ContributingSet deps = p.deps();
+  const V bound = p.boundary();
+  Grid<V> table(n, m);
+  detail::GridReader<V> read{&table};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j)
+      table.at(i, j) = detail::compute_cell(p, deps, bound, i, j, m, read);
+  if (platform) {
+    platform->cpu_charge(n * m, work_profile_of(p), /*parallel=*/false);
+  }
+  if (stats) {
+    stats->mode_used = Mode::kCpuSerial;
+    stats->pattern = classify(deps);
+    stats->transfer = TransferNeed::kNone;
+    stats->fronts = n;  // scan rows
+    stats->cells = n * m;
+    if (platform) detail::finish_stats(*stats, *platform, wall.seconds());
+    else stats->real_seconds = wall.seconds();
+  }
+  return table;
+}
+
+/// Multicore wavefront execution over the pattern's layout — the paper's
+/// OpenMP-style baseline: one fork/join parallel region per front.
+/// `mem_amplification` prices cache-hostile walk orders (diagonal fronts).
+template <LddpProblem P, typename Layout>
+Grid<typename P::Value> solve_cpu_parallel(const P& p, const Layout& layout,
+                                           sim::Platform& platform,
+                                           SolveStats* stats,
+                                           double mem_amplification = 1.0) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const std::size_t n = p.rows(), m = p.cols();
+  const ContributingSet deps = p.deps();
+  const V bound = p.boundary();
+  const cpu::WorkProfile work = work_profile_of(p);
+  Grid<V> table(n, m);
+  detail::GridReader<V> read{&table};
+  sim::Platform::CpuFrontOpts opts;
+  opts.mem_amplification = mem_amplification;
+  for (std::size_t f = 0; f < layout.num_fronts(); ++f) {
+    // OpenMP-style "if" clause: fronts too small to amortize the fork/join
+    // run on the issuing thread.
+    opts.parallel = cpu::parallel_beats_serial(
+        platform.spec().cpu, work, layout.front_size(f), mem_amplification);
+    platform.cpu_front(
+        layout.front_size(f), work,
+        [&](std::size_t c) {
+          const CellIndex cell = layout.cell(f, c);
+          table.at(cell.i, cell.j) =
+              detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
+        },
+        opts);
+  }
+  if (stats) {
+    stats->mode_used = Mode::kCpuParallel;
+    stats->pattern = classify(deps);
+    stats->transfer = TransferNeed::kNone;
+    stats->fronts = layout.num_fronts();
+    stats->cells = n * m;
+    detail::finish_stats(*stats, platform, wall.seconds());
+  }
+  return table;
+}
+
+}  // namespace lddp

@@ -1,0 +1,214 @@
+// Heterogeneous execution of the anti-diagonal pattern (Section III-A,
+// Figure 3). Three phases:
+//
+//   Phase 1: the first t_switch fronts (low work) run entirely on the CPU.
+//   Phase 2: each front is split — the CPU owns the top row-strip i <
+//            t_share, the GPU the rest. One-way pipelined transfers: after
+//            the CPU finishes its segment of front d it ships its boundary
+//            cell (t_share-1, d-t_share+1) to the GPU on a copy stream;
+//            the GPU's kernel for front d waits on the boundary cells of
+//            fronts d-1 and d-2 ("GPU needs boundary cells from the last
+//            two anti-diagonals") while the CPU streams ahead unblocked.
+//   Phase 3: the last t_switch fronts run entirely on the CPU again, after
+//            a bulk download of the GPU's part of the two preceding fronts.
+#pragma once
+
+#include "core/strategies/common.h"
+#include "core/strategies/heuristics.h"
+
+namespace lddp {
+
+template <LddpProblem P>
+Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
+                                                  sim::Platform& platform,
+                                                  const HeteroParams& user,
+                                                  SolveStats* stats) {
+  using V = typename P::Value;
+  Stopwatch wall;
+  const std::size_t n = p.rows(), m = p.cols();
+  const ContributingSet deps = p.deps();
+  const V bound = p.boundary();
+  const cpu::WorkProfile work = work_profile_of(p);
+  const AntiDiagonalLayout layout(n, m);
+  const std::size_t num_fronts = layout.num_fronts();
+
+  sim::Device& gpu = platform.gpu();
+  const sim::KernelInfo info = detail::kernel_info_for(p, "hetero.ad");
+  const HeteroParams params = detail::resolve_hetero_params(
+      user, Pattern::kAntiDiagonal, n, m, platform.spec(), info,
+      detail::kDiagonalCpuAmplification,
+      static_cast<double>(input_bytes_of(p)), /*two_way=*/false);
+  const std::size_t ts = static_cast<std::size_t>(params.t_switch);
+  const std::size_t s = static_cast<std::size_t>(params.t_share);
+  const std::size_t phase2_begin = ts;
+  const std::size_t phase2_end = num_fronts - ts;
+
+  Grid<V> table(n, m);
+  sim::DeviceBuffer<V> dtable = gpu.template alloc<V>(layout.size());
+  detail::GridReader<V> hread{&table};
+  detail::DeviceReader<V, AntiDiagonalLayout> dread{dtable.device_ptr(),
+                                                    &layout};
+
+  const auto compute_stream = gpu.default_stream();
+  const auto h2d_stream = gpu.create_stream();
+  const auto d2h_stream = gpu.create_stream();
+  // Only the GPU strip's share of the problem input goes up (the CPU reads
+  // its rows from host memory directly).
+  gpu.record_h2d(compute_stream,
+                 static_cast<std::size_t>(
+                     static_cast<double>(input_bytes_of(p)) *
+                     static_cast<double>(n - std::min(s, n)) /
+                     static_cast<double>(n)),
+                 sim::MemoryKind::kPageable);
+
+  // Number of CPU-owned cells (rows i < s) at the head of front d.
+  auto cpu_len = [&](std::size_t d) -> std::size_t {
+    const std::size_t lo = layout.i_min(d);
+    if (lo >= s) return 0;
+    return std::min(s - lo, layout.front_size(d));
+  };
+
+  auto run_cpu = [&](std::size_t d, std::size_t count, sim::OpId dep) {
+    sim::Platform::CpuFrontOpts opts;
+    opts.streamed = true;  // persistent framework threads, not fork/join
+    opts.mem_amplification = detail::kDiagonalCpuAmplification;
+    opts.parallel = cpu::parallel_beats_serial(
+        platform.spec().cpu, work, count, opts.mem_amplification, true);
+    opts.dep1 = dep;
+    return platform.cpu_front(
+        count, work,
+        [&, d](std::size_t c) {
+          const CellIndex cell = layout.cell(d, c);
+          table.at(cell.i, cell.j) =
+              detail::compute_cell(p, deps, bound, cell.i, cell.j, m, hread);
+        },
+        opts);
+  };
+
+  sim::OpId last_cpu = sim::kNoOp;
+  sim::OpId last_gpu = sim::kNoOp;
+
+  // ---- Phase 1 ----------------------------------------------------------
+  for (std::size_t d = 0; d < phase2_begin; ++d)
+    last_cpu = run_cpu(d, layout.front_size(d), sim::kNoOp);
+
+  // Phase-2 entry: the GPU will read rows >= s-1 of the two fronts before
+  // phase2_begin, which the CPU computed in phase 1. Ship them in bulk.
+  sim::OpId h2d_m1 = sim::kNoOp;  // boundary transfer of front d-1
+  sim::OpId h2d_m2 = sim::kNoOp;  // boundary transfer of front d-2
+  if (phase2_begin < phase2_end && phase2_begin > 0) {
+    const std::size_t lo_row = s == 0 ? 0 : s - 1;
+    std::size_t bytes = 0;
+    for (std::size_t back = 1; back <= 2 && back <= phase2_begin; ++back) {
+      const std::size_t d = phase2_begin - back;
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = 0; c < layout.front_size(d); ++c) {
+        const CellIndex cell = layout.cell(d, c);
+        if (cell.i < lo_row) continue;
+        dtable.device_ptr()[base + c] = table.at(cell.i, cell.j);
+        bytes += sizeof(V);
+      }
+    }
+    h2d_m1 = h2d_m2 = gpu.record_h2d(h2d_stream, bytes,
+                                     sim::MemoryKind::kPageable, last_cpu);
+  }
+
+  // ---- Phase 2 ----------------------------------------------------------
+  for (std::size_t d = phase2_begin; d < phase2_end; ++d) {
+    const std::size_t fs = layout.front_size(d);
+    const std::size_t c = cpu_len(d);
+
+    sim::OpId cpu_op = sim::kNoOp;
+    if (c > 0) {
+      // CPU reads only rows < s of fronts d-1/d-2 — all CPU-produced, so
+      // the CPU resource's FIFO order already covers the dependency.
+      cpu_op = run_cpu(d, c, sim::kNoOp);
+      last_cpu = cpu_op;
+    }
+
+    // Pipelined one-way boundary transfer: the CPU's deepest row cell of
+    // this front, needed by GPU fronts d+1 (as N) and d+2 (as NW).
+    sim::OpId h2d_op = sim::kNoOp;
+    if (c > 0 && s > 0 && s - 1 >= layout.i_min(d) &&
+        s - 1 <= layout.i_max(d)) {
+      const std::size_t j = d - (s - 1);
+      dtable.device_ptr()[layout.flat(s - 1, j)] = table.at(s - 1, j);
+      h2d_op = gpu.record_h2d(h2d_stream, sizeof(V),
+                              sim::MemoryKind::kPinned, cpu_op);
+    }
+
+    if (c < fs) {
+      // The kernel additionally waits for the boundary cells of the last
+      // two fronts (the W/N/NW reads that cross the strip).
+      gpu.stream_wait(compute_stream, h2d_m2);
+      const std::size_t base = layout.front_offset(d);
+      V* out = dtable.device_ptr();
+      last_gpu = gpu.launch(
+          compute_stream, info, fs - c,
+          [&, d, c, base, out](std::size_t k) {
+            const CellIndex cell = layout.cell(d, c + k);
+            out[base + c + k] = detail::compute_cell(p, deps, bound, cell.i,
+                                                     cell.j, m, dread);
+          },
+          h2d_m1);
+    }
+    h2d_m2 = h2d_m1;
+    h2d_m1 = h2d_op;
+  }
+
+  // Phase-3 entry: the CPU reads everything in the two fronts preceding
+  // phase2_end; download the GPU-owned parts in bulk.
+  sim::OpId entry_d2h = sim::kNoOp;
+  if (phase2_end < num_fronts && phase2_end >= 1) {
+    std::size_t bytes = 0;
+    for (std::size_t back = 1; back <= 2 && back <= phase2_end; ++back) {
+      const std::size_t d = phase2_end - back;
+      if (d < phase2_begin) break;  // phase-1 front: already on the host
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = cpu_len(d); c < layout.front_size(d); ++c) {
+        const CellIndex cell = layout.cell(d, c);
+        table.at(cell.i, cell.j) = dtable.device_ptr()[base + c];
+        bytes += sizeof(V);
+      }
+    }
+    entry_d2h = gpu.record_d2h(d2h_stream, bytes, sim::MemoryKind::kPageable,
+                               last_gpu);
+  }
+
+  // ---- Phase 3 ----------------------------------------------------------
+  for (std::size_t d = phase2_end; d < num_fronts; ++d) {
+    last_cpu = run_cpu(d, layout.front_size(d), entry_d2h);
+    entry_d2h = sim::kNoOp;  // only the first phase-3 front waits on it
+  }
+
+  // Final download of the GPU-owned region (phase-2 suffixes).
+  {
+    std::size_t bytes = 0;
+    for (std::size_t d = phase2_begin; d < phase2_end; ++d) {
+      const std::size_t base = layout.front_offset(d);
+      for (std::size_t c = cpu_len(d); c < layout.front_size(d); ++c) {
+        const CellIndex cell = layout.cell(d, c);
+        table.at(cell.i, cell.j) = dtable.device_ptr()[base + c];
+        bytes += sizeof(V);
+      }
+    }
+    const sim::OpId fin =
+        gpu.record_d2h(d2h_stream, std::min(bytes, result_bytes_of(p)),
+                       sim::MemoryKind::kPageable, last_gpu);
+    platform.cpu_sync(fin, last_cpu);
+  }
+
+  if (stats) {
+    stats->mode_used = Mode::kHeterogeneous;
+    stats->pattern = Pattern::kAntiDiagonal;
+    stats->transfer = transfer_need(deps);
+    stats->fronts = num_fronts;
+    stats->cells = n * m;
+    stats->t_switch = params.t_switch;
+    stats->t_share = params.t_share;
+    detail::finish_stats(*stats, platform, wall.seconds());
+  }
+  return table;
+}
+
+}  // namespace lddp

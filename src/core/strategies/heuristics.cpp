@@ -1,0 +1,214 @@
+#include "core/strategies/heuristics.h"
+
+#include <algorithm>
+
+#include "cpu/cost_model.h"
+
+namespace lddp::detail {
+
+namespace {
+
+double cpu_best_front_seconds(const cpu::CpuSpec& spec,
+                              const cpu::WorkProfile& work,
+                              std::size_t cells, double amp) {
+  // Low-work fronts are small enough to be cache-resident for the serial
+  // sweep, so the serial alternative is priced without amplification.
+  return std::min(
+      cpu::cpu_front_seconds(spec, work, cells, true, amp, /*streamed=*/true),
+      cpu::cpu_front_seconds(spec, work, cells, false));
+}
+
+double gpu_front_seconds(const sim::GpuSpec& spec,
+                         const sim::KernelInfo& kernel, std::size_t cells) {
+  return sim::kernel_seconds(spec, kernel, cells) +
+         sim::transfer_seconds(spec, sizeof(double),
+                               sim::MemoryKind::kPinned);
+}
+
+}  // namespace
+
+std::size_t gpu_crossover_front_cells(const sim::PlatformSpec& platform,
+                                      const sim::KernelInfo& kernel,
+                                      std::size_t max_front,
+                                      double cpu_mem_amplification) {
+  if (max_front == 0) return 0;
+  // The cost difference gpu - cpu is decreasing in the front size (the CPU
+  // slope exceeds the GPU slope; the intercepts favour the CPU), so a
+  // binary search finds the crossover.
+  auto gpu_wins = [&](std::size_t f) {
+    return gpu_front_seconds(platform.gpu, kernel, f) <
+           cpu_best_front_seconds(platform.cpu, kernel.work, f,
+                                  cpu_mem_amplification);
+  };
+  if (gpu_wins(1)) return 1;
+  if (!gpu_wins(max_front)) return max_front;
+  std::size_t lo = 1, hi = max_front;  // gpu loses at lo, wins at hi
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    (gpu_wins(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+long long balanced_t_share(const sim::PlatformSpec& platform,
+                           const sim::KernelInfo& kernel,
+                           std::size_t front_cells,
+                           double cpu_mem_amplification,
+                           double input_bytes_per_front,
+                           double mapped_us_when_split) {
+  if (front_cells == 0) return 0;
+  const double upload_rate = platform.gpu.pageable_bandwidth_gbs * 1e9;
+  auto objective = [&](std::size_t s) {
+    const double cpu =
+        s == 0 ? 0.0
+               : cpu::cpu_front_seconds(platform.cpu, kernel.work, s, true,
+                                        cpu_mem_amplification,
+                                        /*streamed=*/true);
+    const std::size_t g = front_cells - s;
+    double gpu = sim::kernel_seconds(platform.gpu, kernel, g);
+    if (g > 0) {
+      // Amortized share of the input upload that the GPU strip requires.
+      gpu += input_bytes_per_front * static_cast<double>(g) /
+             static_cast<double>(front_cells) / upload_rate;
+      if (s > 0) gpu += mapped_us_when_split * 1e-6;
+    }
+    return std::max(cpu, gpu);
+  };
+  // The objective is piecewise monotone with a single valley; a coarse
+  // scan over 128 candidates is ample for a heuristic the empirical tuner
+  // refines anyway. Ties break toward the smaller CPU share.
+  std::size_t best = 0;
+  double best_t = objective(0);
+  for (int k = 1; k <= 128; ++k) {
+    const std::size_t s =
+        front_cells * static_cast<std::size_t>(k) / 128;
+    const double t = objective(s);
+    if (t < best_t - 1e-15) {
+      best_t = t;
+      best = s;
+    }
+  }
+  return static_cast<long long>(best);
+}
+
+HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
+                                   std::size_t rows, std::size_t cols,
+                                   const sim::PlatformSpec& platform,
+                                   const sim::KernelInfo& kernel,
+                                   double cpu_mem_amplification,
+                                   double input_bytes, bool two_way) {
+  HeteroParams out = user;
+  const std::size_t max_front = std::min(rows, cols);
+
+  if (out.t_switch < 0) {
+    const std::size_t fc = gpu_crossover_front_cells(
+        platform, kernel, max_front, cpu_mem_amplification);
+    switch (canon) {
+      case Pattern::kAntiDiagonal:
+        // Front d has d+1 cells while growing.
+        out.t_switch = static_cast<long long>(fc);
+        break;
+      case Pattern::kKnightMove:
+        // Front t has roughly t/2 cells while growing.
+        out.t_switch = static_cast<long long>(2 * fc);
+        break;
+      case Pattern::kInvertedL: {
+        // Shell k has rows + cols - 2k - 1 cells; the last shells whose
+        // size falls below the crossover go to the CPU.
+        const std::size_t total = rows + cols - 1;
+        out.t_switch = fc >= total
+                           ? static_cast<long long>(max_front)
+                           : static_cast<long long>(
+                                 std::min<std::size_t>(max_front, (fc + 1) / 2));
+        break;
+      }
+      default:
+        out.t_switch = 0;  // Horizontal/Vertical: constant parallelism.
+        break;
+    }
+  }
+
+  long long switch_max = 0, share_max = 0;
+  hetero_param_ranges(canon, rows, cols, &switch_max, &share_max);
+
+  if (out.t_share < 0) {
+    std::size_t num_fronts = 0, typical_front = 0;
+    switch (canon) {
+      case Pattern::kAntiDiagonal:
+        num_fronts = rows + cols - 1;
+        typical_front = max_front;
+        break;
+      case Pattern::kKnightMove:
+        num_fronts = 2 * (rows - 1) + cols;
+        typical_front = max_front;
+        break;
+      case Pattern::kHorizontal:
+        num_fronts = rows;
+        typical_front = cols;
+        break;
+      case Pattern::kVertical:
+        num_fronts = cols;
+        typical_front = rows;
+        break;
+      case Pattern::kInvertedL:
+      case Pattern::kMirroredInvertedL:
+        num_fronts = max_front;
+        typical_front = rows + cols - 1;
+        break;
+    }
+    const double input_per_front =
+        num_fronts > 0 ? input_bytes / static_cast<double>(num_fronts) : 0.0;
+    const double mapped_us =
+        two_way ? platform.gpu.mapped_access_overhead_us : 0.0;
+    out.t_share =
+        balanced_t_share(platform, kernel, typical_front,
+                         cpu_mem_amplification, input_per_front, mapped_us);
+    // Keep the default split genuinely heterogeneous: never hand the CPU
+    // more than half of the strip even when the balance equation says the
+    // GPU is not worth engaging (the tuner may still pick larger values).
+    out.t_share = std::min(out.t_share, share_max / 2);
+  }
+
+  out.t_switch = std::clamp<long long>(out.t_switch, 0, switch_max);
+  out.t_share = std::clamp<long long>(out.t_share, 0, share_max);
+  return out;
+}
+
+void hetero_param_ranges(Pattern canon, std::size_t rows, std::size_t cols,
+                         long long* switch_max, long long* share_max) {
+  // t_switch counts fronts from the low-work ends (both ends for the
+  // patterns whose parallelism rises and falls); t_share is a strip width
+  // (rows for anti-diagonal, columns otherwise).
+  std::size_t num_fronts = 0;
+  std::size_t strip_max = 0;
+  switch (canon) {
+    case Pattern::kAntiDiagonal:
+      num_fronts = rows + cols - 1;
+      strip_max = rows;
+      break;
+    case Pattern::kKnightMove:
+      num_fronts = 2 * (rows - 1) + cols;
+      strip_max = cols;
+      break;
+    case Pattern::kInvertedL:
+    case Pattern::kMirroredInvertedL:
+      num_fronts = std::min(rows, cols);
+      strip_max = cols;
+      break;
+    case Pattern::kHorizontal:
+      num_fronts = rows;
+      strip_max = cols;
+      break;
+    case Pattern::kVertical:
+      num_fronts = cols;
+      strip_max = rows;
+      break;
+  }
+  const bool two_ended =
+      canon == Pattern::kAntiDiagonal || canon == Pattern::kKnightMove;
+  *switch_max =
+      static_cast<long long>(two_ended ? num_fronts / 2 : num_fronts);
+  *share_max = static_cast<long long>(strip_max);
+}
+
+}  // namespace lddp::detail

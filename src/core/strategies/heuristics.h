@@ -1,0 +1,57 @@
+// Model-based defaults for t_switch and t_share (Section V-A).
+//
+// The paper finds both parameters empirically (the concave sweeps of
+// Fig 7); core/tuner.h reproduces that procedure. These heuristics provide
+// the starting point the framework uses when the user does not supply
+// values: t_switch from the CPU/GPU front-cost crossover, t_share from
+// balancing the two units' per-front completion times.
+#pragma once
+
+#include <cstddef>
+
+#include "core/pattern.h"
+#include "core/run_config.h"
+#include "sim/kernel.h"
+
+namespace lddp::detail {
+
+/// Smallest front size (cells) at which the simulated GPU front cost
+/// (launch + execution + one pinned boundary transfer) drops below the best
+/// CPU front cost (serial, or streamed-parallel with the pattern's cache
+/// amplification). Fronts below this size belong to the "low work region".
+std::size_t gpu_crossover_front_cells(const sim::PlatformSpec& platform,
+                                      const sim::KernelInfo& kernel,
+                                      std::size_t max_front,
+                                      double cpu_mem_amplification = 1.0);
+
+/// Cells per front the CPU should own in the high-work region: minimizes
+/// the per-front critical path max(cpu_strip, gpu_kernel) over candidate
+/// splits, evaluated with the real cost models (so kernel latency floors
+/// are respected). The objective also credits the CPU share with its
+/// amortized input-upload saving (`input_bytes_per_front` of pageable
+/// traffic scales with the GPU's share) and charges `mapped_us_when_split`
+/// to the GPU side whenever the split is non-trivial (two-way patterns).
+long long balanced_t_share(const sim::PlatformSpec& platform,
+                           const sim::KernelInfo& kernel,
+                           std::size_t front_cells,
+                           double cpu_mem_amplification = 1.0,
+                           double input_bytes_per_front = 0.0,
+                           double mapped_us_when_split = 0.0);
+
+/// Valid parameter ranges for a canonical pattern on an rows x cols table:
+/// t_switch in [0, switch_max], t_share in [0, share_max].
+void hetero_param_ranges(Pattern canon, std::size_t rows, std::size_t cols,
+                         long long* switch_max, long long* share_max);
+
+/// Fills any negative HeteroParams fields with model-based defaults for the
+/// given canonical pattern and table shape, and clamps both parameters to
+/// their valid ranges.
+HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
+                                   std::size_t rows, std::size_t cols,
+                                   const sim::PlatformSpec& platform,
+                                   const sim::KernelInfo& kernel,
+                                   double cpu_mem_amplification = 1.0,
+                                   double input_bytes = 0.0,
+                                   bool two_way = false);
+
+}  // namespace lddp::detail

@@ -1,0 +1,73 @@
+// Empirical parameter tuning (Section V-A, Figure 7).
+//
+// "To know the optimal value of t_switch, we fix t_share to 0 and we run
+//  the algorithm for different values of t_switch. ... this process
+//  generates a concave curve. The point corresponding to the minimum time
+//  on the curve indicates the optimal value. Now, we fix the value of
+//  t_switch to its optimal value, and we run the algorithm for different
+//  values of t_share."
+//
+// tune() reproduces that two-pass sweep against simulated time and returns
+// both the chosen parameters and the sampled curves (the raw material of
+// Fig 7, re-plotted by bench_fig7_tswitch).
+#pragma once
+
+#include <vector>
+
+#include "core/framework.h"
+#include "core/strategies/heuristics.h"
+#include "util/stats.h"
+
+namespace lddp {
+
+/// Sampled curves and the picked optimum of the two sweeps.
+struct TuneResult {
+  HeteroParams best;
+  std::vector<long long> switch_values;  ///< sampled t_switch (t_share = 0)
+  std::vector<double> switch_seconds;    ///< simulated time per sample
+  std::vector<long long> share_values;   ///< sampled t_share (best t_switch)
+  std::vector<double> share_seconds;
+};
+
+/// Sweeps t_switch then t_share as in Section V-A. `samples_per_sweep`
+/// points are spread evenly over each parameter's valid range.
+template <LddpProblem P>
+TuneResult tune(const P& p, RunConfig cfg, int samples_per_sweep = 17) {
+  LDDP_CHECK(samples_per_sweep >= 2);
+  cfg.mode = Mode::kHeterogeneous;
+  const Pattern canon = canonical(classify(p.deps()));
+
+  long long switch_max = 0, share_max = 0;
+  detail::hetero_param_ranges(canon, p.rows(), p.cols(), &switch_max,
+                              &share_max);
+
+  auto sweep = [&](long long max_value, auto make_params,
+                   std::vector<long long>* values,
+                   std::vector<double>* seconds) -> long long {
+    for (int k = 0; k < samples_per_sweep; ++k) {
+      const long long v =
+          max_value * static_cast<long long>(k) /
+          static_cast<long long>(samples_per_sweep - 1);
+      if (!values->empty() && values->back() == v) continue;
+      cfg.hetero = make_params(v);
+      SolveResult<P> r = solve(p, cfg);
+      values->push_back(v);
+      seconds->push_back(r.stats.sim_seconds);
+    }
+    return (*values)[argmin(*seconds)];
+  };
+
+  TuneResult out;
+  const long long best_switch = sweep(
+      switch_max,
+      [](long long v) { return HeteroParams{v, 0}; },
+      &out.switch_values, &out.switch_seconds);
+  const long long best_share = sweep(
+      share_max,
+      [best_switch](long long v) { return HeteroParams{best_switch, v}; },
+      &out.share_values, &out.share_seconds);
+  out.best = HeteroParams{best_switch, best_share};
+  return out;
+}
+
+}  // namespace lddp

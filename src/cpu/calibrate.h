@@ -1,0 +1,66 @@
+// Bridges real execution to the analytic model: measures a problem's
+// actual serial per-cell cost on the host and converts it into the
+// WorkProfile units the cost models consume. Useful when porting the
+// framework to problems whose f is much heavier or lighter than the
+// bundled defaults — the same role the paper's empirical parameter search
+// plays for t_switch/t_share, one level down.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/stopwatch.h"
+
+namespace lddp::cpu {
+
+struct CalibrationResult {
+  double ns_per_cell = 0.0;      ///< measured serial host cost
+  double cycles_per_cell = 0.0;  ///< at the given spec's clock
+  WorkProfile suggested;         ///< profile with the measured CPU cost
+};
+
+/// Runs `repeats` serial scans over (a sample of) the problem's table and
+/// returns the fastest per-cell time (min-of-N suppresses scheduling
+/// noise). The scan is capped at `max_cells` to keep calibration cheap on
+/// huge problems; the leading rows exercise the same f and accesses.
+template <LddpProblem P>
+CalibrationResult calibrate_work_profile(const P& p, const CpuSpec& spec,
+                                         int repeats = 3,
+                                         std::size_t max_cells = 1u << 22) {
+  const std::size_t m = p.cols();
+  const std::size_t rows =
+      std::max<std::size_t>(1, std::min(p.rows(), max_cells / m));
+  const ContributingSet deps = p.deps();
+  const typename P::Value bound = p.boundary();
+  Grid<typename P::Value> table(rows, m);
+
+  double best_seconds = 1e300;
+  for (int r = 0; r < std::max(1, repeats); ++r) {
+    Stopwatch sw;
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        Neighbors<typename P::Value> nb{bound, bound, bound, bound};
+        if (deps.has_w() && j > 0) nb.w = table.at(i, j - 1);
+        if (i > 0) {
+          if (deps.has_nw() && j > 0) nb.nw = table.at(i - 1, j - 1);
+          if (deps.has_n()) nb.n = table.at(i - 1, j);
+          if (deps.has_ne() && j + 1 < m) nb.ne = table.at(i - 1, j + 1);
+        }
+        table.at(i, j) = p.compute(i, j, nb);
+      }
+    }
+    best_seconds = std::min(best_seconds, sw.seconds());
+  }
+
+  CalibrationResult out;
+  out.ns_per_cell =
+      best_seconds * 1e9 / static_cast<double>(rows * m);
+  out.cycles_per_cell = out.ns_per_cell * spec.clock_ghz;
+  out.suggested = work_profile_of(p);
+  out.suggested.cpu_cycles_per_cell = std::max(1.0, out.cycles_per_cell);
+  return out;
+}
+
+}  // namespace lddp::cpu

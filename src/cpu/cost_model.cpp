@@ -1,0 +1,116 @@
+#include "cpu/cost_model.h"
+
+namespace lddp::cpu {
+
+CpuSpec CpuSpec::i7_980() {
+  CpuSpec s;
+  s.name = "Intel i7-980 (6C/12T, 3.33 GHz)";
+  s.cores = 6;
+  s.logical_threads = 12;
+  s.clock_ghz = 3.33;
+  s.mem_bandwidth_gbs = 18.0;  // triple-channel DDR3, achieved
+  s.parallel_region_overhead_us = 6.0;
+  s.hetero_strip_barrier_us = 1.5;
+  return s;
+}
+
+CpuSpec CpuSpec::i7_3632qm() {
+  CpuSpec s;
+  s.name = "Intel i7-3632QM (4C/8T, 2.2 GHz)";
+  s.cores = 4;
+  s.logical_threads = 8;
+  s.clock_ghz = 2.2;
+  s.mem_bandwidth_gbs = 14.0;  // dual-channel DDR3 mobile, achieved
+  s.parallel_region_overhead_us = 5.0;
+  s.hetero_strip_barrier_us = 1.8;
+  return s;
+}
+
+double cpu_peak_throughput(const CpuSpec& spec, const WorkProfile& work,
+                           double mem_amplification) {
+  LDDP_CHECK(spec.cores >= 1 && spec.clock_ghz > 0);
+  LDDP_CHECK(work.cpu_cycles_per_cell > 0);
+  LDDP_CHECK(mem_amplification >= 1.0);
+  const double effective_cores =
+      static_cast<double>(spec.cores) *
+      (spec.logical_threads > spec.cores ? 1.0 + spec.smt_boost : 1.0);
+  const double compute =
+      effective_cores * spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+  const double memory = spec.mem_bandwidth_gbs * 1e9 /
+                        (work.bytes_per_cell * mem_amplification);
+  return std::min(compute, memory);
+}
+
+double cpu_front_seconds(const CpuSpec& spec, const WorkProfile& work,
+                         std::size_t cells, bool parallel,
+                         double mem_amplification, bool streamed) {
+  if (cells == 0) return 0.0;
+  LDDP_CHECK(mem_amplification >= 1.0);
+  const double per_core_rate = spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+  const double memory = static_cast<double>(cells) * work.bytes_per_cell *
+                        mem_amplification /
+                        (spec.mem_bandwidth_gbs * 1e9);
+  if (!parallel) {
+    const double compute = static_cast<double>(cells) / per_core_rate;
+    // Serial sweeps only win on small fronts, whose working set stays
+    // cache-resident — amplification does not apply; and a single thread
+    // cannot saturate the socket's DRAM channels (half-bandwidth cap).
+    const double serial_memory = static_cast<double>(cells) *
+                                 work.bytes_per_cell /
+                                 (spec.mem_bandwidth_gbs * 1e9);
+    return spec.serial_dispatch_overhead_us * 1e-6 +
+           std::max(compute, 2.0 * serial_memory);
+  }
+  const double threads_used = static_cast<double>(std::min<std::size_t>(
+      cells, static_cast<std::size_t>(spec.logical_threads)));
+  // With SMT two logical threads share a core's issue slots; each runs at
+  // smt * per-core rate so the pair delivers the (1 + boost) throughput.
+  const double smt = spec.logical_threads > spec.cores
+                         ? (1.0 + spec.smt_boost) *
+                               static_cast<double>(spec.cores) /
+                               static_cast<double>(spec.logical_threads)
+                         : 1.0;
+  const double chunk = static_cast<double>(
+      (cells + static_cast<std::size_t>(threads_used) - 1) /
+      static_cast<std::size_t>(threads_used));
+  const double compute = chunk / (per_core_rate * smt);
+  const double overhead = (streamed ? spec.hetero_strip_barrier_us
+                                    : spec.parallel_region_overhead_us) *
+                          1e-6;
+  return overhead + std::max(compute, memory);
+}
+
+double cpu_tiled_front_seconds(const CpuSpec& spec, const WorkProfile& work,
+                               std::size_t num_tiles,
+                               std::size_t tile_cells) {
+  if (num_tiles == 0 || tile_cells == 0) return 0.0;
+  const double per_core_rate = spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+  const double threads_used = static_cast<double>(std::min<std::size_t>(
+      num_tiles, static_cast<std::size_t>(spec.logical_threads)));
+  const double smt = spec.logical_threads > spec.cores
+                         ? (1.0 + spec.smt_boost) *
+                               static_cast<double>(spec.cores) /
+                               static_cast<double>(spec.logical_threads)
+                         : 1.0;
+  const std::size_t rounds =
+      (num_tiles + static_cast<std::size_t>(threads_used) - 1) /
+      static_cast<std::size_t>(threads_used);
+  const double compute = static_cast<double>(rounds) *
+                         static_cast<double>(tile_cells) /
+                         (per_core_rate * smt);
+  const double memory = static_cast<double>(num_tiles) *
+                        static_cast<double>(tile_cells) *
+                        work.bytes_per_cell / (spec.mem_bandwidth_gbs * 1e9);
+  return spec.hetero_strip_barrier_us * 1e-6 + std::max(compute, memory);
+}
+
+bool parallel_beats_serial(const CpuSpec& spec, const WorkProfile& work,
+                           std::size_t cells, double mem_amplification,
+                           bool streamed) {
+  return cpu_front_seconds(spec, work, cells, true, mem_amplification,
+                           streamed) <
+         cpu_front_seconds(spec, work, cells, false, mem_amplification,
+                           streamed);
+}
+
+}  // namespace lddp::cpu

@@ -1,0 +1,100 @@
+// Analytic CPU timing model.
+//
+// The framework's heterogeneous scheduling decisions (and the reproduced
+// figures) are driven by *simulated* time so they are deterministic and
+// hardware-independent. This model prices the CPU side of a wavefront
+// iteration as
+//
+//   overhead + max(compute_chunk_time, memory_time)
+//
+// where the overhead is a persistent-pool barrier (the paper reuses "a few
+// heavy-weight threads" across iterations, Section IV-A), the compute term
+// is the longest static chunk at the per-thread issue rate (with an SMT
+// throughput bonus), and the memory term models the socket's DRAM
+// bandwidth — the binding resource once the table outgrows the LLC, and
+// the reason the GPU overtakes the CPU on large tables in Figs 9-13.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "util/check.h"
+
+namespace lddp::cpu {
+
+/// Static description of a CPU, mirroring the two testbeds in Section II-A.
+struct CpuSpec {
+  std::string name;
+  int cores = 1;             ///< physical cores
+  int logical_threads = 1;   ///< with hyper-threading
+  double clock_ghz = 1.0;
+  /// Throughput gained from hyper-threading when logical > physical
+  /// (empirically ~25% on the Nehalem/Ivy Bridge parts the paper uses).
+  double smt_boost = 0.25;
+  /// Achievable socket DRAM bandwidth for streaming table sweeps.
+  double mem_bandwidth_gbs = 20.0;
+  /// Cost of one OpenMP-style fork/join parallel region — what the paper's
+  /// pure-CPU baseline pays per wavefront iteration.
+  double parallel_region_overhead_us = 6.0;
+  /// Cost of a lightweight barrier among persistent worker threads — what
+  /// the framework's own CPU strips pay per iteration ("a few heavy-weight
+  /// threads", Section IV-A, created once and reused).
+  double hetero_strip_barrier_us = 1.5;
+  /// Cost of dispatching a front on the calling thread only.
+  double serial_dispatch_overhead_us = 0.05;
+
+  /// Intel i7-980: 6C/12T @ 3.33 GHz (Hetero-High host).
+  static CpuSpec i7_980();
+  /// Intel i7-3632QM: 4C/8T @ 2.2 GHz (Hetero-Low host).
+  static CpuSpec i7_3632qm();
+};
+
+/// Per-problem work profile: how expensive one application of the user's
+/// function f is. The same profile prices CPU and GPU execution so the
+/// crossover between them is governed by architecture, not by the profile.
+struct WorkProfile {
+  /// CPU cycles to compute f once (loads from cache, compares, stores).
+  double cpu_cycles_per_cell = 12.0;
+  /// GPU cycles a single thread spends on f (more address arithmetic, no
+  /// big caches; throughput still wins via lane count).
+  double gpu_cycles_per_cell = 48.0;
+  /// Bytes of memory traffic per cell (reads of contributing cells plus
+  /// the store), before layout-amplification effects.
+  double bytes_per_cell = 20.0;
+};
+
+/// Simulated seconds for the CPU to process `cells` cells of one wavefront
+/// iteration.
+///
+/// `mem_amplification` >= 1 models cache-hostile walk orders (diagonal
+/// sweeps over the row-major host table, the strided column part of the
+/// inverted-L pattern — Section V-B). `streamed` selects the persistent-
+/// thread barrier pricing used inside the framework's multi-front phases
+/// instead of the full fork/join the baseline pays.
+double cpu_front_seconds(const CpuSpec& spec, const WorkProfile& work,
+                         std::size_t cells, bool parallel = true,
+                         double mem_amplification = 1.0,
+                         bool streamed = false);
+
+/// Simulated seconds for one *tiled* wavefront iteration: `num_tiles`
+/// independent tiles of `tile_cells` cells each, one tile per worker at a
+/// time, each tile swept serially in cache (the "block of cells per
+/// thread" mapping of Section IV-A; cf. Chowdhury et al.'s cache-efficient
+/// tiling). No per-cell amplification applies — tiles are sized to stay
+/// cache-resident — but the socket bandwidth still bounds the aggregate.
+double cpu_tiled_front_seconds(const CpuSpec& spec, const WorkProfile& work,
+                               std::size_t num_tiles, std::size_t tile_cells);
+
+/// True when the parallel pricing beats the serial pricing for this front —
+/// the "if" clause a tuned OpenMP implementation would use.
+bool parallel_beats_serial(const CpuSpec& spec, const WorkProfile& work,
+                           std::size_t cells, double mem_amplification = 1.0,
+                           bool streamed = false);
+
+/// Effective cell throughput (cells/second) at full parallel occupancy,
+/// ignoring per-front overheads. `mem_amplification` as above.
+double cpu_peak_throughput(const CpuSpec& spec, const WorkProfile& work,
+                           double mem_amplification = 1.0);
+
+}  // namespace lddp::cpu

@@ -1,0 +1,115 @@
+#include "cpu/thread_pool.h"
+
+#include <algorithm>
+
+namespace lddp::cpu {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  LDDP_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t w = 0; w + 1 < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++region_.epoch;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(std::size_t thread_index, std::size_t nthreads) {
+  // Static chunking identical to OpenMP schedule(static): thread k gets the
+  // k-th contiguous block, sized to balance remainders.
+  const std::size_t total = region_.end - region_.begin;
+  const std::size_t base = total / nthreads;
+  const std::size_t rem = total % nthreads;
+  const std::size_t lo = region_.begin + thread_index * base +
+                         std::min(thread_index, rem);
+  const std::size_t hi = lo + base + (thread_index < rem ? 1 : 0);
+  if (lo < hi) (*region_.body)(lo, hi);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || region_.epoch != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = region_.epoch;
+    }
+    // Worker index w maps to thread index w+1; the master is thread 0.
+    try {
+      run_chunk(worker_index + 1, workers_.size() + 1);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      LDDP_DCHECK(pending_ > 0);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LDDP_CHECK_MSG(pending_ == 0, "nested/concurrent parallel regions are "
+                                  "not supported");
+    region_.begin = begin;
+    region_.end = end;
+    region_.body = &body;
+    ++region_.epoch;
+    pending_ = workers_.size();
+    first_error_ = nullptr;
+  }
+  cv_start_.notify_all();
+  // The master participates as thread 0 rather than idling (CP.43).
+  try {
+    run_chunk(0, workers_.size() + 1);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    region_.body = nullptr;
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(begin, end,
+                       [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) body(i);
+                       });
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace lddp::cpu

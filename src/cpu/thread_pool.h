@@ -1,0 +1,79 @@
+// Persistent worker pool replacing the paper's OpenMP 3.0 usage.
+//
+// The paper creates "a few heavy-weight threads where each thread is
+// responsible for processing a group of cells" (Section IV-A). This pool
+// provides exactly that model: workers are created once and reused across
+// wavefront iterations (CP.41: minimize thread creation/destruction), and
+// `parallel_for` hands each worker one static chunk per call, mirroring
+// OpenMP's `schedule(static)`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp::cpu {
+
+/// Fixed-size pool executing fork/join style parallel regions.
+///
+/// Usage:
+///   ThreadPool pool(6);
+///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
+///
+/// Thread-safety: a ThreadPool may be used from one "master" thread at a
+/// time; parallel regions do not nest (matching the paper's flat OpenMP
+/// usage). Worker exceptions are captured and rethrown on the master.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // + master
+
+  /// Runs body(i) for every i in [begin, end), statically chunked across
+  /// all threads (workers + the calling thread). Blocks until every
+  /// iteration has completed. Rethrows the first worker exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) once per chunk — lets
+  /// hot loops avoid a std::function call per cell.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Region {
+    // Current parallel region, guarded by mu_.
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::uint64_t epoch = 0;  // bumped per region; workers wait on it
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_chunk(std::size_t thread_index, std::size_t nthreads);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Region region_;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide default pool sized to the hardware. Lazily constructed;
+/// intended for examples and tests that don't care about explicit sizing.
+ThreadPool& default_pool();
+
+}  // namespace lddp::cpu

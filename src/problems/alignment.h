@@ -1,0 +1,198 @@
+// Sequence-alignment problems beyond the paper's case studies — the
+// bioinformatics workloads its introduction motivates (pairwise alignment):
+// Needleman–Wunsch global alignment and Smith–Waterman local alignment,
+// both anti-diagonal, with host-side traceback for the example programs.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+struct AlignmentScores {
+  std::int32_t match = 2;
+  std::int32_t mismatch = -1;
+  std::int32_t gap = -2;
+};
+
+/// Global alignment with linear gap cost. deps {W, NW, N} — anti-diagonal.
+class NeedlemanWunschProblem {
+ public:
+  using Value = std::int32_t;
+
+  NeedlemanWunschProblem(std::string a, std::string b,
+                         AlignmentScores scores = {})
+      : a_(std::move(a)), b_(std::move(b)), s_(scores) {}
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};
+  }
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0) return static_cast<Value>(j) * s_.gap;
+    if (j == 0) return static_cast<Value>(i) * s_.gap;
+    const Value diag =
+        nb.nw + (a_[i - 1] == b_[j - 1] ? s_.match : s_.mismatch);
+    const Value up = nb.n + s_.gap;
+    const Value left = nb.w + s_.gap;
+    return std::max(diag, std::max(up, left));
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{16.0, 60.0, 20.0}; }
+  std::size_t input_bytes() const { return a_.size() + b_.size(); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+  const AlignmentScores& scores() const { return s_; }
+
+ private:
+  std::string a_, b_;
+  AlignmentScores s_;
+};
+
+/// Local alignment (clamped at zero). deps {W, NW, N} — anti-diagonal.
+class SmithWatermanProblem {
+ public:
+  using Value = std::int32_t;
+
+  SmithWatermanProblem(std::string a, std::string b,
+                       AlignmentScores scores = {})
+      : a_(std::move(a)), b_(std::move(b)), s_(scores) {}
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};
+  }
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0 || j == 0) return 0;
+    const Value diag =
+        nb.nw + (a_[i - 1] == b_[j - 1] ? s_.match : s_.mismatch);
+    const Value up = nb.n + s_.gap;
+    const Value left = nb.w + s_.gap;
+    return std::max<Value>(0, std::max(diag, std::max(up, left)));
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{18.0, 64.0, 20.0}; }
+  std::size_t input_bytes() const { return a_.size() + b_.size(); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+  const AlignmentScores& scores() const { return s_; }
+
+ private:
+  std::string a_, b_;
+  AlignmentScores s_;
+};
+
+/// A pair of gapped strings reconstructed from a solved table.
+struct Alignment {
+  std::string a;      ///< first sequence with '-' gaps
+  std::string b;      ///< second sequence with '-' gaps
+  std::int32_t score = 0;
+};
+
+/// Traceback for Needleman–Wunsch from the bottom-right corner.
+inline Alignment nw_traceback(const NeedlemanWunschProblem& p,
+                              const Grid<std::int32_t>& t) {
+  const AlignmentScores& s = p.scores();
+  Alignment out;
+  std::size_t i = p.rows() - 1, j = p.cols() - 1;
+  out.score = t.at(i, j);
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        t.at(i, j) == t.at(i - 1, j - 1) + (p.a()[i - 1] == p.b()[j - 1]
+                                                ? s.match
+                                                : s.mismatch)) {
+      out.a += p.a()[i - 1];
+      out.b += p.b()[j - 1];
+      --i;
+      --j;
+    } else if (i > 0 && t.at(i, j) == t.at(i - 1, j) + s.gap) {
+      out.a += p.a()[i - 1];
+      out.b += '-';
+      --i;
+    } else {
+      LDDP_CHECK_MSG(j > 0, "traceback stuck: inconsistent table");
+      out.a += '-';
+      out.b += p.b()[j - 1];
+      --j;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+/// Maximum cell of a Smith–Waterman table (the local-alignment score).
+inline std::int32_t sw_best_score(const Grid<std::int32_t>& t) {
+  std::int32_t best = 0;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j) best = std::max(best, t.at(i, j));
+  return best;
+}
+
+/// Local alignment reconstructed from a Smith–Waterman table: walk back
+/// from the maximum cell until a zero cell.
+inline Alignment sw_traceback(const SmithWatermanProblem& p,
+                              const Grid<std::int32_t>& t) {
+  const AlignmentScores& s = p.scores();
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j)
+      if (t.at(i, j) > t.at(bi, bj)) {
+        bi = i;
+        bj = j;
+      }
+  Alignment out;
+  out.score = t.at(bi, bj);
+  std::size_t i = bi, j = bj;
+  while (i > 0 && j > 0 && t.at(i, j) > 0) {
+    const std::int32_t v = t.at(i, j);
+    if (v == t.at(i - 1, j - 1) +
+                 (p.a()[i - 1] == p.b()[j - 1] ? s.match : s.mismatch)) {
+      out.a += p.a()[i - 1];
+      out.b += p.b()[j - 1];
+      --i;
+      --j;
+    } else if (v == t.at(i - 1, j) + s.gap) {
+      out.a += p.a()[i - 1];
+      out.b += '-';
+      --i;
+    } else {
+      LDDP_CHECK_MSG(v == t.at(i, j - 1) + s.gap,
+                     "traceback: inconsistent SW table");
+      out.a += '-';
+      out.b += p.b()[j - 1];
+      --j;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+/// Deterministic random sequence over the given alphabet.
+inline std::string random_sequence(std::size_t length, std::uint64_t seed,
+                                   const std::string& alphabet = "ACGT") {
+  std::string s(length, 'A');
+  Rng rng(seed);
+  for (auto& c : s) c = alphabet[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+  return s;
+}
+
+}  // namespace lddp::problems

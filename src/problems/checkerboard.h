@@ -1,0 +1,104 @@
+// Checkerboard shortest path (Section VI-C, Fig 13) — horizontal pattern,
+// case 2 (contributing set {NW, N, NE}, two-way transfers).
+//
+// Cheapest path from any cell of the first row to each cell, moving
+// diagonally-left, straight, or diagonally-right forward each step. The
+// paper's formulation indexes rows from 1; we use 0-based rows with the
+// identical recurrence (row 0 is the base case).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+class CheckerboardProblem {
+ public:
+  // int32 is ample: path costs are bounded by rows * max_cost (< 2^31 for
+  // any realistic board), and the narrower value halves PCIe traffic.
+  using Value = std::int32_t;
+
+  /// `costs` is the n x n (or n x m) grid of per-cell costs c(i, j).
+  explicit CheckerboardProblem(Grid<std::int32_t> costs)
+      : costs_(std::move(costs)) {}
+
+  std::size_t rows() const { return costs_.rows(); }
+  std::size_t cols() const { return costs_.cols(); }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kNW, Dep::kN, Dep::kNE};  // horizontal case-2
+  }
+
+  /// Out-of-board moves cost "infinity" (kept far from overflow).
+  Value boundary() const {
+    return std::numeric_limits<Value>::max() / 4;
+  }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    const Value c = costs_.at(i, j);
+    if (i == 0) return c;
+    Value best = nb.n;
+    if (nb.nw < best) best = nb.nw;
+    if (nb.ne < best) best = nb.ne;
+    return best + c;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 44.0, 28.0}; }
+  std::size_t input_bytes() const {
+    return costs_.size() * sizeof(std::int32_t);
+  }
+  /// The answer is the minimum over the last row; one row comes back.
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const Grid<std::int32_t>& costs() const { return costs_; }
+
+ private:
+  Grid<std::int32_t> costs_;
+};
+
+/// Deterministic random cost board for the benchmarks.
+inline Grid<std::int32_t> random_cost_board(std::size_t rows,
+                                            std::size_t cols,
+                                            std::uint64_t seed,
+                                            std::int32_t max_cost = 100) {
+  Grid<std::int32_t> g(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      g.at(i, j) = static_cast<std::int32_t>(rng.uniform_int(1, max_cost));
+  return g;
+}
+
+/// Independent serial reference: returns the full table of shortest costs.
+inline Grid<CheckerboardProblem::Value> checkerboard_reference(
+    const Grid<std::int32_t>& costs) {
+  using Value = CheckerboardProblem::Value;
+  const std::size_t n = costs.rows(), m = costs.cols();
+  Grid<Value> t(n, m);
+  for (std::size_t j = 0; j < m; ++j) t.at(0, j) = costs.at(0, j);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      Value best = t.at(i - 1, j);
+      if (j > 0 && t.at(i - 1, j - 1) < best) best = t.at(i - 1, j - 1);
+      if (j + 1 < m && t.at(i - 1, j + 1) < best) best = t.at(i - 1, j + 1);
+      t.at(i, j) = best + costs.at(i, j);
+    }
+  }
+  return t;
+}
+
+/// Cheapest cost of reaching the last row (the checkerboard answer).
+inline CheckerboardProblem::Value checkerboard_best(
+    const Grid<CheckerboardProblem::Value>& table) {
+  CheckerboardProblem::Value best = table.at(table.rows() - 1, 0);
+  for (std::size_t j = 1; j < table.cols(); ++j)
+    best = std::min(best, table.at(table.rows() - 1, j));
+  return best;
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,65 @@
+// Left-to-right shortest path — a Vertical-pattern demo problem
+// (contributing set {W, NW}): cheapest path entering at any cell of the
+// first column and moving right or diagonally right-down each step.
+// Exercises the framework's transpose-symmetry path (Section III).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+
+namespace lddp::problems {
+
+class ColumnMinPathProblem {
+ public:
+  using Value = std::int64_t;
+
+  explicit ColumnMinPathProblem(Grid<std::int32_t> costs)
+      : costs_(std::move(costs)) {}
+
+  std::size_t rows() const { return costs_.rows(); }
+  std::size_t cols() const { return costs_.cols(); }
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW};  // Vertical pattern
+  }
+  Value boundary() const { return std::numeric_limits<Value>::max() / 4; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    const Value c = costs_.at(i, j);
+    if (j == 0) return c;
+    return (nb.w < nb.nw ? nb.w : nb.nw) + c;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 24.0}; }
+  std::size_t input_bytes() const {
+    return costs_.size() * sizeof(std::int32_t);
+  }
+  /// The answer is the minimum over the last column; one column comes back.
+  std::size_t result_bytes() const { return rows() * sizeof(Value); }
+
+  const Grid<std::int32_t>& costs() const { return costs_; }
+
+ private:
+  Grid<std::int32_t> costs_;
+};
+
+/// Serial reference (column sweep).
+inline Grid<std::int64_t> column_min_reference(
+    const Grid<std::int32_t>& costs) {
+  const std::size_t n = costs.rows(), m = costs.cols();
+  Grid<std::int64_t> t(n, m);
+  for (std::size_t i = 0; i < n; ++i) t.at(i, 0) = costs.at(i, 0);
+  for (std::size_t j = 1; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t best = t.at(i, j - 1);
+      if (i > 0 && t.at(i - 1, j - 1) < best) best = t.at(i - 1, j - 1);
+      t.at(i, j) = best + costs.at(i, j);
+    }
+  }
+  return t;
+}
+
+}  // namespace lddp::problems

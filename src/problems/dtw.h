@@ -1,0 +1,90 @@
+// Dynamic time warping — the speech-processing LDDP workload the paper's
+// introduction cites ([2]). Anti-diagonal pattern; real-valued series.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/problem.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+class DtwProblem {
+ public:
+  using Value = double;
+
+  /// `band` > 0 restricts the warp to the Sakoe-Chiba band |i - j| <= band;
+  /// 0 means unconstrained.
+  DtwProblem(std::vector<double> a, std::vector<double> b,
+             std::size_t band = 0)
+      : a_(std::move(a)), b_(std::move(b)), band_(band) {
+    LDDP_CHECK_MSG(!a_.empty() && !b_.empty(), "DTW needs non-empty series");
+  }
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};
+  }
+  Value boundary() const { return 0.0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0 && j == 0) return 0.0;
+    if (i == 0 || j == 0) return std::numeric_limits<double>::infinity();
+    if (band_ > 0) {
+      const std::size_t d = i > j ? i - j : j - i;
+      if (d > band_) return std::numeric_limits<double>::infinity();
+    }
+    const double cost = std::abs(a_[i - 1] - b_[j - 1]);
+    return cost + std::min(nb.w, std::min(nb.nw, nb.n));
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{16.0, 56.0, 36.0}; }
+  std::size_t input_bytes() const {
+    return (a_.size() + b_.size()) * sizeof(double);
+  }
+  /// The warp cost is the bottom-right cell; one row comes back.
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  std::size_t band() const { return band_; }
+
+ private:
+  std::vector<double> a_, b_;
+  std::size_t band_ = 0;
+};
+
+/// Deterministic random walk series for benchmarks and tests.
+inline std::vector<double> random_walk_series(std::size_t length,
+                                              std::uint64_t seed) {
+  std::vector<double> s(length);
+  Rng rng(seed);
+  double v = 0.0;
+  for (auto& x : s) {
+    v += rng.uniform_double(-1.0, 1.0);
+    x = v;
+  }
+  return s;
+}
+
+/// Independent two-row serial DTW reference.
+inline double dtw_reference(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(b.size() + 1, inf), cur(b.size() + 1, inf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = inf;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      cur[j] = cost + std::min(prev[j - 1], std::min(prev[j], cur[j - 1]));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace lddp::problems

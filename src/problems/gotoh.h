@@ -1,0 +1,207 @@
+// Global alignment with affine gap costs (Gotoh's algorithm) — the
+// "pairwise sequence alignment with affine gap cost" workload the paper's
+// introduction cites from Chowdhury & Ramachandran [8].
+//
+// Three mutually-recursive tables (M: match/mismatch ending, X: gap in b,
+// Y: gap in a) are fused into one LDDP-Plus table whose Value carries all
+// three scores; the cell update reads W, NW and N exactly once each, so
+// the problem is a regular anti-diagonal LDDP-Plus instance:
+//
+//   M(i,j) = max(M, X, Y)(i-1, j-1) + sub(a_i, b_j)
+//   X(i,j) = max(M(i, j-1) - open,  X(i, j-1) - extend)
+//   Y(i,j) = max(M(i-1, j) - open,  Y(i-1, j) - extend)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/check.h"
+
+namespace lddp::problems {
+
+struct AffineScores {
+  std::int32_t match = 2;
+  std::int32_t mismatch = -1;
+  std::int32_t gap_open = -4;    ///< charged on the first residue of a gap
+  std::int32_t gap_extend = -1;  ///< charged on each further residue
+};
+
+/// The three Gotoh states; kNegInf stands for "state unreachable".
+struct GotohCell {
+  std::int32_t m;
+  std::int32_t x;  ///< gap in b (horizontal move)
+  std::int32_t y;  ///< gap in a (vertical move)
+
+  static constexpr std::int32_t kNegInf = INT32_MIN / 4;
+
+  std::int32_t best() const { return std::max(m, std::max(x, y)); }
+  bool operator==(const GotohCell&) const = default;
+};
+static_assert(std::is_trivially_copyable_v<GotohCell>);
+
+class GotohProblem {
+ public:
+  using Value = GotohCell;
+
+  GotohProblem(std::string a, std::string b, AffineScores scores = {})
+      : a_(std::move(a)), b_(std::move(b)), s_(scores) {}
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};  // anti-diagonal
+  }
+
+  Value boundary() const {
+    return GotohCell{GotohCell::kNegInf, GotohCell::kNegInf,
+                     GotohCell::kNegInf};
+  }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    GotohCell c;
+    if (i == 0 && j == 0) return GotohCell{0, GotohCell::kNegInf,
+                                           GotohCell::kNegInf};
+    if (i == 0) {
+      // Only a gap in a can reach the top edge.
+      c.m = GotohCell::kNegInf;
+      c.y = GotohCell::kNegInf;
+      c.x = s_.gap_open +
+            static_cast<std::int32_t>(j - 1) * s_.gap_extend;
+      return c;
+    }
+    if (j == 0) {
+      c.m = GotohCell::kNegInf;
+      c.x = GotohCell::kNegInf;
+      c.y = s_.gap_open +
+            static_cast<std::int32_t>(i - 1) * s_.gap_extend;
+      return c;
+    }
+    const std::int32_t sub =
+        a_[i - 1] == b_[j - 1] ? s_.match : s_.mismatch;
+    c.m = nb.nw.best() + sub;
+    c.x = std::max(std::max(nb.w.m, nb.w.y) + s_.gap_open,
+                   nb.w.x + s_.gap_extend);
+    c.y = std::max(std::max(nb.n.m, nb.n.x) + s_.gap_open,
+                   nb.n.y + s_.gap_extend);
+    return c;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{26.0, 90.0, 56.0}; }
+  std::size_t input_bytes() const { return a_.size() + b_.size(); }
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+  const AffineScores& scores() const { return s_; }
+
+ private:
+  std::string a_, b_;
+  AffineScores s_;
+};
+
+/// Alignment score from a solved table.
+inline std::int32_t gotoh_score(const Grid<GotohCell>& t) {
+  return t.at(t.rows() - 1, t.cols() - 1).best();
+}
+
+/// Gapped alignment reconstructed from a solved Gotoh table by replaying
+/// the three-state recurrence backwards.
+struct GotohAlignment {
+  std::string a, b;  ///< with '-' gaps
+  std::int32_t score = 0;
+};
+
+inline GotohAlignment gotoh_traceback(const GotohProblem& p,
+                                      const Grid<GotohCell>& t) {
+  const AffineScores& s = p.scores();
+  GotohAlignment out;
+  std::size_t i = p.rows() - 1, j = p.cols() - 1;
+  const GotohCell& corner = t.at(i, j);
+  out.score = corner.best();
+  // Current state: 0 = M, 1 = X (gap in a's row, consumes b), 2 = Y.
+  int state = corner.m >= corner.x && corner.m >= corner.y ? 0
+              : corner.x >= corner.y                       ? 1
+                                                           : 2;
+  while (i > 0 || j > 0) {
+    if (state == 0) {
+      LDDP_CHECK_MSG(i > 0 && j > 0, "traceback: M state at table edge");
+      out.a += p.a()[i - 1];
+      out.b += p.b()[j - 1];
+      const GotohCell& prev = t.at(i - 1, j - 1);
+      const std::int32_t need =
+          t.at(i, j).m -
+          (p.a()[i - 1] == p.b()[j - 1] ? s.match : s.mismatch);
+      state = prev.m == need ? 0 : prev.x == need ? 1 : 2;
+      LDDP_CHECK_MSG(prev.best() == need || prev.m == need ||
+                         prev.x == need || prev.y == need,
+                     "traceback: inconsistent M predecessor");
+      --i;
+      --j;
+    } else if (state == 1) {
+      LDDP_CHECK_MSG(j > 0, "traceback: X state at left edge");
+      out.a += '-';
+      out.b += p.b()[j - 1];
+      const GotohCell& prev = t.at(i, j - 1);
+      const std::int32_t x = t.at(i, j).x;
+      state = prev.x + s.gap_extend == x ? 1
+              : prev.m + s.gap_open == x ? 0
+                                         : 2;
+      --j;
+    } else {
+      LDDP_CHECK_MSG(i > 0, "traceback: Y state at top edge");
+      out.a += p.a()[i - 1];
+      out.b += '-';
+      const GotohCell& prev = t.at(i - 1, j);
+      const std::int32_t y = t.at(i, j).y;
+      state = prev.y + s.gap_extend == y ? 2
+              : prev.m + s.gap_open == y ? 0
+                                         : 1;
+      --i;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+/// Independent two-row serial reference (classic three-array Gotoh).
+inline std::int32_t gotoh_reference(const std::string& a,
+                                    const std::string& b,
+                                    AffineScores s = {}) {
+  constexpr std::int32_t kNegInf = GotohCell::kNegInf;
+  const std::size_t m = b.size();
+  std::vector<std::int32_t> pm(m + 1), px(m + 1), py(m + 1);
+  std::vector<std::int32_t> cm(m + 1), cx(m + 1), cy(m + 1);
+  pm[0] = 0;
+  px[0] = py[0] = kNegInf;
+  for (std::size_t j = 1; j <= m; ++j) {
+    pm[j] = kNegInf;
+    py[j] = kNegInf;
+    px[j] = s.gap_open + static_cast<std::int32_t>(j - 1) * s.gap_extend;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cm[0] = kNegInf;
+    cx[0] = kNegInf;
+    cy[0] = s.gap_open + static_cast<std::int32_t>(i - 1) * s.gap_extend;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::int32_t sub = a[i - 1] == b[j - 1] ? s.match : s.mismatch;
+      cm[j] = std::max(pm[j - 1], std::max(px[j - 1], py[j - 1])) + sub;
+      cx[j] = std::max(std::max(cm[j - 1], cy[j - 1]) + s.gap_open,
+                       cx[j - 1] + s.gap_extend);
+      cy[j] = std::max(std::max(pm[j], px[j]) + s.gap_open,
+                       py[j] + s.gap_extend);
+    }
+    std::swap(pm, cm);
+    std::swap(px, cx);
+    std::swap(py, cy);
+  }
+  return std::max(pm[m], std::max(px[m], py[m]));
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,130 @@
+// Image substrate for the Floyd–Steinberg case study: 8-bit grayscale
+// images, PGM (P5/P2) I/O, and deterministic synthetic generators standing
+// in for the paper's test images (any image of the right size exercises the
+// identical dependency structure — dithering touches every pixel once).
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tables/grid.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+using GrayImage = Grid<std::uint8_t>;
+
+/// Linear horizontal+vertical gradient — smooth ramps are the classic
+/// dithering stress case (banding without error diffusion).
+inline GrayImage gradient_image(std::size_t rows, std::size_t cols) {
+  GrayImage img(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      img.at(i, j) = static_cast<std::uint8_t>(
+          (i * 255 / (rows > 1 ? rows - 1 : 1) +
+           j * 255 / (cols > 1 ? cols - 1 : 1)) /
+          2);
+  return img;
+}
+
+/// Band-limited pseudo-random "plasma": sums of integer sinusoids, fully
+/// deterministic in the seed.
+inline GrayImage plasma_image(std::size_t rows, std::size_t cols,
+                              std::uint64_t seed) {
+  GrayImage img(rows, cols);
+  Rng rng(seed);
+  const double fx1 = rng.uniform_double(0.01, 0.08);
+  const double fy1 = rng.uniform_double(0.01, 0.08);
+  const double fx2 = rng.uniform_double(0.002, 0.02);
+  const double fy2 = rng.uniform_double(0.002, 0.02);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = 0.5 + 0.25 * std::sin(fx1 * static_cast<double>(j) +
+                                             fy1 * static_cast<double>(i)) +
+                       0.25 * std::sin(fx2 * static_cast<double>(j) -
+                                       fy2 * static_cast<double>(i));
+      img.at(i, j) = static_cast<std::uint8_t>(
+          std::min(255.0, std::max(0.0, v * 255.0)));
+    }
+  }
+  return img;
+}
+
+/// Uniform noise image.
+inline GrayImage noise_image(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  GrayImage img(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      img.at(i, j) = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return img;
+}
+
+/// Writes a binary PGM (P5).
+inline void write_pgm(const GrayImage& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  LDDP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "P5\n" << img.cols() << ' ' << img.rows() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+  LDDP_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+/// Reads a PGM in either P5 (binary) or P2 (ASCII) form.
+inline GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LDDP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string magic;
+  in >> magic;
+  LDDP_CHECK_MSG(magic == "P5" || magic == "P2",
+                 path << ": unsupported PGM magic '" << magic << "'");
+  // Skip whitespace and '#' comment lines between header tokens.
+  auto next_int = [&in, &path]() -> long {
+    for (;;) {
+      int c = in.peek();
+      if (c == '#') {
+        std::string line;
+        std::getline(in, line);
+      } else if (std::isspace(c)) {
+        in.get();
+      } else {
+        break;
+      }
+      LDDP_CHECK_MSG(in.good(), path << ": truncated PGM header");
+    }
+    long v = 0;
+    in >> v;
+    LDDP_CHECK_MSG(in.good(), path << ": malformed PGM header");
+    return v;
+  };
+  const long w = next_int(), h = next_int(), maxval = next_int();
+  LDDP_CHECK_MSG(w > 0 && h > 0, path << ": bad dimensions");
+  LDDP_CHECK_MSG(maxval > 0 && maxval <= 255,
+                 path << ": only 8-bit PGM supported");
+  GrayImage img(static_cast<std::size_t>(h), static_cast<std::size_t>(w));
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    in.read(reinterpret_cast<char*>(img.data()),
+            static_cast<std::streamsize>(img.size()));
+    LDDP_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(img.size()),
+                   path << ": truncated PGM data");
+  } else {
+    for (std::size_t i = 0; i < img.rows(); ++i)
+      for (std::size_t j = 0; j < img.cols(); ++j) {
+        long v = 0;
+        in >> v;
+        LDDP_CHECK_MSG(in.good() || in.eof(), path << ": truncated P2 data");
+        img.at(i, j) = static_cast<std::uint8_t>(v);
+      }
+  }
+  return img;
+}
+
+}  // namespace lddp::problems

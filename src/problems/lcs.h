@@ -1,0 +1,90 @@
+// Longest common subsequence — anti-diagonal pattern; the workload of the
+// paper's Fig 7 tuning curve (LCS on a 4k x 4k table).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace lddp::problems {
+
+class LcsProblem {
+ public:
+  using Value = std::int32_t;
+
+  LcsProblem(std::string a, std::string b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};
+  }
+
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0 || j == 0) return 0;
+    if (a_[i - 1] == b_[j - 1]) return nb.nw + 1;
+    return nb.w > nb.n ? nb.w : nb.n;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 48.0, 20.0}; }
+  std::size_t input_bytes() const { return a_.size() + b_.size(); }
+  /// The LCS length is the bottom-right cell; one row comes back.
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_, b_;
+};
+
+/// Recovers one longest common subsequence from a solved table.
+inline std::string lcs_traceback(const LcsProblem& p,
+                                 const Grid<std::int32_t>& t) {
+  std::string out;
+  std::size_t i = p.rows() - 1, j = p.cols() - 1;
+  while (i > 0 && j > 0) {
+    if (p.a()[i - 1] == p.b()[j - 1]) {
+      out += p.a()[i - 1];
+      --i;
+      --j;
+    } else if (t.at(i - 1, j) >= t.at(i, j - 1)) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+/// True if `sub` is a subsequence of `s`.
+inline bool is_subsequence(const std::string& sub, const std::string& s) {
+  std::size_t k = 0;
+  for (char c : s)
+    if (k < sub.size() && c == sub[k]) ++k;
+  return k == sub.size();
+}
+
+/// Independent two-row serial reference for the LCS length.
+inline std::int32_t lcs_reference(const std::string& a, const std::string& b) {
+  std::vector<std::int32_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = a[i - 1] == b[j - 1] ? prev[j - 1] + 1
+                                    : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,85 @@
+// Longest common subsequence of THREE sequences — the 3-D LDDP-Plus case
+// study (bioinformatics' median-of-three alignment core):
+//
+//   L(i,j,k) = a_i == b_j == c_k ? L(i-1,j-1,k-1) + 1
+//                                : max(L(i-1,j,k), L(i,j-1,k), L(i,j,k-1))
+//
+// Contributing set { (1,1,1), (1,0,0), (0,1,0), (0,0,1) }.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem3.h"
+#include "tables/grid3.h"
+
+namespace lddp::problems {
+
+class Lcs3Problem {
+ public:
+  using Value = std::int32_t;
+
+  Lcs3Problem(std::string a, std::string b, std::string c)
+      : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)) {}
+
+  std::size_t ni() const { return a_.size() + 1; }
+  std::size_t nj() const { return b_.size() + 1; }
+  std::size_t nk() const { return c_.size() + 1; }
+
+  ContributingSet3 deps() const {
+    return ContributingSet3{Dep3::kD111, Dep3::kD100, Dep3::kD010,
+                            Dep3::kD001};
+  }
+
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j, std::size_t k,
+                const Neighbors3<Value>& nb) const {
+    if (i == 0 || j == 0 || k == 0) return 0;
+    if (a_[i - 1] == b_[j - 1] && b_[j - 1] == c_[k - 1])
+      return nb.d111 + 1;
+    return std::max(nb.d100, std::max(nb.d010, nb.d001));
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{16.0, 56.0, 24.0}; }
+  std::size_t input_bytes() const {
+    return a_.size() + b_.size() + c_.size();
+  }
+  std::size_t result_bytes() const { return nj() * nk() * sizeof(Value); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+  const std::string& c() const { return c_; }
+
+ private:
+  std::string a_, b_, c_;
+};
+
+/// Independent two-plane serial reference for the 3-way LCS length.
+inline std::int32_t lcs3_reference(const std::string& a, const std::string& b,
+                                   const std::string& c) {
+  const std::size_t nj = b.size() + 1, nk = c.size() + 1;
+  std::vector<std::int32_t> prev(nj * nk, 0), cur(nj * nk, 0);
+  auto at = [nk](std::vector<std::int32_t>& v, std::size_t j,
+                 std::size_t k) -> std::int32_t& { return v[j * nk + k]; };
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      for (std::size_t k = 1; k <= c.size(); ++k) {
+        if (a[i - 1] == b[j - 1] && b[j - 1] == c[k - 1]) {
+          at(cur, j, k) = at(prev, j - 1, k - 1) + 1;
+        } else {
+          at(cur, j, k) = std::max(at(prev, j, k),
+                                   std::max(at(cur, j - 1, k),
+                                            at(cur, j, k - 1)));
+        }
+      }
+    }
+    std::swap(prev, cur);
+    std::fill(cur.begin(), cur.end(), 0);
+  }
+  return prev[(nj - 1) * nk + (nk - 1)];
+}
+
+}  // namespace lddp::problems

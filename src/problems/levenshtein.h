@@ -1,0 +1,81 @@
+// Levenshtein distance (Section VI-A, Fig 10) — anti-diagonal pattern.
+//
+// f follows the paper's formulation: the base cases (min(i,j) == 0) are
+// encoded inside f itself, so every cell of the (|a|+1) x (|b|+1) table is
+// computed by the framework.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace lddp::problems {
+
+class LevenshteinProblem {
+ public:
+  using Value = std::int32_t;
+
+  LevenshteinProblem(std::string a, std::string b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::size_t rows() const { return a_.size() + 1; }
+  std::size_t cols() const { return b_.size() + 1; }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};  // anti-diagonal
+  }
+
+  Value boundary() const { return 0; }  // never read: f handles the edges
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0 || j == 0) return static_cast<Value>(i > j ? i : j);
+    if (a_[i - 1] == b_[j - 1]) return nb.nw;
+    const Value del = nb.n + 1;
+    const Value ins = nb.w + 1;
+    const Value sub = nb.nw + 1;
+    Value best = del < ins ? del : ins;
+    return sub < best ? sub : best;
+  }
+
+  cpu::WorkProfile work() const {
+    return cpu::WorkProfile{14.0, 56.0, 20.0};
+  }
+
+  std::size_t input_bytes() const { return a_.size() + b_.size(); }
+
+  /// The distance is the bottom-right cell; a consumer downloads one row.
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_, b_;
+};
+
+/// Textbook two-row serial implementation — an independent reference the
+/// framework's serial scan is itself validated against.
+inline std::int32_t levenshtein_reference(const std::string& a,
+                                          const std::string& b) {
+  const std::size_t m = b.size();
+  std::vector<std::int32_t> prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<std::int32_t>(j);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<std::int32_t>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1];
+      } else {
+        cur[j] = 1 + std::min(prev[j - 1], std::min(prev[j], cur[j - 1]));
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace lddp::problems

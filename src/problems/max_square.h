@@ -1,0 +1,90 @@
+// Maximal all-ones square — the classic "largest square sub-matrix"
+// DP: side(i,j) = grid(i,j) ? 1 + min(side(W), side(NW), side(N)) : 0.
+// Contributing set {W, NW, N} — anti-diagonal pattern.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+class MaxSquareProblem {
+ public:
+  using Value = std::int32_t;
+
+  explicit MaxSquareProblem(Grid<std::uint8_t> bits)
+      : bits_(std::move(bits)) {}
+
+  std::size_t rows() const { return bits_.rows(); }
+  std::size_t cols() const { return bits_.cols(); }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kW, Dep::kNW, Dep::kN};
+  }
+
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (!bits_.at(i, j)) return 0;
+    if (i == 0 || j == 0) return 1;
+    return 1 + std::min(nb.w, std::min(nb.nw, nb.n));
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 17.0}; }
+  std::size_t input_bytes() const { return bits_.size(); }
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const Grid<std::uint8_t>& bits() const { return bits_; }
+
+ private:
+  Grid<std::uint8_t> bits_;
+};
+
+/// Random 0/1 grid with the given fill probability.
+inline Grid<std::uint8_t> random_bit_grid(std::size_t rows, std::size_t cols,
+                                          std::uint64_t seed,
+                                          double p_one = 0.7) {
+  Grid<std::uint8_t> g(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      g.at(i, j) = rng.uniform01() < p_one ? 1 : 0;
+  return g;
+}
+
+/// Largest square side from a solved table.
+inline std::int32_t max_square_side(const Grid<std::int32_t>& t) {
+  std::int32_t best = 0;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    for (std::size_t j = 0; j < t.cols(); ++j)
+      best = std::max(best, t.at(i, j));
+  return best;
+}
+
+/// Brute-force reference: checks every candidate square (small inputs).
+inline std::int32_t max_square_brute_force(const Grid<std::uint8_t>& g) {
+  const std::size_t n = g.rows(), m = g.cols();
+  std::int32_t best = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t limit = std::min(n - i, m - j);
+      for (std::size_t side = static_cast<std::size_t>(best) + 1;
+           side <= limit; ++side) {
+        bool all_ones = true;
+        for (std::size_t di = 0; di < side && all_ones; ++di)
+          for (std::size_t dj = 0; dj < side && all_ones; ++dj)
+            all_ones = g.at(i + di, j + dj) != 0;
+        if (!all_ones) break;
+        best = static_cast<std::int32_t>(side);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,124 @@
+// Seam carving (content-aware image resizing, Avidan & Shamir) — another
+// image workload with the checkerboard dependency structure: the cheapest
+// vertical seam minimizes accumulated energy with moves {NW, N, NE}, i.e.
+// horizontal pattern case-2.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/problem.h"
+#include "problems/image.h"
+#include "tables/grid.h"
+
+namespace lddp::problems {
+
+/// Dual-gradient energy of a grayscale image (absolute central
+/// differences, clamped at the borders).
+inline Grid<std::int32_t> dual_gradient_energy(const GrayImage& img) {
+  const std::size_t n = img.rows(), m = img.cols();
+  Grid<std::int32_t> e(n, m);
+  auto at = [&](std::size_t i, std::size_t j) {
+    return static_cast<std::int32_t>(img.at(i, j));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int32_t dx =
+          at(i, j + 1 < m ? j + 1 : j) - at(i, j > 0 ? j - 1 : j);
+      const std::int32_t dy =
+          at(i + 1 < n ? i + 1 : i, j) - at(i > 0 ? i - 1 : i, j);
+      e.at(i, j) = std::abs(dx) + std::abs(dy);
+    }
+  }
+  return e;
+}
+
+/// Accumulated-seam-energy DP over an energy grid.
+class SeamCarveProblem {
+ public:
+  using Value = std::int32_t;
+
+  explicit SeamCarveProblem(Grid<std::int32_t> energy)
+      : energy_(std::move(energy)) {}
+
+  std::size_t rows() const { return energy_.rows(); }
+  std::size_t cols() const { return energy_.cols(); }
+
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kNW, Dep::kN, Dep::kNE};  // horizontal case-2
+  }
+
+  Value boundary() const { return std::numeric_limits<Value>::max() / 4; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    const Value e = energy_.at(i, j);
+    if (i == 0) return e;
+    Value best = nb.n;
+    if (nb.nw < best) best = nb.nw;
+    if (nb.ne < best) best = nb.ne;
+    return best + e;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 44.0, 24.0}; }
+  std::size_t input_bytes() const {
+    return energy_.size() * sizeof(std::int32_t);
+  }
+  std::size_t result_bytes() const {
+    // Seam extraction walks the whole accumulated table back up.
+    return rows() * cols() * sizeof(Value);
+  }
+
+  const Grid<std::int32_t>& energy() const { return energy_; }
+
+ private:
+  Grid<std::int32_t> energy_;
+};
+
+/// Minimal vertical seam (one column index per row) from a solved table.
+inline std::vector<std::size_t> extract_seam(const Grid<std::int32_t>& t) {
+  const std::size_t n = t.rows(), m = t.cols();
+  std::vector<std::size_t> seam(n);
+  std::size_t j = 0;
+  for (std::size_t k = 1; k < m; ++k)
+    if (t.at(n - 1, k) < t.at(n - 1, j)) j = k;
+  seam[n - 1] = j;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::size_t best = j;
+    if (j > 0 && t.at(i - 1, j - 1) < t.at(i - 1, best)) best = j - 1;
+    if (j + 1 < m && t.at(i - 1, j + 1) < t.at(i - 1, best)) best = j + 1;
+    j = best;
+    seam[i - 1] = j;
+  }
+  return seam;
+}
+
+/// Removes a vertical seam from an image (one pixel per row).
+inline GrayImage remove_seam(const GrayImage& img,
+                             const std::vector<std::size_t>& seam) {
+  LDDP_CHECK(seam.size() == img.rows());
+  LDDP_CHECK_MSG(img.cols() > 1, "cannot carve a single-column image");
+  GrayImage out(img.rows(), img.cols() - 1);
+  for (std::size_t i = 0; i < img.rows(); ++i) {
+    LDDP_CHECK(seam[i] < img.cols());
+    std::size_t jj = 0;
+    for (std::size_t j = 0; j < img.cols(); ++j) {
+      if (j == seam[i]) continue;
+      out.at(i, jj++) = img.at(i, j);
+    }
+  }
+  return out;
+}
+
+/// Total energy of a seam over the energy grid (for verification).
+inline std::int64_t seam_energy(const Grid<std::int32_t>& energy,
+                                const std::vector<std::size_t>& seam) {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < seam.size(); ++i) sum += energy.at(i, seam[i]);
+  return sum;
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,141 @@
+// The paper's synthetic kernels and a generic user-defined problem.
+//
+// * MaxNwProblem   — f(i,j) = max(cell(i,j), f(i-1,j-1)) + c, contributing
+//   set {NW}: the inverted-L workload of Fig 8 (Section V-B).
+// * MinNwNProblem  — f(i,j) = min(f(i-1,j-1), f(i-1,j)) + c, contributing
+//   set {NW, N}: the horizontal case-1 workload of Figs 8 and 9.
+// * FunctionProblem — wraps any callable + contributing set into an
+//   LddpProblem; the "user supplies only f" entry point of Section V-C and
+//   the engine of the exhaustive property tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/problem.h"
+#include "tables/grid.h"
+#include "util/rng.h"
+
+namespace lddp::problems {
+
+/// Inverted-L synthetic: deps {NW}.
+class MaxNwProblem {
+ public:
+  using Value = std::int64_t;
+
+  MaxNwProblem(Grid<std::int32_t> input, Value c) : input_(std::move(input)), c_(c) {}
+
+  std::size_t rows() const { return input_.rows(); }
+  std::size_t cols() const { return input_.cols(); }
+  ContributingSet deps() const { return ContributingSet{Dep::kNW}; }
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    const Value v = input_.at(i, j);
+    return (v > nb.nw ? v : nb.nw) + c_;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 24.0}; }
+  std::size_t input_bytes() const {
+    return input_.size() * sizeof(std::int32_t);
+  }
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+ private:
+  Grid<std::int32_t> input_;
+  Value c_;
+};
+
+/// Horizontal case-1 synthetic: deps {NW, N}.
+class MinNwNProblem {
+ public:
+  // Values grow by c per row from a base < 17 — int32 is ample.
+  using Value = std::int32_t;
+
+  MinNwNProblem(std::size_t rows, std::size_t cols, Value c)
+      : rows_(rows), cols_(cols), c_(c) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  ContributingSet deps() const {
+    return ContributingSet{Dep::kNW, Dep::kN};
+  }
+  Value boundary() const { return 0; }
+
+  Value compute(std::size_t i, std::size_t j,
+                const Neighbors<Value>& nb) const {
+    if (i == 0) return static_cast<Value>(j % 17);  // deterministic base row
+    return (nb.nw < nb.n ? nb.nw : nb.n) + c_;
+  }
+
+  cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 20.0}; }
+  std::size_t input_bytes() const { return 0; }
+  std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+ private:
+  std::size_t rows_, cols_;
+  Value c_;
+};
+
+/// Adapts any callable f(i, j, Neighbors<V>) -> V into an LddpProblem.
+template <typename V, typename F>
+class FunctionProblem {
+ public:
+  using Value = V;
+
+  FunctionProblem(std::size_t rows, std::size_t cols, ContributingSet deps,
+                  V bound, F f, cpu::WorkProfile work = cpu::WorkProfile{})
+      : rows_(rows),
+        cols_(cols),
+        deps_(deps),
+        bound_(bound),
+        f_(std::move(f)),
+        work_(work) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  ContributingSet deps() const { return deps_; }
+  V boundary() const { return bound_; }
+  V compute(std::size_t i, std::size_t j, const Neighbors<V>& nb) const {
+    return f_(i, j, nb);
+  }
+  cpu::WorkProfile work() const { return work_; }
+  std::size_t input_bytes() const { return 0; }
+  std::size_t result_bytes() const { return result_bytes_; }
+
+  /// Overrides the priced result download (defaults to the full table).
+  void set_result_bytes(std::size_t bytes) { result_bytes_ = bytes; }
+
+ private:
+  std::size_t rows_, cols_;
+  ContributingSet deps_;
+  V bound_;
+  F f_;
+  cpu::WorkProfile work_;
+  std::size_t result_bytes_ = rows_ * cols_ * sizeof(V);
+};
+
+template <typename V, typename F>
+FunctionProblem<V, F> make_function_problem(std::size_t rows,
+                                            std::size_t cols,
+                                            ContributingSet deps, V bound,
+                                            F f) {
+  return FunctionProblem<V, F>(rows, cols, deps, bound, std::move(f));
+}
+
+/// Deterministic random input grid for the synthetic problems.
+inline Grid<std::int32_t> random_input_grid(std::size_t rows,
+                                            std::size_t cols,
+                                            std::uint64_t seed,
+                                            std::int32_t lo = 0,
+                                            std::int32_t hi = 1000) {
+  Grid<std::int32_t> g(rows, cols);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      g.at(i, j) = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+  return g;
+}
+
+}  // namespace lddp::problems

@@ -1,0 +1,47 @@
+#include "sim/coalescing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp::sim {
+
+std::size_t warp_transactions(std::span<const std::size_t> byte_offsets,
+                              std::size_t segment_bytes) {
+  LDDP_CHECK(segment_bytes > 0);
+  if (byte_offsets.empty()) return 0;
+  std::vector<std::size_t> segments;
+  segments.reserve(byte_offsets.size());
+  for (std::size_t off : byte_offsets) segments.push_back(off / segment_bytes);
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  return segments.size();
+}
+
+std::size_t strided_warp_transactions(std::size_t elem_bytes,
+                                      std::size_t stride_elems, int warp_size,
+                                      std::size_t segment_bytes) {
+  LDDP_CHECK(elem_bytes > 0 && warp_size > 0);
+  std::vector<std::size_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(warp_size));
+  for (int lane = 0; lane < warp_size; ++lane) {
+    offsets.push_back(static_cast<std::size_t>(lane) * stride_elems *
+                      elem_bytes);
+  }
+  return warp_transactions(offsets, segment_bytes);
+}
+
+double coalescing_amplification(std::size_t elem_bytes,
+                                std::size_t stride_elems, int warp_size,
+                                std::size_t segment_bytes) {
+  const std::size_t actual = strided_warp_transactions(
+      elem_bytes, stride_elems, warp_size, segment_bytes);
+  const std::size_t best =
+      strided_warp_transactions(elem_bytes, 1, warp_size, segment_bytes);
+  LDDP_CHECK(best > 0);
+  return static_cast<double>(actual) / static_cast<double>(best);
+}
+
+}  // namespace lddp::sim

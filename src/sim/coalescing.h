@@ -1,0 +1,39 @@
+// Global-memory coalescing model (Section IV-B of the paper).
+//
+// A warp's 32 lanes issue their loads/stores together; the memory system
+// services them in fixed-size segments (128 B on Kepler). When the lanes
+// touch consecutive addresses the warp needs ceil(32*elem/128) segments —
+// the "coalesced" best case the paper achieves by storing each wavefront
+// contiguously. When lanes stride across rows of a row-major table, every
+// lane can hit its own segment, multiplying the traffic by up to 32x.
+//
+// This module turns an access pattern into a transaction count; the kernel
+// timing model converts transactions into simulated memory time, making the
+// layout choice *measurable* in the reproduced figures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lddp::sim {
+
+/// Number of `segment_bytes`-sized, segment-aligned transactions needed to
+/// service one warp whose lanes access the given byte offsets.
+/// Offsets need not be sorted or distinct (inactive lanes: pass no offset).
+std::size_t warp_transactions(std::span<const std::size_t> byte_offsets,
+                              std::size_t segment_bytes);
+
+/// Transactions per warp when lanes access elements of `elem_bytes` at a
+/// constant stride of `stride_elems` elements (stride 1 == fully coalesced).
+std::size_t strided_warp_transactions(std::size_t elem_bytes,
+                                      std::size_t stride_elems,
+                                      int warp_size,
+                                      std::size_t segment_bytes);
+
+/// Memory-traffic amplification factor for a strided pattern relative to
+/// the coalesced one: 1.0 when stride==1, up to warp_size for huge strides.
+double coalescing_amplification(std::size_t elem_bytes,
+                                std::size_t stride_elems, int warp_size,
+                                std::size_t segment_bytes);
+
+}  // namespace lddp::sim

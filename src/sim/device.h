@@ -1,0 +1,208 @@
+// Simulated CUDA-like device: streams, events, async copies, kernel launch.
+//
+// Semantics mirror the CUDA 5.0 model the paper uses:
+//  * operations enqueued on one stream execute in FIFO order;
+//  * operations on different streams may overlap (kernel with copy, copy
+//    with copy when the device has two DMA engines);
+//  * `stream_wait` is cudaStreamWaitEvent: the next op on the stream waits
+//    for the given operation (any op id doubles as an event).
+//
+// Real execution is *eager*: a memcpy performs the byte copy and a launch
+// runs the functor over all cells (optionally on the host thread pool)
+// before returning. Because the caller issues operations in dependency
+// order, eager execution is a valid linearization, so results are always
+// bit-correct. The *simulated* schedule, with all its overlap, is recorded
+// on the shared Timeline and provides the reproduced timing numbers.
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "cpu/thread_pool.h"
+#include "sim/device_spec.h"
+#include "sim/kernel.h"
+#include "sim/memory.h"
+#include "sim/timeline.h"
+#include "util/check.h"
+
+namespace lddp::sim {
+
+class Device {
+ public:
+  using StreamId = std::size_t;
+
+  /// `pool` may be null: kernels then run serially on the calling thread.
+  /// The Timeline must outlive the Device. `name` prefixes the device's
+  /// timeline resources (distinguishes devices on multi-accelerator
+  /// platforms).
+  Device(GpuSpec spec, Timeline& timeline, cpu::ThreadPool* pool = nullptr,
+         const std::string& name = "gpu")
+      : spec_(std::move(spec)), tl_(&timeline), pool_(pool) {
+    compute_res_ = tl_->add_resource(name + ".compute");
+    h2d_res_ = tl_->add_resource(name + ".copy.h2d");
+    d2h_res_ = spec_.copy_engines >= 2 ? tl_->add_resource(name + ".copy.d2h")
+                                       : h2d_res_;
+    streams_.push_back(Stream{});  // stream 0 = default stream
+  }
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const GpuSpec& spec() const { return spec_; }
+  Timeline& timeline() { return *tl_; }
+  MemoryStats& stats() { return stats_; }
+  const MemoryStats& stats() const { return stats_; }
+
+  StreamId default_stream() const { return 0; }
+  StreamId create_stream() {
+    streams_.push_back(Stream{});
+    return streams_.size() - 1;
+  }
+  std::size_t stream_count() const { return streams_.size(); }
+
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t count) {
+    return DeviceBuffer<T>(count, &stats_);
+  }
+
+  template <typename T>
+  PinnedBuffer<T> alloc_pinned(std::size_t count) {
+    return PinnedBuffer<T>(count, &stats_);
+  }
+
+  /// Async host-to-device copy on `stream`. Returns the op id (usable as an
+  /// event). `kind` prices the copy (pinned vs pageable source).
+  template <typename T>
+  OpId memcpy_h2d(StreamId stream, T* dst_device, const T* src_host,
+                  std::size_t count, MemoryKind kind,
+                  OpId extra_dep = kNoOp) {
+    LDDP_CHECK_MSG(dst_device != nullptr || count == 0,
+                   "h2d into null device pointer");
+    if (count == 0) return last_op(stream);
+    std::memcpy(dst_device, src_host, count * sizeof(T));
+    stats_.h2d_bytes += count * sizeof(T);
+    ++stats_.h2d_copies;
+    return enqueue(stream, h2d_res_,
+                   transfer_seconds(spec_, count * sizeof(T), kind),
+                   extra_dep, "h2d");
+  }
+
+  /// Async device-to-host copy on `stream`.
+  template <typename T>
+  OpId memcpy_d2h(StreamId stream, T* dst_host, const T* src_device,
+                  std::size_t count, MemoryKind kind,
+                  OpId extra_dep = kNoOp) {
+    LDDP_CHECK_MSG(src_device != nullptr || count == 0,
+                   "d2h from null device pointer");
+    if (count == 0) return last_op(stream);
+    std::memcpy(dst_host, src_device, count * sizeof(T));
+    stats_.d2h_bytes += count * sizeof(T);
+    ++stats_.d2h_copies;
+    return enqueue(stream, d2h_res_,
+                   transfer_seconds(spec_, count * sizeof(T), kind),
+                   extra_dep, "d2h");
+  }
+
+  /// Records the cost of a host-to-device transfer whose real data movement
+  /// the caller performs itself (e.g. scattering boundary cells through a
+  /// layout mapping, which is not one contiguous memcpy).
+  OpId record_h2d(StreamId stream, std::size_t bytes, MemoryKind kind,
+                  OpId extra_dep = kNoOp) {
+    if (bytes == 0) return last_op(stream);
+    stats_.h2d_bytes += bytes;
+    ++stats_.h2d_copies;
+    return enqueue(stream, h2d_res_, transfer_seconds(spec_, bytes, kind),
+                   extra_dep, "h2d");
+  }
+
+  /// Device-to-host counterpart of record_h2d.
+  OpId record_d2h(StreamId stream, std::size_t bytes, MemoryKind kind,
+                  OpId extra_dep = kNoOp) {
+    if (bytes == 0) return last_op(stream);
+    stats_.d2h_bytes += bytes;
+    ++stats_.d2h_copies;
+    return enqueue(stream, d2h_res_, transfer_seconds(spec_, bytes, kind),
+                   extra_dep, "d2h");
+  }
+
+  /// Launches `body(cell)` for cell in [0, num_cells) — thread-per-cell, the
+  /// paper's GPU mapping. Executes eagerly (via the pool when present),
+  /// records the analytic duration on the compute resource.
+  template <typename Body>
+  OpId launch(StreamId stream, const KernelInfo& info, std::size_t num_cells,
+              Body&& body, OpId extra_dep = kNoOp) {
+    if (num_cells == 0) return last_op(stream);
+    if (pool_ && num_cells >= kParallelExecThreshold) {
+      pool_->parallel_for_chunked(0, num_cells,
+                                  [&body](std::size_t lo, std::size_t hi) {
+                                    for (std::size_t c = lo; c < hi; ++c)
+                                      body(c);
+                                  });
+    } else {
+      for (std::size_t c = 0; c < num_cells; ++c) body(c);
+    }
+    return enqueue(stream, compute_res_,
+                   kernel_seconds(spec_, info, num_cells), extra_dep,
+                   "kernel");
+  }
+
+  /// cudaStreamWaitEvent: the next operation on `stream` will additionally
+  /// wait for `event` (an op id from any stream) to complete. Multiple
+  /// calls before the next operation accumulate.
+  void stream_wait(StreamId stream, OpId event) {
+    LDDP_CHECK(stream < streams_.size());
+    if (event != kNoOp) streams_[stream].pending_waits.push_back(event);
+  }
+
+  /// Last operation enqueued on the stream (kNoOp if none) — record this as
+  /// an "event" for cross-stream or CPU-side dependencies.
+  OpId last_op(StreamId stream) const {
+    LDDP_CHECK(stream < streams_.size());
+    return streams_[stream].last;
+  }
+
+  /// Device-wide synchronize: all work was executed eagerly, so this only
+  /// reports the simulated completion time of everything enqueued so far.
+  double synchronize() const { return tl_->makespan(); }
+
+  /// Total simulated kernel time (utilization numerator).
+  double compute_busy() const { return tl_->busy_time(compute_res_); }
+
+  /// Total simulated DMA time across the copy engine(s).
+  double copy_busy() const {
+    double t = tl_->busy_time(h2d_res_);
+    if (d2h_res_ != h2d_res_) t += tl_->busy_time(d2h_res_);
+    return t;
+  }
+
+ private:
+  // Below this size the fork/join cost of the host pool exceeds the loop.
+  static constexpr std::size_t kParallelExecThreshold = 4096;
+
+  struct Stream {
+    OpId last = kNoOp;
+    std::vector<OpId> pending_waits;
+  };
+
+  OpId enqueue(StreamId stream, Timeline::ResourceId res, double seconds,
+               OpId extra_dep, const char* label) {
+    LDDP_CHECK(stream < streams_.size());
+    Stream& s = streams_[stream];
+    s.pending_waits.push_back(s.last);
+    s.pending_waits.push_back(extra_dep);
+    const OpId op = tl_->record(res, seconds, s.pending_waits, label);
+    s.last = op;
+    s.pending_waits.clear();
+    return op;
+  }
+
+  GpuSpec spec_;
+  Timeline* tl_;
+  cpu::ThreadPool* pool_;
+  MemoryStats stats_;
+  Timeline::ResourceId compute_res_{}, h2d_res_{}, d2h_res_{};
+  std::vector<Stream> streams_;
+};
+
+}  // namespace lddp::sim

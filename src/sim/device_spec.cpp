@@ -1,0 +1,81 @@
+#include "sim/device_spec.h"
+
+namespace lddp::sim {
+
+GpuSpec GpuSpec::tesla_k20() {
+  GpuSpec g;
+  g.name = "Nvidia Tesla K20 (13 SMX, 2496 cores)";
+  g.sm_count = 13;
+  g.cores_per_sm = 192;
+  g.clock_ghz = 0.706;
+  g.max_threads_per_sm = 2048;
+  g.launch_overhead_us = 4.0;
+  g.min_exec_latency_us = 1.5;
+  g.dram_bandwidth_gbs = 208.0;
+  g.dram_efficiency = 0.70;
+  g.mapped_access_overhead_us = 0.25;
+  g.pageable_latency_us = 10.0;
+  g.pageable_bandwidth_gbs = 3.3;
+  g.pinned_latency_us = 4.0;
+  g.pinned_bandwidth_gbs = 6.0;
+  g.copy_engines = 2;
+  return g;
+}
+
+GpuSpec GpuSpec::gt650m() {
+  GpuSpec g;
+  g.name = "Nvidia GeForce GT 650M (2 SMX, 384 cores)";
+  g.sm_count = 2;
+  g.cores_per_sm = 192;
+  g.clock_ghz = 0.900;
+  g.max_threads_per_sm = 2048;
+  g.launch_overhead_us = 6.0;   // mobile part, slower driver path
+  g.min_exec_latency_us = 2.0;
+  g.dram_bandwidth_gbs = 28.8;  // DDR3 variant
+  g.dram_efficiency = 0.65;
+  g.mapped_access_overhead_us = 0.35;
+  g.pageable_latency_us = 12.0;
+  g.pageable_bandwidth_gbs = 2.2;
+  g.pinned_latency_us = 5.0;
+  g.pinned_bandwidth_gbs = 4.5;
+  g.copy_engines = 1;
+  return g;
+}
+
+GpuSpec GpuSpec::xeon_phi_5110p() {
+  GpuSpec g;
+  g.name = "Intel Xeon Phi 5110P (60 cores, 512-bit vectors)";
+  g.sm_count = 60;        // in-order cores
+  g.cores_per_sm = 16;    // 512-bit vector lanes (32-bit elements)
+  g.clock_ghz = 1.053;
+  g.max_threads_per_sm = 4;  // 4 hardware threads per core
+  g.warp_size = 16;          // one vector issue group
+  g.launch_overhead_us = 9.0;   // offload-region entry, slower than CUDA
+  g.min_exec_latency_us = 2.5;
+  g.dram_bandwidth_gbs = 320.0;
+  g.dram_efficiency = 0.50;  // achieved GDDR5 bandwidth is ~half of peak
+  g.mapped_access_overhead_us = 0.30;
+  g.pageable_latency_us = 12.0;
+  g.pageable_bandwidth_gbs = 3.0;
+  g.pinned_latency_us = 5.0;
+  g.pinned_bandwidth_gbs = 6.0;
+  g.copy_engines = 2;
+  return g;
+}
+
+PlatformSpec PlatformSpec::hetero_high() {
+  return PlatformSpec{"Hetero-High", cpu::CpuSpec::i7_980(),
+                      GpuSpec::tesla_k20()};
+}
+
+PlatformSpec PlatformSpec::hetero_low() {
+  return PlatformSpec{"Hetero-Low", cpu::CpuSpec::i7_3632qm(),
+                      GpuSpec::gt650m()};
+}
+
+PlatformSpec PlatformSpec::hetero_phi() {
+  return PlatformSpec{"Hetero-Phi", cpu::CpuSpec::i7_980(),
+                      GpuSpec::xeon_phi_5110p()};
+}
+
+}  // namespace lddp::sim

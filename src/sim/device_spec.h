@@ -1,0 +1,82 @@
+// Static description of a simulated CUDA-like device and the combined
+// heterogeneous platform.
+//
+// The paper evaluates on two testbeds (Section II-A):
+//   Hetero-High: Intel i7-980  + Nvidia Tesla K20   (13 SMX x 192 cores)
+//   Hetero-Low:  Intel i7-3632QM + Nvidia GT 650M   ( 2 SMX x 192 cores)
+// These presets carry the published micro-architectural numbers plus
+// empirically-typical launch/transfer overheads of the CUDA 5.0 era; the
+// analytic model built on them reproduces the paper's qualitative results
+// (who wins where, and where the crossovers fall).
+#pragma once
+
+#include <string>
+
+#include "cpu/cost_model.h"
+
+namespace lddp::sim {
+
+/// GPU micro-architecture + interconnect parameters used by the timing
+/// model (kernel.h) and the transfer engine (device.h).
+struct GpuSpec {
+  std::string name;
+
+  // --- compute -----------------------------------------------------------
+  int sm_count = 1;              ///< streaming multiprocessors
+  int cores_per_sm = 192;        ///< CUDA cores per SM (Kepler SMX)
+  double clock_ghz = 1.0;        ///< core clock
+  int max_threads_per_sm = 2048; ///< resident-thread limit (occupancy cap)
+  int warp_size = 32;
+  /// Fixed cost of getting a kernel onto the device: driver call, command
+  /// push, scheduling. Dominates wavefronts with few cells — the effect
+  /// the paper's low-work-region handoff to the CPU exploits.
+  double launch_overhead_us = 5.0;
+  /// Pipeline fill latency: even a one-thread kernel takes this long.
+  double min_exec_latency_us = 2.0;
+
+  // --- memory ------------------------------------------------------------
+  double dram_bandwidth_gbs = 100.0;  ///< global-memory peak bandwidth
+  /// Fraction of peak DRAM bandwidth a well-coalesced kernel achieves.
+  double dram_efficiency = 0.65;
+  int transaction_bytes = 128;        ///< coalescing segment size
+  /// Extra per-front cost of touching zero-copy mapped pinned memory (the
+  /// two-way transfer scheme, Section IV-C2): a handful of PCIe round
+  /// trips amortized by warp switching.
+  double mapped_access_overhead_us = 0.25;
+
+  // --- host interconnect (PCIe) ------------------------------------------
+  double pageable_latency_us = 10.0;  ///< per-copy fixed cost, pageable host
+  double pageable_bandwidth_gbs = 3.0;
+  double pinned_latency_us = 4.0;     ///< pinned: no staging copy
+  double pinned_bandwidth_gbs = 6.0;
+  int copy_engines = 1;  ///< concurrent DMA engines (K20 has 2)
+
+  /// Nvidia Tesla K20 (Kepler GK110): 13 SMX, 2496 cores, 208 GB/s.
+  static GpuSpec tesla_k20();
+  /// Nvidia GeForce GT 650M (Kepler GK107): 2 SMX, 384 cores.
+  static GpuSpec gt650m();
+  /// Intel Xeon Phi 5110P modeled as an accelerator: 60 cores x 16-wide
+  /// 512-bit vector lanes, offload-region launch latency, GDDR5 memory —
+  /// the "other accelerators like Intel Xeon-Phi" the paper's conclusion
+  /// asks about.
+  static GpuSpec xeon_phi_5110p();
+
+  /// Peak resident threads across the device.
+  long long max_resident_threads() const {
+    return static_cast<long long>(sm_count) * max_threads_per_sm;
+  }
+};
+
+/// A heterogeneous platform = one CPU + one GPU, as in the paper.
+struct PlatformSpec {
+  std::string name;
+  cpu::CpuSpec cpu;
+  GpuSpec gpu;
+
+  static PlatformSpec hetero_high();
+  static PlatformSpec hetero_low();
+  /// i7-980 host + Xeon Phi 5110P accelerator (conclusion's what-if).
+  static PlatformSpec hetero_phi();
+};
+
+}  // namespace lddp::sim

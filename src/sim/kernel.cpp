@@ -1,0 +1,65 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lddp::sim {
+
+double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info) {
+  LDDP_CHECK(info.work.gpu_cycles_per_cell > 0);
+  const double compute_rate = static_cast<double>(spec.sm_count) *
+                              static_cast<double>(spec.cores_per_sm) *
+                              spec.clock_ghz * 1e9 /
+                              info.work.gpu_cycles_per_cell;
+  const double mem_rate =
+      spec.dram_bandwidth_gbs * spec.dram_efficiency * 1e9 /
+      (info.work.bytes_per_cell * std::max(1.0, info.mem_amplification));
+  return std::min(compute_rate, mem_rate);
+}
+
+double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
+                      std::size_t num_cells) {
+  if (num_cells == 0) return 0.0;
+  LDDP_CHECK(info.block_size > 0);
+
+  // Compute term: saturated throughput with a latency floor. Round cells up
+  // to whole blocks — the tail block occupies lanes it does not use.
+  const std::size_t blocks =
+      (num_cells + static_cast<std::size_t>(info.block_size) - 1) /
+      static_cast<std::size_t>(info.block_size);
+  const double padded_cells =
+      static_cast<double>(blocks) * static_cast<double>(info.block_size);
+  const double lane_rate = static_cast<double>(spec.sm_count) *
+                           static_cast<double>(spec.cores_per_sm) *
+                           spec.clock_ghz * 1e9;
+  const double compute =
+      std::max(padded_cells * info.work.gpu_cycles_per_cell / lane_rate,
+               spec.min_exec_latency_us * 1e-6);
+
+  // Memory term: effective traffic after coalescing amplification.
+  const double traffic = static_cast<double>(num_cells) *
+                         info.work.bytes_per_cell *
+                         std::max(1.0, info.mem_amplification);
+  const double memory =
+      traffic / (spec.dram_bandwidth_gbs * spec.dram_efficiency * 1e9);
+
+  return (spec.launch_overhead_us + info.extra_us) * 1e-6 +
+         std::max(compute, memory);
+}
+
+double transfer_seconds(const GpuSpec& spec, std::size_t bytes,
+                        MemoryKind kind) {
+  if (bytes == 0) return 0.0;
+  const double latency = (kind == MemoryKind::kPinned
+                              ? spec.pinned_latency_us
+                              : spec.pageable_latency_us) *
+                         1e-6;
+  const double bandwidth = (kind == MemoryKind::kPinned
+                                ? spec.pinned_bandwidth_gbs
+                                : spec.pageable_bandwidth_gbs) *
+                           1e9;
+  return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace lddp::sim

@@ -1,0 +1,55 @@
+// Kernel description and analytic timing (the simulated SMX model).
+//
+// A kernel processes N cells with one light-weight thread per cell — the
+// paper's GPU mapping (Section IV-A). Its simulated duration is
+//
+//   launch_overhead + max(compute_time, memory_time)
+//
+//   compute_time = max(N * cycles_per_cell / (SMs*cores*clock),
+//                      min_exec_latency)
+//   memory_time  = N * bytes_per_cell * mem_amplification / dram_bandwidth
+//
+// The compute term gives the throughput behaviour of a saturated device and
+// the latency floor of a starved one; small wavefronts are therefore
+// dominated by launch_overhead + min_exec_latency, which is the lever the
+// paper's low-work-region CPU handoff pulls. `mem_amplification` comes from
+// the coalescing model: 1.0 for wavefront-contiguous layouts, >1 otherwise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cpu/cost_model.h"
+#include "sim/device_spec.h"
+#include "sim/memory.h"
+
+namespace lddp::sim {
+
+/// Launch-time description of a kernel; the cost model reads everything it
+/// needs from here plus the GpuSpec.
+struct KernelInfo {
+  std::string name = "kernel";
+  int block_size = 256;  ///< threads per block (affects tail waste only)
+  cpu::WorkProfile work;  ///< shared CPU/GPU per-cell work profile
+  /// Memory-traffic multiplier from the coalescing model (>= 1.0).
+  double mem_amplification = 1.0;
+  /// Fixed additional cost per launch, e.g. zero-copy mapped-pinned
+  /// accesses in the two-way transfer scheme.
+  double extra_us = 0.0;
+};
+
+/// Simulated seconds of device-side execution (excludes queueing delays,
+/// which the Timeline adds when streams contend).
+double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
+                      std::size_t num_cells);
+
+/// Throughput (cells/s) of the saturated device for this kernel — used by
+/// workload-division heuristics to pick an initial t_share.
+double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info);
+
+/// Simulated seconds for a host<->device copy of `bytes` bytes whose host
+/// endpoint lives in `kind` memory.
+double transfer_seconds(const GpuSpec& spec, std::size_t bytes,
+                        MemoryKind kind);
+
+}  // namespace lddp::sim

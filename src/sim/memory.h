@@ -1,0 +1,150 @@
+// Simulated device/host memory.
+//
+// Device buffers own real host RAM (kernels execute on the host), but they
+// are distinct allocations from any host-side buffer — data becomes visible
+// to the "device" only through an explicit transfer. A strategy that forgets
+// a boundary transfer therefore computes on stale values and fails the
+// correctness tests, exactly as it would on real hardware.
+//
+// Pinned buffers model cudaHostAlloc storage: the transfer engine prices
+// copies from/to them with lower latency and higher bandwidth (Section
+// IV-C2 of the paper uses pinned memory for small two-way transfers).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+#include "util/check.h"
+
+namespace lddp::sim {
+
+/// Where a host-side pointer lives — determines transfer pricing.
+enum class MemoryKind {
+  kPageable,  ///< ordinary malloc/new memory; staged through a bounce buffer
+  kPinned,    ///< page-locked; DMA engine reads it directly
+};
+
+/// Book-keeping shared by a Device and its buffers.
+struct MemoryStats {
+  std::size_t device_bytes_allocated = 0;
+  std::size_t device_bytes_peak = 0;
+  std::size_t pinned_bytes_allocated = 0;
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t h2d_copies = 0;
+  std::size_t d2h_copies = 0;
+};
+
+/// A typed region of simulated device global memory.
+///
+/// Movable, non-copyable (it is an owning handle, like a cudaMalloc
+/// allocation). Element access is provided for *kernel* code only; host
+/// strategy code must go through Device::memcpy_* to respect the
+/// transfer-visibility discipline above.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(std::size_t count, MemoryStats* stats)
+      : data_(count ? new T[count]() : nullptr), size_(count), stats_(stats) {
+    if (stats_) {
+      stats_->device_bytes_allocated += bytes();
+      stats_->device_bytes_peak =
+          std::max(stats_->device_bytes_peak, stats_->device_bytes_allocated);
+    }
+  }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { swap(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  std::size_t size() const { return size_; }
+  std::size_t bytes() const { return size_ * sizeof(T); }
+  bool empty() const { return size_ == 0; }
+
+  /// Raw device pointer — pass to kernels.
+  T* device_ptr() { return data_.get(); }
+  const T* device_ptr() const { return data_.get(); }
+
+ private:
+  void release() {
+    if (data_ && stats_) stats_->device_bytes_allocated -= bytes();
+    data_.reset();
+    size_ = 0;
+    stats_ = nullptr;
+  }
+  void swap(DeviceBuffer& o) {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    std::swap(stats_, o.stats_);
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+  MemoryStats* stats_ = nullptr;
+};
+
+/// Page-locked host memory (cudaHostAlloc equivalent).
+template <typename T>
+class PinnedBuffer {
+ public:
+  PinnedBuffer() = default;
+  PinnedBuffer(std::size_t count, MemoryStats* stats)
+      : data_(count ? new T[count]() : nullptr), size_(count), stats_(stats) {
+    if (stats_) stats_->pinned_bytes_allocated += count * sizeof(T);
+  }
+  PinnedBuffer(PinnedBuffer&& o) noexcept { swap(o); }
+  PinnedBuffer& operator=(PinnedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      swap(o);
+    }
+    return *this;
+  }
+  PinnedBuffer(const PinnedBuffer&) = delete;
+  PinnedBuffer& operator=(const PinnedBuffer&) = delete;
+  ~PinnedBuffer() { release(); }
+
+  std::size_t size() const { return size_; }
+  std::size_t bytes() const { return size_ * sizeof(T); }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](std::size_t i) {
+    LDDP_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    LDDP_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  static constexpr MemoryKind kind() { return MemoryKind::kPinned; }
+
+ private:
+  void release() {
+    if (data_ && stats_) stats_->pinned_bytes_allocated -= bytes();
+    data_.reset();
+    size_ = 0;
+    stats_ = nullptr;
+  }
+  void swap(PinnedBuffer& o) {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    std::swap(stats_, o.stats_);
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+  MemoryStats* stats_ = nullptr;
+};
+
+}  // namespace lddp::sim

@@ -1,0 +1,111 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace lddp::sim {
+
+Timeline::ResourceId Timeline::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name), 0.0, 0.0});
+  return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+OpId Timeline::record(ResourceId resource, double duration_s,
+                      std::span<const OpId> deps, const char* label) {
+  LDDP_CHECK_MSG(resource < resources_.size(), "unknown resource id");
+  LDDP_CHECK_MSG(duration_s >= 0.0, "negative op duration");
+  double ready = resources_[resource].free_at;
+  for (OpId d : deps) {
+    if (d == kNoOp) continue;
+    LDDP_CHECK_MSG(d < ends_.size(), "dependency on an unrecorded op");
+    ready = std::max(ready, ends_[d]);
+  }
+  const double end = ready + duration_s;
+  resources_[resource].free_at = end;
+  resources_[resource].busy += duration_s;
+  starts_.push_back(ready);
+  ends_.push_back(end);
+  op_resources_.push_back(resource);
+  labels_.push_back(label != nullptr ? label : "");
+  makespan_ = std::max(makespan_, end);
+  return static_cast<OpId>(ends_.size() - 1);
+}
+
+OpId Timeline::record(ResourceId resource, double duration_s, OpId dep1,
+                      OpId dep2, const char* label) {
+  const OpId deps[2] = {dep1, dep2};
+  return record(resource, duration_s, std::span<const OpId>(deps, 2), label);
+}
+
+double Timeline::start_time(OpId op) const {
+  LDDP_CHECK(op < starts_.size());
+  return starts_[op];
+}
+
+double Timeline::end_time(OpId op) const {
+  LDDP_CHECK(op < ends_.size());
+  return ends_[op];
+}
+
+double Timeline::resource_free_at(ResourceId r) const {
+  LDDP_CHECK(r < resources_.size());
+  return resources_[r].free_at;
+}
+
+double Timeline::busy_time(ResourceId r) const {
+  LDDP_CHECK(r < resources_.size());
+  return resources_[r].busy;
+}
+
+const std::string& Timeline::resource_name(ResourceId r) const {
+  LDDP_CHECK(r < resources_.size());
+  return resources_[r].name;
+}
+
+Timeline::ResourceId Timeline::op_resource(OpId op) const {
+  LDDP_CHECK(op < op_resources_.size());
+  return op_resources_[op];
+}
+
+const char* Timeline::op_label(OpId op) const {
+  LDDP_CHECK(op < labels_.size());
+  return labels_[op];
+}
+
+void Timeline::reset() {
+  starts_.clear();
+  ends_.clear();
+  op_resources_.clear();
+  labels_.clear();
+  makespan_ = 0.0;
+  for (auto& res : resources_) {
+    res.free_at = 0.0;
+    res.busy = 0.0;
+  }
+}
+
+void Timeline::export_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  LDDP_CHECK_MSG(out.good(), "cannot open trace file " << path);
+  out << "[\n";
+  bool first = true;
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << r
+        << R"(,"args":{"name":")" << resources_[r].name << "\"}}";
+  }
+  for (OpId op = 0; op < ends_.size(); ++op) {
+    if (ends_[op] <= starts_[op]) continue;  // zero-length sync points
+    if (!first) out << ",\n";
+    first = false;
+    const char* label = labels_[op][0] != '\0' ? labels_[op] : "op";
+    out << R"({"name":")" << label << R"(","ph":"X","pid":0,"tid":)"
+        << op_resources_[op] << R"(,"ts":)" << starts_[op] * 1e6
+        << R"(,"dur":)" << (ends_[op] - starts_[op]) * 1e6 << "}";
+  }
+  out << "\n]\n";
+  LDDP_CHECK_MSG(out.good(), "short write to trace file " << path);
+}
+
+}  // namespace lddp::sim

@@ -1,0 +1,48 @@
+// Row-major 2-D host array. Used for problem inputs (cost grids, images)
+// and as the host-side DP table: the CPU works in natural row-major order
+// while the simulated GPU keeps its own copy in a wavefront-contiguous
+// layout (see layout.h) — mirroring the paper's split between CPU-friendly
+// and coalescing-friendly storage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    LDDP_CHECK_MSG(rows > 0 && cols > 0, "Grid dimensions must be positive");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(std::size_t i, std::size_t j) {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool operator==(const Grid&) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace lddp

@@ -1,0 +1,161 @@
+// 3-D table support for the k-dimensional LDDP-Plus class (Section II
+// defines the class for k >= 2; the paper implements k = 2 "for
+// simplicity" — this is the k = 3 instantiation).
+//
+// Grid3<T> is a dense row-major (i, j, k) array; AntiDiagonalLayout3
+// stores cells plane-contiguously by d = i + j + k, the 3-D wavefront:
+// every lower-corner dependency offset (di, dj, dk) in {0,1}^3 \ {0}
+// strictly decreases d, so all 7 possible contributing offsets are
+// satisfied by processing planes in order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+template <typename T>
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(std::size_t ni, std::size_t nj, std::size_t nk, T fill = T{})
+      : ni_(ni), nj_(nj), nk_(nk), data_(ni * nj * nk, fill) {
+    LDDP_CHECK_MSG(ni > 0 && nj > 0 && nk > 0,
+                   "Grid3 dimensions must be positive");
+  }
+
+  std::size_t ni() const { return ni_; }
+  std::size_t nj() const { return nj_; }
+  std::size_t nk() const { return nk_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(std::size_t i, std::size_t j, std::size_t k) {
+    LDDP_DCHECK(i < ni_ && j < nj_ && k < nk_);
+    return data_[(i * nj_ + j) * nk_ + k];
+  }
+  const T& at(std::size_t i, std::size_t j, std::size_t k) const {
+    LDDP_DCHECK(i < ni_ && j < nj_ && k < nk_);
+    return data_[(i * nj_ + j) * nk_ + k];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool operator==(const Grid3&) const = default;
+
+ private:
+  std::size_t ni_ = 0, nj_ = 0, nk_ = 0;
+  std::vector<T> data_;
+};
+
+/// A cell index in 3-D.
+struct CellIndex3 {
+  std::size_t i = 0, j = 0, k = 0;
+  bool operator==(const CellIndex3&) const = default;
+};
+
+/// Plane-contiguous layout by d = i + j + k. Within a plane, cells are
+/// ordered by i ascending then j ascending (k = d - i - j), so a CPU slab
+/// i < t_share is a prefix of every plane — the 3-D analogue of the
+/// anti-diagonal row strip.
+class AntiDiagonalLayout3 {
+ public:
+  AntiDiagonalLayout3(std::size_t ni, std::size_t nj, std::size_t nk)
+      : ni_(ni), nj_(nj), nk_(nk) {
+    LDDP_CHECK_MSG(ni > 0 && nj > 0 && nk > 0,
+                   "layout dimensions must be positive");
+    const std::size_t fronts = num_fronts();
+    front_offset_.assign(fronts + 1, 0);
+    row_offset_.resize(fronts);
+    std::size_t acc = 0;
+    for (std::size_t d = 0; d < fronts; ++d) {
+      front_offset_[d] = acc;
+      const std::size_t ilo = i_min(d), ihi = i_max(d);
+      row_offset_[d].reserve(ihi - ilo + 2);
+      std::size_t pos = 0;
+      for (std::size_t i = ilo; i <= ihi; ++i) {
+        row_offset_[d].push_back(pos);
+        pos += row_count(i, d);
+      }
+      row_offset_[d].push_back(pos);
+      acc += pos;
+    }
+    front_offset_[fronts] = acc;
+    LDDP_DCHECK(acc == ni_ * nj_ * nk_);
+  }
+
+  std::size_t ni() const { return ni_; }
+  std::size_t nj() const { return nj_; }
+  std::size_t nk() const { return nk_; }
+  std::size_t size() const { return ni_ * nj_ * nk_; }
+  std::size_t num_fronts() const { return ni_ + nj_ + nk_ - 2; }
+
+  std::size_t i_min(std::size_t d) const {
+    const std::size_t rest = nj_ - 1 + nk_ - 1;
+    return d > rest ? d - rest : 0;
+  }
+  std::size_t i_max(std::size_t d) const { return std::min(ni_ - 1, d); }
+
+  /// Cells of plane d in slab row i: j in [j_min, j_max], k = d - i - j.
+  std::size_t j_min(std::size_t i, std::size_t d) const {
+    const std::size_t r = d - i;  // j + k
+    return r > nk_ - 1 ? r - (nk_ - 1) : 0;
+  }
+  std::size_t j_max(std::size_t i, std::size_t d) const {
+    return std::min(nj_ - 1, d - i);
+  }
+  std::size_t row_count(std::size_t i, std::size_t d) const {
+    const std::size_t lo = j_min(i, d), hi = j_max(i, d);
+    return lo > hi ? 0 : hi - lo + 1;
+  }
+
+  std::size_t front_size(std::size_t d) const {
+    LDDP_DCHECK(d < num_fronts());
+    return front_offset_[d + 1] - front_offset_[d];
+  }
+  std::size_t front_offset(std::size_t d) const {
+    LDDP_DCHECK(d < front_offset_.size());
+    return front_offset_[d];
+  }
+  std::size_t front_of(std::size_t i, std::size_t j, std::size_t k) const {
+    return i + j + k;
+  }
+
+  /// Number of cells of plane d with slab index < s (the CPU prefix).
+  std::size_t slab_prefix(std::size_t d, std::size_t s) const {
+    const std::size_t ilo = i_min(d), ihi = i_max(d);
+    if (s <= ilo) return 0;
+    const std::size_t cut = std::min(s - 1, ihi);
+    return row_offset_[d][cut - ilo + 1];
+  }
+
+  std::size_t flat(std::size_t i, std::size_t j, std::size_t k) const {
+    LDDP_DCHECK(i < ni_ && j < nj_ && k < nk_);
+    const std::size_t d = i + j + k;
+    return front_offset_[d] + row_offset_[d][i - i_min(d)] +
+           (j - j_min(i, d));
+  }
+
+  CellIndex3 cell(std::size_t d, std::size_t p) const {
+    LDDP_DCHECK(d < num_fronts() && p < front_size(d));
+    // Binary search the slab row containing position p.
+    const auto& rows = row_offset_[d];
+    const std::size_t r =
+        static_cast<std::size_t>(
+            std::upper_bound(rows.begin(), rows.end(), p) - rows.begin()) -
+        1;
+    const std::size_t i = i_min(d) + r;
+    const std::size_t j = j_min(i, d) + (p - rows[r]);
+    return {i, j, d - i - j};
+  }
+
+ private:
+  std::size_t ni_, nj_, nk_;
+  std::vector<std::size_t> front_offset_;
+  std::vector<std::vector<std::size_t>> row_offset_;
+};
+
+}  // namespace lddp

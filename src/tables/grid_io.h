@@ -1,0 +1,64 @@
+// Binary Grid<T> serialization — a small versioned container so tables,
+// cost grids and energy maps can be saved from one run (e.g. the CLI's
+// --save-table) and reloaded by tools or tests.
+//
+// Format: magic "LDDPGRD1" | u64 rows | u64 cols | u64 elem_size |
+//         rows*cols*elem_size raw little-endian payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <type_traits>
+
+#include "tables/grid.h"
+#include "util/check.h"
+
+namespace lddp {
+
+inline constexpr char kGridMagic[8] = {'L', 'D', 'D', 'P',
+                                       'G', 'R', 'D', '1'};
+
+template <typename T>
+void save_grid(const Grid<T>& g, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::ofstream out(path, std::ios::binary);
+  LDDP_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kGridMagic, sizeof(kGridMagic));
+  const std::uint64_t header[3] = {g.rows(), g.cols(), sizeof(T)};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(g.data()),
+            static_cast<std::streamsize>(g.size() * sizeof(T)));
+  LDDP_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+template <typename T>
+Grid<T> load_grid(const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::ifstream in(path, std::ios::binary);
+  LDDP_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kGridMagic)];
+  in.read(magic, sizeof(magic));
+  LDDP_CHECK_MSG(in.good() && std::memcmp(magic, kGridMagic,
+                                          sizeof(kGridMagic)) == 0,
+                 path << ": not an LDDP grid file");
+  std::uint64_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  LDDP_CHECK_MSG(in.good(), path << ": truncated header");
+  LDDP_CHECK_MSG(header[2] == sizeof(T),
+                 path << ": element size " << header[2]
+                      << " does not match requested type ("
+                      << sizeof(T) << ")");
+  LDDP_CHECK_MSG(header[0] > 0 && header[1] > 0, path << ": empty grid");
+  Grid<T> g(static_cast<std::size_t>(header[0]),
+            static_cast<std::size_t>(header[1]));
+  in.read(reinterpret_cast<char*>(g.data()),
+          static_cast<std::streamsize>(g.size() * sizeof(T)));
+  LDDP_CHECK_MSG(in.gcount() ==
+                     static_cast<std::streamsize>(g.size() * sizeof(T)),
+                 path << ": truncated payload");
+  return g;
+}
+
+}  // namespace lddp

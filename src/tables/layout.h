@@ -1,0 +1,319 @@
+// Wavefront-major table layouts (the paper's coalescing optimization,
+// Section IV-B): "storing all the cells marked with the same number
+// together in a one dimensional array".
+//
+// Each layout partitions the rows x cols grid into *fronts* — the sets of
+// cells a pattern can process in one parallel iteration (Figure 2) — and
+// stores each front contiguously, fronts in execution order. GPU threads of
+// one front then access consecutive addresses, so warp loads coalesce into
+// the minimum number of 128 B transactions.
+//
+// Common interface (duck-typed; strategies are templates):
+//   rows(), cols(), size()
+//   num_fronts()                 - iterations of the pattern
+//   front_size(f), front_offset(f)
+//   flat(i, j)                   - flat index of a cell
+//   cell(f, p) -> {i, j}         - p-th cell of front f
+//   front_of(i, j)               - which front computes this cell
+//
+// Invariant (property-tested): flat(cell(f, p)) == front_offset(f) + p, and
+// {cell(f, p)} over all f, p enumerates every cell exactly once.
+//
+// Within-front ordering is chosen so that the heterogeneous strategies'
+// CPU regions are *prefixes* of each front and GPU regions are *suffixes*
+// (contiguous device-side transfers):
+//   AntiDiagonalMajor : by i ascending  (CPU owns the top row-strip)
+//   RowMajor          : by j ascending  (CPU owns the left column-strip)
+//   ColumnMajor       : by i ascending  (CPU owns the top row-strip)
+//   KnightMoveMajor   : by j ascending  (CPU owns the left column-strip)
+//   ShellMajor        : column part bottom-up, then row part by j ascending
+//                       (CPU owns the left column-strip)
+//   MirrorShellMajor  : column part bottom-up, then row part by j descending
+//                       (CPU owns the right column-strip)
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+/// (row, column) pair returned by cell enumeration.
+struct CellIndex {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  bool operator==(const CellIndex&) const = default;
+};
+
+namespace detail {
+
+inline void check_dims(std::size_t rows, std::size_t cols) {
+  LDDP_CHECK_MSG(rows > 0 && cols > 0, "layout dimensions must be positive");
+}
+
+}  // namespace detail
+
+/// Horizontal pattern: front f = row f.
+class RowMajorLayout {
+ public:
+  RowMajorLayout(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {
+    detail::check_dims(rows, cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  std::size_t num_fronts() const { return rows_; }
+  std::size_t front_size([[maybe_unused]] std::size_t f) const {
+    LDDP_DCHECK(f < rows_);
+    return cols_;
+  }
+  std::size_t front_offset(std::size_t f) const { return f * cols_; }
+  std::size_t front_of(std::size_t i, std::size_t) const { return i; }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    return i * cols_ + j;
+  }
+  CellIndex cell(std::size_t f, std::size_t p) const {
+    LDDP_DCHECK(f < rows_ && p < cols_);
+    return {f, p};
+  }
+
+ private:
+  std::size_t rows_, cols_;
+};
+
+/// Vertical pattern: front f = column f.
+class ColumnMajorLayout {
+ public:
+  ColumnMajorLayout(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {
+    detail::check_dims(rows, cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  std::size_t num_fronts() const { return cols_; }
+  std::size_t front_size([[maybe_unused]] std::size_t f) const {
+    LDDP_DCHECK(f < cols_);
+    return rows_;
+  }
+  std::size_t front_offset(std::size_t f) const { return f * rows_; }
+  std::size_t front_of(std::size_t, std::size_t j) const { return j; }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    return j * rows_ + i;
+  }
+  CellIndex cell(std::size_t f, std::size_t p) const {
+    LDDP_DCHECK(f < cols_ && p < rows_);
+    return {p, f};
+  }
+
+ private:
+  std::size_t rows_, cols_;
+};
+
+/// Anti-diagonal pattern: front d = {(i, j) : i + j == d}.
+class AntiDiagonalLayout {
+ public:
+  AntiDiagonalLayout(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {
+    detail::check_dims(rows, cols);
+    offsets_.reserve(num_fronts() + 1);
+    std::size_t acc = 0;
+    for (std::size_t d = 0; d < num_fronts(); ++d) {
+      offsets_.push_back(acc);
+      acc += front_size(d);
+    }
+    offsets_.push_back(acc);
+    LDDP_DCHECK(acc == size());
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  std::size_t num_fronts() const { return rows_ + cols_ - 1; }
+
+  std::size_t i_min(std::size_t d) const {
+    return d < cols_ ? 0 : d - cols_ + 1;
+  }
+  std::size_t i_max(std::size_t d) const { return std::min(rows_ - 1, d); }
+
+  std::size_t front_size(std::size_t d) const {
+    LDDP_DCHECK(d < num_fronts());
+    return i_max(d) - i_min(d) + 1;
+  }
+  std::size_t front_offset(std::size_t d) const {
+    LDDP_DCHECK(d < offsets_.size());
+    return offsets_[d];
+  }
+  std::size_t front_of(std::size_t i, std::size_t j) const { return i + j; }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    const std::size_t d = i + j;
+    return offsets_[d] + (i - i_min(d));
+  }
+  CellIndex cell(std::size_t d, std::size_t p) const {
+    LDDP_DCHECK(d < num_fronts() && p < front_size(d));
+    const std::size_t i = i_min(d) + p;
+    return {i, d - i};
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Knight-move pattern: front t = {(i, j) : 2i + j == t} (Figure 2(d)).
+class KnightMoveLayout {
+ public:
+  KnightMoveLayout(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {
+    detail::check_dims(rows, cols);
+    offsets_.reserve(num_fronts() + 1);
+    std::size_t acc = 0;
+    for (std::size_t t = 0; t < num_fronts(); ++t) {
+      offsets_.push_back(acc);
+      acc += front_size(t);
+    }
+    offsets_.push_back(acc);
+    LDDP_DCHECK(acc == size());
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  std::size_t num_fronts() const { return 2 * (rows_ - 1) + cols_; }
+
+  // Valid i range of front t: j = t - 2i must lie in [0, cols).
+  std::size_t i_min(std::size_t t) const {
+    return t < cols_ ? 0 : (t - cols_ + 2) / 2;  // ceil((t - cols + 1) / 2)
+  }
+  std::size_t i_max(std::size_t t) const { return std::min(rows_ - 1, t / 2); }
+
+  /// May be zero: on single-column tables only every other 2i+j line
+  /// contains a cell.
+  std::size_t front_size(std::size_t t) const {
+    LDDP_DCHECK(t < num_fronts());
+    const std::size_t lo = i_min(t), hi = i_max(t);
+    return lo > hi ? 0 : hi - lo + 1;
+  }
+  std::size_t front_offset(std::size_t t) const {
+    LDDP_DCHECK(t < offsets_.size());
+    return offsets_[t];
+  }
+  std::size_t front_of(std::size_t i, std::size_t j) const {
+    return 2 * i + j;
+  }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    const std::size_t t = 2 * i + j;
+    // Enumerated by j ascending == i descending.
+    return offsets_[t] + (i_max(t) - i);
+  }
+  CellIndex cell(std::size_t t, std::size_t p) const {
+    LDDP_DCHECK(t < num_fronts() && p < front_size(t));
+    const std::size_t i = i_max(t) - p;
+    return {i, t - 2 * i};
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Inverted-L pattern: shell k = {(i, j) : min(i, j) == k} (Figure 2(c)).
+/// Enumeration: column part (j == k) bottom-up, then row part (i == k) by
+/// j ascending — the CPU's left column-strip is a prefix of every shell.
+class ShellLayout {
+ public:
+  ShellLayout(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+    detail::check_dims(rows, cols);
+    offsets_.reserve(num_fronts() + 1);
+    std::size_t acc = 0;
+    for (std::size_t k = 0; k < num_fronts(); ++k) {
+      offsets_.push_back(acc);
+      acc += front_size(k);
+    }
+    offsets_.push_back(acc);
+    LDDP_DCHECK(acc == size());
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  std::size_t num_fronts() const { return std::min(rows_, cols_); }
+
+  /// Cells below the corner (column part) come first in the enumeration.
+  std::size_t column_part_size(std::size_t k) const { return rows_ - 1 - k; }
+
+  std::size_t front_size(std::size_t k) const {
+    LDDP_DCHECK(k < num_fronts());
+    return (rows_ - k) + (cols_ - k) - 1;
+  }
+  std::size_t front_offset(std::size_t k) const {
+    LDDP_DCHECK(k < offsets_.size());
+    return offsets_[k];
+  }
+  std::size_t front_of(std::size_t i, std::size_t j) const {
+    return std::min(i, j);
+  }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    LDDP_DCHECK(i < rows_ && j < cols_);
+    const std::size_t k = std::min(i, j);
+    if (j == k && i > k) return offsets_[k] + (rows_ - 1 - i);  // column part
+    return offsets_[k] + column_part_size(k) + (j - k);         // row part
+  }
+  CellIndex cell(std::size_t k, std::size_t p) const {
+    LDDP_DCHECK(k < num_fronts() && p < front_size(k));
+    const std::size_t col_n = column_part_size(k);
+    if (p < col_n) return {rows_ - 1 - p, k};
+    return {k, k + (p - col_n)};
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Mirrored inverted-L pattern: shell k = {(i, j) : min(i, cols-1-j) == k}
+/// (Figure 2(f)). Mirror image of ShellLayout about the vertical axis; the
+/// CPU's *right* column-strip is a prefix of every shell.
+class MirrorShellLayout {
+ public:
+  MirrorShellLayout(std::size_t rows, std::size_t cols)
+      : inner_(rows, cols) {}
+
+  std::size_t rows() const { return inner_.rows(); }
+  std::size_t cols() const { return inner_.cols(); }
+  std::size_t size() const { return inner_.size(); }
+  std::size_t num_fronts() const { return inner_.num_fronts(); }
+  std::size_t column_part_size(std::size_t k) const {
+    return inner_.column_part_size(k);
+  }
+  std::size_t front_size(std::size_t k) const { return inner_.front_size(k); }
+  std::size_t front_offset(std::size_t k) const {
+    return inner_.front_offset(k);
+  }
+  std::size_t front_of(std::size_t i, std::size_t j) const {
+    return inner_.front_of(i, mirror(j));
+  }
+  std::size_t flat(std::size_t i, std::size_t j) const {
+    return inner_.flat(i, mirror(j));
+  }
+  CellIndex cell(std::size_t k, std::size_t p) const {
+    CellIndex c = inner_.cell(k, p);
+    return {c.i, mirror(c.j)};
+  }
+
+ private:
+  std::size_t mirror(std::size_t j) const { return inner_.cols() - 1 - j; }
+  ShellLayout inner_;
+};
+
+}  // namespace lddp

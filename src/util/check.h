@@ -1,0 +1,54 @@
+// Lightweight runtime checking macros used across the LDDP framework.
+//
+// LDDP_CHECK is always on (it guards user-facing API misuse and internal
+// invariants whose violation would otherwise corrupt results silently).
+// LDDP_DCHECK compiles out in NDEBUG builds and is meant for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lddp {
+
+/// Exception thrown on any failed LDDP_CHECK. Carries the failing
+/// expression, location, and an optional context message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LDDP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace lddp
+
+#define LDDP_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lddp::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define LDDP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream lddp_os_;                                    \
+      lddp_os_ << msg;                                                \
+      ::lddp::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   lddp_os_.str());                   \
+    }                                                                 \
+  } while (0)
+
+#ifdef NDEBUG
+#define LDDP_DCHECK(expr) ((void)0)
+#else
+#define LDDP_DCHECK(expr) LDDP_CHECK(expr)
+#endif

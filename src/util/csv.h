@@ -1,0 +1,89 @@
+// Minimal CSV emitter used by the benchmark harness to dump figure series
+// next to the human-readable tables, so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+/// Collects rows in memory, writes the file on `save` (or on destruction if
+/// a path was given and save was never called — best effort, no throw).
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  explicit CsvWriter(std::string path) : path_(std::move(path)) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  ~CsvWriter() {
+    if (!saved_ && !path_.empty()) {
+      try {
+        save();
+      } catch (...) {
+        // Destructor must not throw; losing a CSV dump is non-fatal.
+      }
+    }
+  }
+
+  void header(std::initializer_list<std::string> cols) {
+    LDDP_CHECK_MSG(rows_.empty(), "header must precede all rows");
+    rows_.push_back(join(std::vector<std::string>(cols)));
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    rows_.push_back(join(cells));
+  }
+
+  void save() {
+    LDDP_CHECK_MSG(!path_.empty(), "CsvWriter has no output path");
+    std::ofstream out(path_);
+    LDDP_CHECK_MSG(out.good(), "cannot open " << path_ << " for writing");
+    for (const auto& r : rows_) out << r << '\n';
+    saved_ = true;
+  }
+
+  std::string str() const {
+    std::string s;
+    for (const auto& r : rows_) {
+      s += r;
+      s += '\n';
+    }
+    return s;
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    // Quote cells containing the separator; benchmark labels may have commas.
+    if (s.find(',') != std::string::npos) s = '"' + s + '"';
+    return s;
+  }
+
+  static std::string join(const std::vector<std::string>& cells) {
+    std::string s;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) s += ',';
+      s += cells[i];
+    }
+    return s;
+  }
+
+  std::string path_;
+  std::vector<std::string> rows_;
+  bool saved_ = false;
+};
+
+}  // namespace lddp

@@ -1,0 +1,104 @@
+// Minimal command-line flag parsing for the tools and examples:
+// `--key value` and `--key=value` pairs plus positional arguments, with
+// typed accessors and unknown-flag detection. No registration step — the
+// binary's usage text is the single source of truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    LDDP_CHECK(argc >= 1);
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";  // boolean-style flag
+      }
+    }
+  }
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    consumed_.insert(key);
+    return it->second;
+  }
+
+  long long get_int(const std::string& key, long long def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    consumed_.insert(key);
+    try {
+      std::size_t pos = 0;
+      const long long v = std::stoll(it->second, &pos);
+      LDDP_CHECK_MSG(pos == it->second.size(),
+                     "--" << key << ": trailing junk in '" << it->second
+                          << "'");
+      return v;
+    } catch (const std::logic_error& e) {
+      if (dynamic_cast<const CheckError*>(&e)) throw;
+      throw CheckError("--" + key + ": '" + it->second +
+                       "' is not an integer");
+    }
+  }
+
+  double get_double(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    consumed_.insert(key);
+    try {
+      return std::stod(it->second);
+    } catch (const std::logic_error&) {
+      throw CheckError("--" + key + ": '" + it->second + "' is not a number");
+    }
+  }
+
+  bool get_bool(const std::string& key, bool def = false) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    consumed_.insert(key);
+    return it->second.empty() || it->second == "1" || it->second == "true" ||
+           it->second == "yes";
+  }
+
+  /// Flags that were supplied but never read — catches typos.
+  std::vector<std::string> unknown() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : values_)
+      if (consumed_.count(k) == 0) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace lddp

@@ -1,0 +1,82 @@
+// Small descriptive-statistics helpers for benchmark reporting and the
+// empirical tuner. Header-only; everything operates on std::span so callers
+// never copy their sample vectors.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lddp {
+
+inline double mean(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Population standard deviation (n in the denominator); fine for the
+/// repeated-measurement use cases here.
+inline double stddev(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+/// Median; copies the input (samples are tiny).
+inline double median(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+inline double min_of(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+inline double max_of(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+/// Index of the minimum element — used by the concave-sweep tuner to pick
+/// the optimal t_switch / t_share from a sampled curve.
+inline std::size_t argmin(std::span<const double> xs) {
+  LDDP_CHECK(!xs.empty());
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::min_element(xs.begin(), xs.end())));
+}
+
+/// True if the sampled curve is "concave-shaped" in the loose empirical
+/// sense the paper relies on (Fig 7): it decreases to a global minimum and
+/// increases afterwards, allowing `slack` relative wobble between adjacent
+/// samples to absorb measurement noise.
+inline bool is_valley_shaped(std::span<const double> xs, double slack = 0.05) {
+  if (xs.size() < 3) return true;
+  const std::size_t k = argmin(xs);
+  for (std::size_t i = 0; i + 1 <= k && k > 0 && i + 1 <= xs.size() - 1; ++i) {
+    if (i + 1 > k) break;
+    if (xs[i + 1] > xs[i] * (1.0 + slack)) return false;  // should descend
+  }
+  for (std::size_t i = k; i + 1 < xs.size(); ++i) {
+    if (xs[i + 1] < xs[i] * (1.0 - slack)) return false;  // should ascend
+  }
+  return true;
+}
+
+}  // namespace lddp

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch. The framework's headline numbers come from the
+// simulated timeline (src/sim/timeline.h); this is the companion real-time
+// measurement reported alongside for reference.
+#pragma once
+
+#include <chrono>
+
+namespace lddp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lddp

@@ -1,0 +1,92 @@
+// Tiny SVG emitter — enough to regenerate the paper's schematic figures
+// (cell grids with fills, labels and arrows) from the framework's own
+// layout and ownership logic. Header-only, no dependencies.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+
+namespace lddp {
+
+class SvgWriter {
+ public:
+  SvgWriter(double width, double height) : width_(width), height_(height) {
+    LDDP_CHECK(width > 0 && height > 0);
+  }
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            const std::string& stroke = "#333", double stroke_width = 1.0) {
+    body_ << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w
+          << "\" height=\"" << h << "\" fill=\"" << fill << "\" stroke=\""
+          << stroke << "\" stroke-width=\"" << stroke_width << "\"/>\n";
+  }
+
+  void text(double x, double y, const std::string& s, double size = 12,
+            const std::string& fill = "#111",
+            const std::string& anchor = "middle") {
+    body_ << "<text x=\"" << x << "\" y=\"" << y << "\" font-size=\"" << size
+          << "\" font-family=\"sans-serif\" fill=\"" << fill
+          << "\" text-anchor=\"" << anchor << "\">" << escape(s)
+          << "</text>\n";
+  }
+
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke = "#c00", double width = 1.5,
+            bool arrow = false) {
+    body_ << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+          << "\" y2=\"" << y2 << "\" stroke=\"" << stroke
+          << "\" stroke-width=\"" << width << "\"";
+    if (arrow) {
+      need_arrow_ = true;
+      body_ << " marker-end=\"url(#arrow)\"";
+    }
+    body_ << "/>\n";
+  }
+
+  void save(const std::string& path) const {
+    std::ofstream out(path);
+    LDDP_CHECK_MSG(out.good(), "cannot open " << path);
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+        << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+        << height_ << "\">\n";
+    if (need_arrow_) {
+      out << "<defs><marker id=\"arrow\" markerWidth=\"8\" markerHeight=\"8\""
+             " refX=\"6\" refY=\"3\" orient=\"auto\">"
+             "<path d=\"M0,0 L6,3 L0,6 z\" fill=\"#c00\"/></marker></defs>\n";
+    }
+    out << body_.str() << "</svg>\n";
+    LDDP_CHECK_MSG(out.good(), "short write to " << path);
+  }
+
+  std::string str() const { return body_.str(); }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '<':
+          out += "&lt;";
+          break;
+        case '>':
+          out += "&gt;";
+          break;
+        case '&':
+          out += "&amp;";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  }
+
+  double width_, height_;
+  std::ostringstream body_;
+  bool need_arrow_ = false;
+};
+
+}  // namespace lddp

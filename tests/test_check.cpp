@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace lddp {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(LDDP_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(LDDP_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    LDDP_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    LDDP_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, DcheckActsLikeCheckInDebug) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(LDDP_DCHECK(false));
+#else
+  EXPECT_THROW(LDDP_DCHECK(false), CheckError);
+#endif
+}
+
+}  // namespace
+}  // namespace lddp

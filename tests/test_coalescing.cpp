@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/coalescing.h"
+
+namespace lddp::sim {
+namespace {
+
+TEST(CoalescingTest, ContiguousFourByteAccessesUseOneTransaction) {
+  // 32 lanes x 4 B consecutive = 128 B = exactly one segment.
+  EXPECT_EQ(strided_warp_transactions(4, 1, 32, 128), 1u);
+}
+
+TEST(CoalescingTest, ContiguousEightByteAccessesUseTwoTransactions) {
+  EXPECT_EQ(strided_warp_transactions(8, 1, 32, 128), 2u);
+}
+
+TEST(CoalescingTest, HugeStrideGivesOneTransactionPerLane) {
+  EXPECT_EQ(strided_warp_transactions(4, 4096, 32, 128), 32u);
+}
+
+TEST(CoalescingTest, IntermediateStride) {
+  // Stride 8 elements x 4 B = 32 B apart: 4 lanes share one 128 B segment.
+  EXPECT_EQ(strided_warp_transactions(4, 8, 32, 128), 8u);
+}
+
+TEST(CoalescingTest, AmplificationRatios) {
+  EXPECT_DOUBLE_EQ(coalescing_amplification(4, 1, 32, 128), 1.0);
+  EXPECT_DOUBLE_EQ(coalescing_amplification(4, 4096, 32, 128), 32.0);
+  EXPECT_DOUBLE_EQ(coalescing_amplification(8, 4096, 32, 128), 16.0);
+}
+
+TEST(CoalescingTest, ExplicitOffsetsDeduplicateSegments) {
+  // All lanes hitting the same word: one transaction.
+  std::vector<std::size_t> same(32, 64);
+  EXPECT_EQ(warp_transactions(same, 128), 1u);
+  // Two clusters in different segments.
+  std::vector<std::size_t> two{0, 4, 8, 300, 304};
+  EXPECT_EQ(warp_transactions(two, 128), 2u);
+}
+
+TEST(CoalescingTest, UnsortedOffsetsHandled) {
+  std::vector<std::size_t> shuffled{900, 4, 260, 0, 132};
+  EXPECT_EQ(warp_transactions(shuffled, 128), 4u);  // segs 0, 1, 2, 7
+}
+
+TEST(CoalescingTest, EmptyWarpNeedsNothing) {
+  EXPECT_EQ(warp_transactions({}, 128), 0u);
+}
+
+TEST(CoalescingTest, MisalignedClusterSpansTwoSegments) {
+  // 32 x 4 B starting at byte 64: bytes [64, 192) covers two segments.
+  std::vector<std::size_t> offs;
+  for (int lane = 0; lane < 32; ++lane) offs.push_back(64 + 4 * lane);
+  EXPECT_EQ(warp_transactions(offs, 128), 2u);
+}
+
+}  // namespace
+}  // namespace lddp::sim

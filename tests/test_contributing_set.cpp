@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "core/contributing_set.h"
+
+namespace lddp {
+namespace {
+
+TEST(ContributingSetTest, InitializerListAndMaskAgree) {
+  const ContributingSet a{Dep::kW, Dep::kN};
+  const ContributingSet b(static_cast<std::uint8_t>(
+      static_cast<int>(Dep::kW) | static_cast<int>(Dep::kN)));
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.has_w());
+  EXPECT_FALSE(a.has_nw());
+  EXPECT_TRUE(a.has_n());
+  EXPECT_FALSE(a.has_ne());
+}
+
+TEST(ContributingSetTest, CountsBits) {
+  EXPECT_EQ(ContributingSet{Dep::kW}.count(), 1);
+  EXPECT_EQ((ContributingSet{Dep::kW, Dep::kNE}.count()), 2);
+  EXPECT_EQ((ContributingSet{Dep::kW, Dep::kNW, Dep::kN, Dep::kNE}.count()),
+            4);
+}
+
+TEST(ContributingSetTest, ToStringOrder) {
+  EXPECT_EQ((ContributingSet{Dep::kW, Dep::kNW, Dep::kN, Dep::kNE}).to_string(),
+            "W+NW+N+NE");
+  EXPECT_EQ(ContributingSet{Dep::kNE}.to_string(), "NE");
+}
+
+TEST(ContributingSetTest, RejectsEmptyAndOverflow) {
+  EXPECT_THROW(ContributingSet(std::uint8_t{0}), CheckError);
+  EXPECT_THROW(ContributingSet(std::uint8_t{16}), CheckError);
+  EXPECT_THROW(ContributingSet(std::uint8_t{255}), CheckError);
+}
+
+TEST(ContributingSetTest, ByIndexEnumeratesAllFifteen) {
+  for (int k = 0; k < kNumContributingSets; ++k) {
+    const ContributingSet cs = contributing_set_by_index(k);
+    EXPECT_EQ(cs.mask(), k + 1);
+    EXPECT_GE(cs.count(), 1);
+  }
+  EXPECT_THROW(contributing_set_by_index(15), CheckError);
+  EXPECT_THROW(contributing_set_by_index(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cost_model.h"
+
+namespace lddp::cpu {
+namespace {
+
+TEST(CpuCostModelTest, PresetsMatchPaperSpecs) {
+  const CpuSpec high = CpuSpec::i7_980();
+  EXPECT_EQ(high.cores, 6);
+  EXPECT_EQ(high.logical_threads, 12);
+  EXPECT_NEAR(high.clock_ghz, 3.33, 1e-9);
+  const CpuSpec low = CpuSpec::i7_3632qm();
+  EXPECT_EQ(low.cores, 4);
+  EXPECT_EQ(low.logical_threads, 8);
+  EXPECT_NEAR(low.clock_ghz, 2.2, 1e-9);
+}
+
+TEST(CpuCostModelTest, ZeroCellsIsFree) {
+  const CpuSpec s = CpuSpec::i7_980();
+  EXPECT_DOUBLE_EQ(cpu_front_seconds(s, WorkProfile{}, 0), 0.0);
+}
+
+TEST(CpuCostModelTest, MonotonicInCells) {
+  const CpuSpec s = CpuSpec::i7_980();
+  const WorkProfile w{};
+  double prev = 0;
+  for (std::size_t cells : {1u, 10u, 100u, 1000u, 100000u, 10000000u}) {
+    const double t = cpu_front_seconds(s, w, cells);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CpuCostModelTest, ParallelHasHigherFixedCostLowerSlope) {
+  const CpuSpec s = CpuSpec::i7_980();
+  const WorkProfile w{};
+  // Tiny fronts: serial wins (no fork/join).
+  EXPECT_LT(cpu_front_seconds(s, w, 4, false), cpu_front_seconds(s, w, 4, true));
+  // Huge fronts: parallel wins.
+  EXPECT_GT(cpu_front_seconds(s, w, 10000000, false),
+            cpu_front_seconds(s, w, 10000000, true));
+}
+
+TEST(CpuCostModelTest, ParallelBeatsSerialSwitchesOnce) {
+  const CpuSpec s = CpuSpec::i7_980();
+  const WorkProfile w{};
+  EXPECT_FALSE(parallel_beats_serial(s, w, 2));
+  EXPECT_TRUE(parallel_beats_serial(s, w, 1 << 22));
+}
+
+TEST(CpuCostModelTest, FasterCpuIsFaster) {
+  const WorkProfile w{};
+  const double high = cpu_front_seconds(CpuSpec::i7_980(), w, 1 << 20);
+  const double low = cpu_front_seconds(CpuSpec::i7_3632qm(), w, 1 << 20);
+  EXPECT_LT(high, low);
+}
+
+TEST(CpuCostModelTest, MemoryAmplificationSlowsLargeFronts) {
+  const CpuSpec s = CpuSpec::i7_980();
+  const WorkProfile w{};
+  const double base = cpu_front_seconds(s, w, 1 << 20, true, 1.0);
+  const double amp = cpu_front_seconds(s, w, 1 << 20, true, 16.0);
+  EXPECT_GT(amp, base * 4);  // memory-bound regime: ~16x traffic
+}
+
+TEST(CpuCostModelTest, PeakThroughputBoundedByMemoryAndCompute) {
+  const CpuSpec s = CpuSpec::i7_980();
+  WorkProfile w{};
+  const double peak = cpu_peak_throughput(s, w);
+  const double compute_bound =
+      s.cores * (1.0 + s.smt_boost) * s.clock_ghz * 1e9 / w.cpu_cycles_per_cell;
+  const double mem_bound = s.mem_bandwidth_gbs * 1e9 / w.bytes_per_cell;
+  EXPECT_DOUBLE_EQ(peak, std::min(compute_bound, mem_bound));
+}
+
+TEST(CpuCostModelTest, InvalidAmplificationThrows) {
+  const CpuSpec s = CpuSpec::i7_980();
+  EXPECT_THROW(cpu_front_seconds(s, WorkProfile{}, 10, true, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp::cpu

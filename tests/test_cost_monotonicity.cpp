@@ -1,0 +1,130 @@
+// Parameterized monotonicity and consistency sweeps over the analytic cost
+// models — the properties the scheduling heuristics rely on.
+#include <gtest/gtest.h>
+
+#include "cpu/cost_model.h"
+#include "core/strategies/heuristics.h"
+#include "sim/kernel.h"
+
+namespace lddp {
+namespace {
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, KernelMonotonicInCells) {
+  const auto g = sim::GpuSpec::tesla_k20();
+  const std::size_t n = GetParam();
+  EXPECT_LE(sim::kernel_seconds(g, sim::KernelInfo{}, n),
+            sim::kernel_seconds(g, sim::KernelInfo{}, n * 2) + 1e-15);
+}
+
+TEST_P(SizeSweep, KernelMonotonicInAmplification) {
+  const auto g = sim::GpuSpec::tesla_k20();
+  const std::size_t n = GetParam();
+  sim::KernelInfo a, b;
+  a.mem_amplification = 1.0;
+  b.mem_amplification = 2.0;
+  EXPECT_LE(sim::kernel_seconds(g, a, n), sim::kernel_seconds(g, b, n));
+}
+
+TEST_P(SizeSweep, TransferMonotonicInBytes) {
+  const auto g = sim::GpuSpec::gt650m();
+  const std::size_t n = GetParam();
+  for (auto kind : {sim::MemoryKind::kPinned, sim::MemoryKind::kPageable})
+    EXPECT_LT(sim::transfer_seconds(g, n, kind),
+              sim::transfer_seconds(g, n * 4, kind));
+}
+
+TEST_P(SizeSweep, CpuFrontMonotonicInCells) {
+  const auto c = cpu::CpuSpec::i7_980();
+  const std::size_t n = GetParam();
+  for (bool parallel : {false, true}) {
+    EXPECT_LE(cpu::cpu_front_seconds(c, cpu::WorkProfile{}, n, parallel),
+              cpu::cpu_front_seconds(c, cpu::WorkProfile{}, 2 * n, parallel) +
+                  1e-15);
+  }
+}
+
+TEST_P(SizeSweep, StreamedNeverSlowerThanForkJoin) {
+  const auto c = cpu::CpuSpec::i7_980();
+  const std::size_t n = GetParam();
+  EXPECT_LE(cpu::cpu_front_seconds(c, cpu::WorkProfile{}, n, true, 1.0, true),
+            cpu::cpu_front_seconds(c, cpu::WorkProfile{}, n, true, 1.0,
+                                   false));
+}
+
+TEST_P(SizeSweep, TiledFrontMonotonicInTiles) {
+  const auto c = cpu::CpuSpec::i7_3632qm();
+  const std::size_t n = GetParam();
+  EXPECT_LE(cpu::cpu_tiled_front_seconds(c, cpu::WorkProfile{}, n, 1024),
+            cpu::cpu_tiled_front_seconds(c, cpu::WorkProfile{}, 2 * n, 1024) +
+                1e-15);
+}
+
+TEST_P(SizeSweep, HeavierWorkCostsMore) {
+  const std::size_t n = GetParam();
+  cpu::WorkProfile light, heavy;
+  heavy.cpu_cycles_per_cell = light.cpu_cycles_per_cell * 3;
+  heavy.gpu_cycles_per_cell = light.gpu_cycles_per_cell * 3;
+  heavy.bytes_per_cell = light.bytes_per_cell * 3;
+  const auto c = cpu::CpuSpec::i7_980();
+  const auto g = sim::GpuSpec::tesla_k20();
+  EXPECT_LE(cpu::cpu_front_seconds(c, light, n),
+            cpu::cpu_front_seconds(c, heavy, n));
+  sim::KernelInfo li, hi;
+  li.work = light;
+  hi.work = heavy;
+  EXPECT_LE(sim::kernel_seconds(g, li, n), sim::kernel_seconds(g, hi, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(1u, 7u, 64u, 500u, 4096u, 65536u,
+                                           1u << 20));
+
+TEST(HeuristicConsistencyTest, CrossoverSeparatesWinners) {
+  // Below the crossover the CPU's best front price wins; above, the GPU's.
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const sim::KernelInfo kernel;
+  const std::size_t fc =
+      detail::gpu_crossover_front_cells(platform, kernel, 1 << 22);
+  ASSERT_GT(fc, 2u);
+  ASSERT_LT(fc, 1u << 22);
+  auto cpu_best = [&](std::size_t f) {
+    return std::min(
+        cpu::cpu_front_seconds(platform.cpu, kernel.work, f, true, 1.0, true),
+        cpu::cpu_front_seconds(platform.cpu, kernel.work, f, false));
+  };
+  auto gpu_cost = [&](std::size_t f) {
+    return sim::kernel_seconds(platform.gpu, kernel, f) +
+           sim::transfer_seconds(platform.gpu, sizeof(double),
+                                 sim::MemoryKind::kPinned);
+  };
+  EXPECT_LE(cpu_best(fc / 2), gpu_cost(fc / 2));
+  EXPECT_LE(gpu_cost(fc * 2), cpu_best(fc * 2));
+}
+
+TEST(HeuristicConsistencyTest, BalancedShareNeverWorseThanEndpoints) {
+  // The scanned split must beat (or tie) both all-CPU and all-GPU at its
+  // own objective.
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const sim::KernelInfo kernel;
+  for (std::size_t f : {512u, 4096u, 65536u}) {
+    const long long s =
+        detail::balanced_t_share(platform, kernel, f, 1.0, 0.0, 0.0);
+    auto objective = [&](std::size_t share) {
+      const double cpu =
+          share == 0 ? 0.0
+                     : cpu::cpu_front_seconds(platform.cpu, kernel.work,
+                                              share, true, 1.0, true);
+      const double gpu =
+          sim::kernel_seconds(platform.gpu, kernel, f - share);
+      return std::max(cpu, gpu);
+    };
+    const double at_best = objective(static_cast<std::size_t>(s));
+    EXPECT_LE(at_best, objective(0) + 1e-15) << f;
+    EXPECT_LE(at_best, objective(f) + 1e-15) << f;
+  }
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace lddp {
+namespace {
+
+TEST(CsvTest, BuildsRowsInMemory) {
+  CsvWriter csv;
+  csv.header({"size", "mode", "seconds"});
+  csv.row(1024, "gpu", 0.25);
+  csv.row(2048, "hetero", 0.125);
+  EXPECT_EQ(csv.str(),
+            "size,mode,seconds\n1024,gpu,0.25\n2048,hetero,0.125\n");
+}
+
+TEST(CsvTest, QuotesCellsWithCommas) {
+  CsvWriter csv;
+  csv.row("a,b", 1);
+  EXPECT_EQ(csv.str(), "\"a,b\",1\n");
+}
+
+TEST(CsvTest, HeaderAfterRowsThrows) {
+  CsvWriter csv;
+  csv.row(1);
+  EXPECT_THROW(csv.header({"x"}), CheckError);
+}
+
+TEST(CsvTest, SavesToDisk) {
+  const std::string path = ::testing::TempDir() + "/lddp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a"});
+    csv.row(7);
+    csv.save();
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "a");
+  EXPECT_EQ(l2, "7");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SaveWithoutPathThrows) {
+  CsvWriter csv;
+  csv.row(1);
+  EXPECT_THROW(csv.save(), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,170 @@
+// CUDA-semantics tests for the simulated device: stream FIFO order,
+// cross-stream events, copy/compute overlap, pinned vs pageable pricing,
+// and the eager-execution correctness of memcpy/launch.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/platform.h"
+
+namespace lddp::sim {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  Timeline tl_;
+  Device dev_{GpuSpec::tesla_k20(), tl_};
+};
+
+TEST_F(DeviceTest, MemcpyMovesRealBytes) {
+  auto buf = dev_.alloc<int>(8);
+  std::vector<int> host{1, 2, 3, 4, 5, 6, 7, 8};
+  dev_.memcpy_h2d(dev_.default_stream(), buf.device_ptr(), host.data(), 8,
+                  MemoryKind::kPageable);
+  std::vector<int> back(8, 0);
+  dev_.memcpy_d2h(dev_.default_stream(), back.data(), buf.device_ptr(), 8,
+                  MemoryKind::kPageable);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(dev_.stats().h2d_bytes, 32u);
+  EXPECT_EQ(dev_.stats().d2h_bytes, 32u);
+  EXPECT_EQ(dev_.stats().h2d_copies, 1u);
+  EXPECT_EQ(dev_.stats().d2h_copies, 1u);
+}
+
+TEST_F(DeviceTest, LaunchExecutesBodyOverAllCells) {
+  auto buf = dev_.alloc<int>(1000);
+  int* p = buf.device_ptr();
+  dev_.launch(dev_.default_stream(), KernelInfo{}, 1000,
+              [p](std::size_t c) { p[c] = static_cast<int>(c) * 3; });
+  for (int c = 0; c < 1000; ++c) EXPECT_EQ(p[c], c * 3);
+}
+
+TEST_F(DeviceTest, StreamFifoSerializes) {
+  const auto s = dev_.default_stream();
+  const OpId a = dev_.launch(s, KernelInfo{}, 64, [](std::size_t) {});
+  const OpId b = dev_.launch(s, KernelInfo{}, 64, [](std::size_t) {});
+  EXPECT_GE(tl_.start_time(b), tl_.end_time(a));
+}
+
+TEST_F(DeviceTest, SeparateStreamsOverlapComputeAndCopy) {
+  const auto compute = dev_.default_stream();
+  const auto copy = dev_.create_stream();
+  auto buf = dev_.alloc<int>(1 << 20);
+  std::vector<int> host(1 << 20, 7);
+  const OpId k = dev_.launch(compute, KernelInfo{}, 1 << 20,
+                             [](std::size_t) {});
+  const OpId x = dev_.memcpy_h2d(copy, buf.device_ptr(), host.data(),
+                                 1 << 20, MemoryKind::kPageable);
+  // Copy engine and compute are distinct resources: both start at 0.
+  EXPECT_DOUBLE_EQ(tl_.start_time(k), 0.0);
+  EXPECT_DOUBLE_EQ(tl_.start_time(x), 0.0);
+}
+
+TEST_F(DeviceTest, StreamWaitEventOrdersAcrossStreams) {
+  const auto compute = dev_.default_stream();
+  const auto copy = dev_.create_stream();
+  auto buf = dev_.alloc<int>(256);
+  std::vector<int> host(256, 1);
+  const OpId x = dev_.memcpy_h2d(copy, buf.device_ptr(), host.data(), 256,
+                                 MemoryKind::kPageable);
+  dev_.stream_wait(compute, x);
+  const OpId k = dev_.launch(compute, KernelInfo{}, 256, [](std::size_t) {});
+  EXPECT_GE(tl_.start_time(k), tl_.end_time(x));
+  // The wait is consumed: the next op does not wait again.
+  const OpId k2 = dev_.launch(compute, KernelInfo{}, 256, [](std::size_t) {});
+  EXPECT_GE(tl_.start_time(k2), tl_.end_time(k));
+}
+
+TEST_F(DeviceTest, MultipleStreamWaitsAccumulate) {
+  const auto compute = dev_.default_stream();
+  const auto c1 = dev_.create_stream();
+  const auto c2 = dev_.create_stream();
+  // Two copies of very different lengths on independent streams.
+  const OpId short_copy = dev_.record_h2d(c1, 64, MemoryKind::kPinned);
+  const OpId long_copy = dev_.record_h2d(c2, 1 << 22, MemoryKind::kPageable);
+  dev_.stream_wait(compute, short_copy);
+  dev_.stream_wait(compute, long_copy);  // must not erase the first wait
+  const OpId k = dev_.launch(compute, KernelInfo{}, 16, [](std::size_t) {});
+  EXPECT_GE(tl_.start_time(k), tl_.end_time(short_copy));
+  EXPECT_GE(tl_.start_time(k), tl_.end_time(long_copy));
+}
+
+TEST_F(DeviceTest, ExtraDepOrdersOps) {
+  const auto s1 = dev_.default_stream();
+  const auto s2 = dev_.create_stream();
+  const OpId a = dev_.launch(s1, KernelInfo{}, 1 << 20, [](std::size_t) {});
+  const OpId b = dev_.launch(s2, KernelInfo{}, 16, [](std::size_t) {}, a);
+  EXPECT_GE(tl_.start_time(b), tl_.end_time(a));
+}
+
+TEST_F(DeviceTest, TwoCopyEnginesOverlapH2dAndD2h) {
+  ASSERT_GE(dev_.spec().copy_engines, 2);
+  const auto up = dev_.create_stream();
+  const auto down = dev_.create_stream();
+  const OpId a = dev_.record_h2d(up, 1 << 20, MemoryKind::kPageable);
+  const OpId b = dev_.record_d2h(down, 1 << 20, MemoryKind::kPageable);
+  EXPECT_DOUBLE_EQ(tl_.start_time(a), 0.0);
+  EXPECT_DOUBLE_EQ(tl_.start_time(b), 0.0);
+}
+
+TEST(DeviceSingleEngineTest, SingleCopyEngineSerializesDirections) {
+  Timeline tl;
+  Device dev(GpuSpec::gt650m(), tl);  // 1 copy engine
+  const auto up = dev.create_stream();
+  const auto down = dev.create_stream();
+  const OpId a = dev.record_h2d(up, 1 << 20, MemoryKind::kPageable);
+  const OpId b = dev.record_d2h(down, 1 << 20, MemoryKind::kPageable);
+  EXPECT_GE(tl.start_time(b), tl.end_time(a));
+}
+
+TEST_F(DeviceTest, RecordTransfersPricePinnedCheaper) {
+  const auto s = dev_.create_stream();
+  const OpId a = dev_.record_h2d(s, 64, MemoryKind::kPageable);
+  const double pageable = tl_.end_time(a) - tl_.start_time(a);
+  const OpId b = dev_.record_h2d(s, 64, MemoryKind::kPinned);
+  const double pinned = tl_.end_time(b) - tl_.start_time(b);
+  EXPECT_LT(pinned, pageable);
+}
+
+TEST_F(DeviceTest, BusyAccountingSumsKernelsAndCopies) {
+  const auto s = dev_.default_stream();
+  dev_.launch(s, KernelInfo{}, 1 << 18, [](std::size_t) {});
+  dev_.record_h2d(s, 1 << 18, MemoryKind::kPageable);
+  EXPECT_GT(dev_.compute_busy(), 0.0);
+  EXPECT_GT(dev_.copy_busy(), 0.0);
+  EXPECT_NEAR(dev_.compute_busy() + dev_.copy_busy(), dev_.synchronize(),
+              1e-12);  // same stream: no overlap
+}
+
+TEST(PlatformTest, CpuFrontExecutesAndCharges) {
+  Platform platform(PlatformSpec::hetero_high());
+  std::vector<int> v(1000, 0);
+  const OpId op = platform.cpu_front(
+      1000, cpu::WorkProfile{}, [&](std::size_t i) { v[i] = 1; });
+  EXPECT_NE(op, kNoOp);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 1000);
+  EXPECT_GT(platform.elapsed(), 0.0);
+  EXPECT_DOUBLE_EQ(platform.cpu_busy(), platform.elapsed());
+}
+
+TEST(PlatformTest, CpuChargeRecordsWithoutExecuting) {
+  Platform platform(PlatformSpec::hetero_high());
+  const OpId op = platform.cpu_charge(1 << 20, cpu::WorkProfile{}, false);
+  EXPECT_NE(op, kNoOp);
+  EXPECT_GT(platform.elapsed(), 0.0);
+}
+
+TEST(PlatformTest, CpuAndGpuShareOneTimeline) {
+  Platform platform(PlatformSpec::hetero_low());
+  const OpId c = platform.cpu_front(100, cpu::WorkProfile{},
+                                    [](std::size_t) {});
+  const OpId k = platform.gpu().launch(platform.gpu().default_stream(),
+                                       KernelInfo{}, 100, [](std::size_t) {},
+                                       c);
+  EXPECT_GE(platform.timeline().start_time(k), platform.timeline().end_time(c));
+}
+
+}  // namespace
+}  // namespace lddp::sim

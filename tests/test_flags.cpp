@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/flags.h"
+
+namespace lddp {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  static std::vector<std::vector<char>> storage;  // keep strings alive
+  storage.clear();
+  std::vector<char*> argv;
+  storage.emplace_back(std::vector<char>{'p', 'r', 'o', 'g', '\0'});
+  argv.push_back(storage.back().data());
+  for (const char* a : args) {
+    storage.emplace_back(a, a + std::string(a).size() + 1);
+    argv.push_back(storage.back().data());
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, KeyValuePairs) {
+  const Flags f = make({"--size", "4096", "--mode=hetero"});
+  EXPECT_EQ(f.get_int("size", 0), 4096);
+  EXPECT_EQ(f.get("mode", ""), "hetero");
+  EXPECT_EQ(f.get("missing", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, BooleanFlags) {
+  const Flags f = make({"--tune", "--verbose=false", "--fast=1"});
+  EXPECT_TRUE(f.get_bool("tune"));
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_TRUE(f.get_bool("fast"));
+  EXPECT_FALSE(f.get_bool("absent"));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(FlagsTest, Positional) {
+  const Flags f = make({"input.pgm", "--k", "3", "output.pgm"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.pgm");
+  EXPECT_EQ(f.positional()[1], "output.pgm");
+  EXPECT_EQ(f.get_int("k", 0), 3);
+}
+
+TEST(FlagsTest, NumericValidation) {
+  const Flags f = make({"--n", "12x", "--x", "abc", "--d", "1.5"});
+  EXPECT_THROW(f.get_int("n", 0), CheckError);
+  EXPECT_THROW(f.get_double("x", 0), CheckError);
+  EXPECT_DOUBLE_EQ(f.get_double("d", 0), 1.5);
+}
+
+TEST(FlagsTest, NegativeNumbersAreValues) {
+  // "-1" does not start with "--", so it is consumed as the value.
+  const Flags f = make({"--t-switch", "-1"});
+  EXPECT_EQ(f.get_int("t-switch", 0), -1);
+}
+
+TEST(FlagsTest, UnknownFlagsReported) {
+  const Flags f = make({"--size", "8", "--typo", "9"});
+  EXPECT_EQ(f.get_int("size", 0), 8);
+  const auto unknown = f.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagsTest, HasDoesNotConsume) {
+  const Flags f = make({"--a", "1"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_EQ(f.unknown().size(), 1u);  // has() is not a read
+  f.get_int("a", 0);
+  EXPECT_TRUE(f.unknown().empty());
+}
+
+}  // namespace
+}  // namespace lddp

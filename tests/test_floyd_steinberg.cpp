@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.h"
+#include "problems/floyd_steinberg.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(FloydSteinbergTest, ClassifiesKnightMove) {
+  FloydSteinbergProblem p(gradient_image(4, 4));
+  EXPECT_EQ(classify(p.deps()), Pattern::kKnightMove);
+  EXPECT_EQ(transfer_need(p.deps()), TransferNeed::kTwoWay);
+}
+
+TEST(FloydSteinbergTest, UniformBlackAndWhiteAreFixedPoints) {
+  for (int level : {0, 255}) {
+    GrayImage img(8, 8, static_cast<std::uint8_t>(level));
+    FloydSteinbergProblem p(img);
+    RunConfig cfg;
+    cfg.mode = Mode::kCpuSerial;
+    const auto r = solve(p, cfg);
+    for (std::size_t i = 0; i < 8; ++i)
+      for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(r.table.at(i, j).out, level);
+        EXPECT_DOUBLE_EQ(r.table.at(i, j).err, 0.0);
+      }
+  }
+}
+
+TEST(FloydSteinbergTest, PullMatchesPushUpToTies) {
+  // The pull (gather) formulation reassociates the floating-point error
+  // sums of the classic push algorithm. Accumulated intensities must agree
+  // tightly; output pixels may differ only on near-threshold ties.
+  const GrayImage img = plasma_image(64, 64, 9);
+  FloydSteinbergProblem p(img);
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto pull = solve(p, cfg);
+  const FsPushResult push = floyd_steinberg_push_reference(img);
+  int flips = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) {
+      const double acc_pull = static_cast<double>(pull.table.at(i, j).out) +
+                              pull.table.at(i, j).err;
+      EXPECT_NEAR(acc_pull, push.acc.at(i, j), 1e-6);
+      if (pull.table.at(i, j).out != push.out.at(i, j)) {
+        ++flips;
+        EXPECT_NEAR(push.acc.at(i, j), 128.0, 1e-6);
+      }
+    }
+  }
+  EXPECT_EQ(flips, 0);  // ties at exactly 128.0 are vanishingly unlikely
+}
+
+TEST(FloydSteinbergTest, AverageIntensityPreserved) {
+  // Error diffusion conserves total intensity up to the residual carried
+  // off the image edges: means should agree within a couple of levels.
+  const GrayImage img = gradient_image(128, 128);
+  FloydSteinbergProblem p(img);
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  const auto r = solve(p, cfg);
+  double in_sum = 0, out_sum = 0;
+  for (std::size_t i = 0; i < 128; ++i)
+    for (std::size_t j = 0; j < 128; ++j) {
+      in_sum += img.at(i, j);
+      out_sum += r.table.at(i, j).out;
+    }
+  EXPECT_NEAR(in_sum / (128 * 128), out_sum / (128 * 128), 2.0);
+}
+
+TEST(FloydSteinbergTest, AllModesBitwiseAgree) {
+  const GrayImage img = plasma_image(56, 72, 10);
+  FloydSteinbergProblem p(img);
+  RunConfig serial;
+  serial.mode = Mode::kCpuSerial;
+  const auto ref = solve(p, serial);
+  for (Mode mode : {Mode::kCpuParallel, Mode::kGpu, Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    const auto r = solve(p, cfg);
+    for (std::size_t i = 0; i < 56; ++i)
+      for (std::size_t j = 0; j < 72; ++j) {
+        ASSERT_EQ(r.table.at(i, j).out, ref.table.at(i, j).out)
+            << to_string(mode) << " @" << i << "," << j;
+        ASSERT_DOUBLE_EQ(r.table.at(i, j).err, ref.table.at(i, j).err)
+            << to_string(mode) << " @" << i << "," << j;
+      }
+  }
+}
+
+TEST(FloydSteinbergTest, ErrorsAreBounded) {
+  // |err| <= 128: the quantizer always picks the nearer level... with
+  // diffusion overshoot the residual stays within one quantization step.
+  const GrayImage img = noise_image(64, 64, 11);
+  FloydSteinbergProblem p(img);
+  RunConfig cfg;
+  cfg.mode = Mode::kGpu;
+  const auto r = solve(p, cfg);
+  for (std::size_t i = 0; i < 64; ++i)
+    for (std::size_t j = 0; j < 64; ++j)
+      EXPECT_LE(std::abs(r.table.at(i, j).err), 255.0);
+}
+
+TEST(FloydSteinbergTest, DitheredImageExtraction) {
+  const GrayImage img = gradient_image(16, 16);
+  FloydSteinbergProblem p(img);
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto r = solve(p, cfg);
+  const GrayImage out = dithered_image(r.table);
+  EXPECT_EQ(out.rows(), 16u);
+  EXPECT_EQ(out.cols(), 16u);
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = 0; j < 16; ++j)
+      EXPECT_EQ(out.at(i, j), r.table.at(i, j).out);
+}
+
+}  // namespace
+}  // namespace lddp::problems

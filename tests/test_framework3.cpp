@@ -1,0 +1,149 @@
+// 3-D framework: every execution mode against the serial scan, for every
+// one of the 127 contributing subsets (sampled) and the 3-way LCS problem.
+#include <gtest/gtest.h>
+
+#include "core/framework3.h"
+#include "problems/alignment.h"
+#include "problems/lcs3.h"
+
+namespace lddp {
+namespace {
+
+/// Probe problem that mixes coordinates with exactly its declared offsets.
+class Probe3 {
+ public:
+  using Value = std::uint64_t;
+  Probe3(std::size_t ni, std::size_t nj, std::size_t nk, std::uint8_t mask)
+      : ni_(ni), nj_(nj), nk_(nk), deps_(mask) {}
+
+  std::size_t ni() const { return ni_; }
+  std::size_t nj() const { return nj_; }
+  std::size_t nk() const { return nk_; }
+  ContributingSet3 deps() const { return deps_; }
+  Value boundary() const { return 0x9e3779b97f4a7c15ULL; }
+  Value compute(std::size_t i, std::size_t j, std::size_t k,
+                const Neighbors3<Value>& nb) const {
+    Value r = 0xcbf29ce484222325ULL + i * 131 + j * 17 + k * 3;
+    if (deps_.has(Dep3::kD100)) r = r * 0x100000001b3ULL ^ nb.d100;
+    if (deps_.has(Dep3::kD010)) r = r * 0x100000001b3ULL ^ nb.d010;
+    if (deps_.has(Dep3::kD001)) r = r * 0x100000001b3ULL ^ nb.d001;
+    if (deps_.has(Dep3::kD110)) r = r * 0x100000001b3ULL ^ nb.d110;
+    if (deps_.has(Dep3::kD101)) r = r * 0x100000001b3ULL ^ nb.d101;
+    if (deps_.has(Dep3::kD011)) r = r * 0x100000001b3ULL ^ nb.d011;
+    if (deps_.has(Dep3::kD111)) r = r * 0x100000001b3ULL ^ nb.d111;
+    return r;
+  }
+
+ private:
+  std::size_t ni_, nj_, nk_;
+  ContributingSet3 deps_;
+};
+static_assert(LddpProblem3<Probe3>);
+
+class AllSets3Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllSets3Test, AllModesMatchSerial) {
+  const Probe3 p(9, 11, 7, static_cast<std::uint8_t>(GetParam()));
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto ref = solve3(p, cfg);
+  for (Mode mode : {Mode::kCpuParallel, Mode::kGpu, Mode::kHeterogeneous}) {
+    cfg.mode = mode;
+    EXPECT_EQ(solve3(p, cfg), ref) << to_string(mode);
+  }
+}
+
+// All 127 subsets is overkill per-commit; cover every single-offset set,
+// every pair involving d111, and a spread of larger masks.
+INSTANTIATE_TEST_SUITE_P(Masks, AllSets3Test,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 65, 66,
+                                           68, 72, 80, 96, 3, 7, 15, 31, 63,
+                                           127, 85, 106));
+
+TEST(Framework3Test, HeteroSplitSweepsStayCorrect) {
+  const Probe3 p(14, 10, 12, 0b1001011);
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto ref = solve3(p, cfg);
+  cfg.mode = Mode::kHeterogeneous;
+  for (HeteroParams hp : {HeteroParams{-1, -1}, HeteroParams{0, 0},
+                          HeteroParams{0, 100}, HeteroParams{5, 3},
+                          HeteroParams{100, 100}, HeteroParams{2, 14}}) {
+    cfg.hetero = hp;
+    EXPECT_EQ(solve3(p, cfg), ref) << hp.t_switch << "/" << hp.t_share;
+  }
+}
+
+TEST(Framework3Test, DegenerateShapesReduceTo2D) {
+  // ni == 1 collapses to a 2-D table; results must still match serial.
+  const Probe3 p(1, 20, 17, 0b0000111);
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto ref = solve3(p, cfg);
+  cfg.mode = Mode::kHeterogeneous;
+  EXPECT_EQ(solve3(p, cfg), ref);
+}
+
+TEST(Lcs3Test, KnownCases) {
+  EXPECT_EQ(problems::lcs3_reference("abcd", "bcd", "cbd"), 2);  // "bd"
+  EXPECT_EQ(problems::lcs3_reference("abc", "abc", "abc"), 3);
+  EXPECT_EQ(problems::lcs3_reference("abc", "def", "ghi"), 0);
+  EXPECT_EQ(problems::lcs3_reference("", "abc", "abc"), 0);
+  EXPECT_EQ(problems::lcs3_reference("xayb", "ayxb", "aybx"), 3);  // "ayb"
+}
+
+TEST(Lcs3Test, PairwiseLcsIsUpperBound) {
+  const std::string a = problems::random_sequence(18, 1);
+  const std::string b = problems::random_sequence(20, 2);
+  const std::string c = problems::random_sequence(16, 3);
+  const auto three = problems::lcs3_reference(a, b, c);
+  EXPECT_LE(three, problems::lcs3_reference(a, b, b));  // = LCS(a, b)
+  EXPECT_GE(three, 0);
+}
+
+TEST(Lcs3Test, FrameworkMatchesReferenceAllModes) {
+  const std::string a = problems::random_sequence(24, 11);
+  const std::string b = problems::random_sequence(28, 12);
+  const std::string c = problems::random_sequence(22, 13);
+  problems::Lcs3Problem p(a, b, c);
+  const auto expected = problems::lcs3_reference(a, b, c);
+  for (Mode mode : {Mode::kCpuSerial, Mode::kCpuParallel, Mode::kGpu,
+                    Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    const auto t = solve3(p, cfg);
+    EXPECT_EQ(t.at(a.size(), b.size(), c.size()), expected)
+        << to_string(mode);
+  }
+}
+
+TEST(Framework3Test, StatsArePopulated) {
+  problems::Lcs3Problem p(problems::random_sequence(20, 5),
+                          problems::random_sequence(20, 6),
+                          problems::random_sequence(20, 7));
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  SolveStats stats;
+  solve3(p, cfg, &stats);
+  EXPECT_EQ(stats.cells, 21u * 21u * 21u);
+  EXPECT_EQ(stats.fronts, 21u + 21u + 21u - 2u);
+  EXPECT_GT(stats.sim_seconds, 0.0);
+  EXPECT_GT(stats.cpu_busy_seconds + stats.gpu_busy_seconds, 0.0);
+}
+
+TEST(Framework3Test, HeteroBeatsPureGpuAtScale) {
+  problems::Lcs3Problem p(problems::random_sequence(96, 8),
+                          problems::random_sequence(96, 9),
+                          problems::random_sequence(96, 10));
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  SolveStats het;
+  solve3(p, cfg, &het);
+  cfg.mode = Mode::kGpu;
+  SolveStats gpu;
+  solve3(p, cfg, &gpu);
+  EXPECT_LT(het.sim_seconds, gpu.sim_seconds);
+}
+
+}  // namespace
+}  // namespace lddp

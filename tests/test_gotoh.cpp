@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "problems/alignment.h"
+#include "problems/gotoh.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(GotohTest, IdenticalSequences) {
+  EXPECT_EQ(gotoh_reference("ACGT", "ACGT"), 8);  // 4 matches
+}
+
+TEST(GotohTest, SingleLongGapBeatsScatteredGaps) {
+  // Affine costs prefer one contiguous gap: deleting "XYZ" as one gap
+  // costs open + 2*extend = -6, versus three separate gaps at -12.
+  const AffineScores s;
+  const std::int32_t with_gap = gotoh_reference("ABCXYZDEF", "ABCDEF", s);
+  EXPECT_EQ(with_gap, 6 * s.match + s.gap_open + 2 * s.gap_extend);
+}
+
+TEST(GotohTest, EmptyAgainstNonEmpty) {
+  const AffineScores s;
+  EXPECT_EQ(gotoh_reference("", "AAAA", s), s.gap_open + 3 * s.gap_extend);
+  EXPECT_EQ(gotoh_reference("AAAA", "", s), s.gap_open + 3 * s.gap_extend);
+}
+
+TEST(GotohTest, ReducesToLinearGapWhenOpenEqualsExtend) {
+  // With gap_open == gap_extend, affine scoring equals NW linear scoring.
+  AffineScores affine;
+  affine.gap_open = affine.gap_extend = -2;
+  AlignmentScores linear;  // gap = -2 by default
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const std::string a = random_sequence(40 + 5 * seed, seed * 2 + 1);
+    const std::string b = random_sequence(50 + 3 * seed, seed * 2 + 2);
+    NeedlemanWunschProblem nw(a, b, linear);
+    RunConfig cfg;
+    cfg.mode = Mode::kCpuSerial;
+    const auto nw_table = solve(nw, cfg).table;
+    EXPECT_EQ(gotoh_reference(a, b, affine),
+              nw_table.at(a.size(), b.size()))
+        << "seed " << seed;
+  }
+}
+
+TEST(GotohTest, FrameworkMatchesReferenceAllModes) {
+  const std::string a = random_sequence(120, 81);
+  const std::string b = random_sequence(140, 82);
+  GotohProblem p(a, b);
+  EXPECT_EQ(classify(p.deps()), Pattern::kAntiDiagonal);
+  const std::int32_t expected = gotoh_reference(a, b);
+  for (Mode mode : {Mode::kCpuSerial, Mode::kCpuParallel, Mode::kCpuTiled,
+                    Mode::kGpu, Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    EXPECT_EQ(gotoh_score(solve(p, cfg).table), expected) << to_string(mode);
+  }
+}
+
+TEST(GotohTest, FullTableAgreesAcrossModes) {
+  GotohProblem p(random_sequence(70, 83), random_sequence(90, 84));
+  RunConfig serial;
+  serial.mode = Mode::kCpuSerial;
+  const auto ref = solve(p, serial);
+  for (Mode mode : {Mode::kCpuParallel, Mode::kGpu, Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    const auto r = solve(p, cfg);
+    for (std::size_t i = 0; i < p.rows(); ++i)
+      for (std::size_t j = 0; j < p.cols(); ++j)
+        ASSERT_EQ(r.table.at(i, j), ref.table.at(i, j))
+            << to_string(mode) << " @" << i << "," << j;
+  }
+}
+
+TEST(GotohTest, TracebackReconstructsConsistentAlignment) {
+  const std::string a = random_sequence(50, 91);
+  const std::string b = random_sequence(60, 92);
+  GotohProblem p(a, b);
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  const auto table = solve(p, cfg).table;
+  const GotohAlignment al = gotoh_traceback(p, table);
+  ASSERT_EQ(al.a.size(), al.b.size());
+  // Strip gaps -> the inputs; rescore with affine accounting -> the score.
+  std::string sa, sb;
+  std::int32_t score = 0;
+  char prev = 'M';
+  for (std::size_t k = 0; k < al.a.size(); ++k) {
+    ASSERT_FALSE(al.a[k] == '-' && al.b[k] == '-');
+    if (al.a[k] == '-') {
+      score += prev == 'X' ? p.scores().gap_extend : p.scores().gap_open;
+      prev = 'X';
+      sb += al.b[k];
+    } else if (al.b[k] == '-') {
+      score += prev == 'Y' ? p.scores().gap_extend : p.scores().gap_open;
+      prev = 'Y';
+      sa += al.a[k];
+    } else {
+      score += al.a[k] == al.b[k] ? p.scores().match : p.scores().mismatch;
+      prev = 'M';
+      sa += al.a[k];
+      sb += al.b[k];
+    }
+  }
+  EXPECT_EQ(sa, a);
+  EXPECT_EQ(sb, b);
+  EXPECT_EQ(score, gotoh_score(table));
+  EXPECT_EQ(al.score, gotoh_score(table));
+}
+
+TEST(GotohTest, TracebackPrefersOneLongGap) {
+  GotohProblem p("ABCXYZDEF", "ABCDEF");
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto al = gotoh_traceback(p, solve(p, cfg).table);
+  EXPECT_EQ(al.b.find("---"), 3u);  // one contiguous 3-gap, not scattered
+}
+
+TEST(GotohTest, ScoreBoundedByAllMatches) {
+  const AffineScores s;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const std::string a = random_sequence(30, seed);
+    const std::string b = random_sequence(45, seed + 100);
+    EXPECT_LE(gotoh_reference(a, b, s),
+              static_cast<std::int32_t>(std::min(a.size(), b.size())) *
+                  s.match);
+  }
+}
+
+}  // namespace
+}  // namespace lddp::problems

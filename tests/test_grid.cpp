@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "tables/grid.h"
+
+namespace lddp {
+namespace {
+
+TEST(GridTest, FillAndAccess) {
+  Grid<int> g(3, 4, 7);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.size(), 12u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(g.at(i, j), 7);
+  g.at(1, 2) = 42;
+  EXPECT_EQ(g.at(1, 2), 42);
+}
+
+TEST(GridTest, RowMajorStorageOrder) {
+  Grid<int> g(2, 3);
+  int v = 0;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) g.at(i, j) = v++;
+  for (int k = 0; k < 6; ++k) EXPECT_EQ(g.data()[k], k);
+}
+
+TEST(GridTest, Equality) {
+  Grid<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.at(0, 1) = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(GridTest, DefaultConstructedIsEmpty) {
+  Grid<int> g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(GridTest, ZeroDimensionThrows) {
+  EXPECT_THROW(Grid<int>(0, 3), CheckError);
+  EXPECT_THROW(Grid<int>(3, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

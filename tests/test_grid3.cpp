@@ -1,0 +1,110 @@
+// Grid3 and the 3-D anti-diagonal plane layout: bijection, plane
+// contiguity, dependency ordering, slab prefixes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/problem3.h"
+#include "tables/grid3.h"
+
+namespace lddp {
+namespace {
+
+TEST(Grid3Test, FillAndAccess) {
+  Grid3<int> g(2, 3, 4, 9);
+  EXPECT_EQ(g.size(), 24u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(g.at(i, j, k), 9);
+  g.at(1, 2, 3) = 42;
+  EXPECT_EQ(g.at(1, 2, 3), 42);
+  EXPECT_THROW(Grid3<int>(0, 1, 1), CheckError);
+}
+
+struct Dims3 {
+  std::size_t ni, nj, nk;
+};
+
+class Layout3Test : public ::testing::TestWithParam<Dims3> {};
+
+TEST_P(Layout3Test, BijectionAndPlaneContiguity) {
+  const auto [ni, nj, nk] = GetParam();
+  const AntiDiagonalLayout3 lay(ni, nj, nk);
+  ASSERT_EQ(lay.size(), ni * nj * nk);
+  ASSERT_EQ(lay.num_fronts(), ni + nj + nk - 2);
+  std::vector<char> seen(lay.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < lay.num_fronts(); ++d) {
+    for (std::size_t p = 0; p < lay.front_size(d); ++p) {
+      const CellIndex3 c = lay.cell(d, p);
+      ASSERT_LT(c.i, ni);
+      ASSERT_LT(c.j, nj);
+      ASSERT_LT(c.k, nk);
+      EXPECT_EQ(c.i + c.j + c.k, d);
+      EXPECT_EQ(lay.flat(c.i, c.j, c.k), lay.front_offset(d) + p);
+      char& mark = seen[lay.flat(c.i, c.j, c.k)];
+      EXPECT_EQ(mark, 0);
+      mark = 1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, lay.size());
+}
+
+TEST_P(Layout3Test, AllSevenOffsetsPointToEarlierPlanes) {
+  const auto [ni, nj, nk] = GetParam();
+  const AntiDiagonalLayout3 lay(ni, nj, nk);
+  for (std::size_t i = 0; i < ni; ++i)
+    for (std::size_t j = 0; j < nj; ++j)
+      for (std::size_t k = 0; k < nk; ++k)
+        for (int di = 0; di <= 1; ++di)
+          for (int dj = 0; dj <= 1; ++dj)
+            for (int dk = 0; dk <= 1; ++dk) {
+              if (di + dj + dk == 0) continue;
+              if (i < static_cast<std::size_t>(di) ||
+                  j < static_cast<std::size_t>(dj) ||
+                  k < static_cast<std::size_t>(dk))
+                continue;
+              EXPECT_LT(lay.front_of(i - di, j - dj, k - dk),
+                        lay.front_of(i, j, k));
+            }
+}
+
+TEST_P(Layout3Test, SlabPrefixMatchesEnumeration) {
+  const auto [ni, nj, nk] = GetParam();
+  const AntiDiagonalLayout3 lay(ni, nj, nk);
+  for (std::size_t d = 0; d < lay.num_fronts(); ++d) {
+    for (std::size_t s = 0; s <= ni + 1; ++s) {
+      std::size_t expected = 0;
+      for (std::size_t p = 0; p < lay.front_size(d); ++p)
+        if (lay.cell(d, p).i < s) ++expected;
+      EXPECT_EQ(lay.slab_prefix(d, s), expected) << "d=" << d << " s=" << s;
+      // The slab is a prefix: cells are ordered by i ascending.
+      for (std::size_t p = 1; p < lay.front_size(d); ++p)
+        EXPECT_GE(lay.cell(d, p).i, lay.cell(d, p - 1).i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Layout3Test,
+    ::testing::Values(Dims3{1, 1, 1}, Dims3{1, 5, 3}, Dims3{4, 1, 6},
+                      Dims3{5, 4, 1}, Dims3{3, 3, 3}, Dims3{7, 5, 3},
+                      Dims3{2, 9, 4}, Dims3{6, 6, 6}),
+    [](const ::testing::TestParamInfo<Dims3>& info) {
+      return std::to_string(info.param.ni) + "x" +
+             std::to_string(info.param.nj) + "x" +
+             std::to_string(info.param.nk);
+    });
+
+TEST(ContributingSet3Test, MaskValidation) {
+  EXPECT_THROW(ContributingSet3(std::uint8_t{0}), CheckError);
+  EXPECT_THROW(ContributingSet3(std::uint8_t{128}), CheckError);
+  const ContributingSet3 cs{Dep3::kD111, Dep3::kD100};
+  EXPECT_TRUE(cs.has(Dep3::kD111));
+  EXPECT_TRUE(cs.has(Dep3::kD100));
+  EXPECT_FALSE(cs.has(Dep3::kD011));
+}
+
+}  // namespace
+}  // namespace lddp

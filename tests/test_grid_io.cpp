@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "problems/synthetic.h"
+#include "tables/grid_io.h"
+
+namespace lddp {
+namespace {
+
+TEST(GridIoTest, RoundTripInt) {
+  const auto g = problems::random_input_grid(17, 23, 5, -100, 100);
+  const std::string path = ::testing::TempDir() + "/grid_int.lddp";
+  save_grid(g, path);
+  EXPECT_EQ(load_grid<std::int32_t>(path), g);
+  std::remove(path.c_str());
+}
+
+TEST(GridIoTest, RoundTripDouble) {
+  Grid<double> g(3, 4);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      g.at(i, j) = static_cast<double>(i) * 0.5 - static_cast<double>(j);
+  const std::string path = ::testing::TempDir() + "/grid_double.lddp";
+  save_grid(g, path);
+  EXPECT_EQ(load_grid<double>(path), g);
+  std::remove(path.c_str());
+}
+
+TEST(GridIoTest, ElementSizeMismatchRejected) {
+  const auto g = problems::random_input_grid(4, 4, 1);
+  const std::string path = ::testing::TempDir() + "/grid_mismatch.lddp";
+  save_grid(g, path);
+  EXPECT_THROW(load_grid<std::int64_t>(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(GridIoTest, BadMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/grid_bad.lddp";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRID and some bytes";
+  }
+  EXPECT_THROW(load_grid<std::int32_t>(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(GridIoTest, TruncatedPayloadRejected) {
+  const auto g = problems::random_input_grid(8, 8, 2);
+  const std::string path = ::testing::TempDir() + "/grid_trunc.lddp";
+  save_grid(g, path);
+  // Chop the file short.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 17);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+  EXPECT_THROW(load_grid<std::int32_t>(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(GridIoTest, MissingFileRejected) {
+  EXPECT_THROW(load_grid<std::int32_t>("/no/such/grid.lddp"), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

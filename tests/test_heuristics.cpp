@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/strategies/heuristics.h"
+
+namespace lddp::detail {
+namespace {
+
+sim::KernelInfo default_kernel() { return sim::KernelInfo{}; }
+
+TEST(HeuristicsTest, CrossoverIsInteriorForRealisticPlatforms) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const std::size_t fc =
+      gpu_crossover_front_cells(platform, default_kernel(), 1 << 20);
+  // Launch overhead must make the GPU lose tiny fronts, and its throughput
+  // must win huge ones — the crossover is strictly interior.
+  EXPECT_GT(fc, 1u);
+  EXPECT_LT(fc, 1u << 20);
+}
+
+TEST(HeuristicsTest, CrossoverRespectsMaxFront) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const std::size_t full =
+      gpu_crossover_front_cells(platform, default_kernel(), 1 << 20);
+  const std::size_t capped =
+      gpu_crossover_front_cells(platform, default_kernel(), 16);
+  EXPECT_LE(capped, 16u);
+  EXPECT_LE(capped, full);
+}
+
+TEST(HeuristicsTest, WeakerGpuHasLargerCrossover) {
+  const std::size_t high = gpu_crossover_front_cells(
+      sim::PlatformSpec::hetero_high(), default_kernel(), 1 << 22);
+  // Hetero-Low pairs a weaker GPU with a weaker CPU; compare a platform
+  // that mixes the strong CPU with the weak GPU to isolate the GPU effect.
+  sim::PlatformSpec mixed = sim::PlatformSpec::hetero_high();
+  mixed.gpu = sim::GpuSpec::gt650m();
+  const std::size_t low =
+      gpu_crossover_front_cells(mixed, default_kernel(), 1 << 22);
+  EXPECT_GT(low, high);
+}
+
+TEST(HeuristicsTest, BalancedShareWithinRange) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  for (std::size_t f : {64u, 4096u, 1u << 20}) {
+    const long long s = balanced_t_share(platform, default_kernel(), f);
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, static_cast<long long>(f));
+  }
+}
+
+TEST(HeuristicsTest, ResolveFillsNegativeFields) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const HeteroParams out = resolve_hetero_params(
+      HeteroParams{-1, -1}, Pattern::kAntiDiagonal, 4096, 4096, platform,
+      default_kernel());
+  EXPECT_GE(out.t_switch, 0);
+  EXPECT_GE(out.t_share, 0);
+  EXPECT_LE(out.t_switch, 4096 + 4096 - 1);
+  EXPECT_LE(out.t_share, 4096);
+}
+
+TEST(HeuristicsTest, ResolveClampsUserValues) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const HeteroParams out = resolve_hetero_params(
+      HeteroParams{1000000, 1000000}, Pattern::kAntiDiagonal, 100, 100,
+      platform, default_kernel());
+  EXPECT_LE(out.t_switch, (100 + 100 - 1) / 2);
+  EXPECT_LE(out.t_share, 100);
+}
+
+TEST(HeuristicsTest, ResolveKeepsValidUserValues) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const HeteroParams out =
+      resolve_hetero_params(HeteroParams{7, 13}, Pattern::kKnightMove, 512,
+                            512, platform, default_kernel());
+  EXPECT_EQ(out.t_switch, 7);
+  EXPECT_EQ(out.t_share, 13);
+}
+
+TEST(HeuristicsTest, HorizontalHasNoSwitchPhase) {
+  const auto platform = sim::PlatformSpec::hetero_high();
+  const HeteroParams out = resolve_hetero_params(
+      HeteroParams{-1, -1}, Pattern::kHorizontal, 2048, 2048, platform,
+      default_kernel());
+  EXPECT_EQ(out.t_switch, 0);
+}
+
+TEST(HeuristicsTest, ParamRangesPerPattern) {
+  long long sw = 0, sh = 0;
+  hetero_param_ranges(Pattern::kAntiDiagonal, 100, 60, &sw, &sh);
+  EXPECT_EQ(sw, (100 + 60 - 1) / 2);
+  EXPECT_EQ(sh, 100);
+  hetero_param_ranges(Pattern::kHorizontal, 100, 60, &sw, &sh);
+  EXPECT_EQ(sw, 100);
+  EXPECT_EQ(sh, 60);
+  hetero_param_ranges(Pattern::kKnightMove, 100, 60, &sw, &sh);
+  EXPECT_EQ(sw, (2 * 99 + 60) / 2);
+  EXPECT_EQ(sh, 60);
+  hetero_param_ranges(Pattern::kInvertedL, 100, 60, &sw, &sh);
+  EXPECT_EQ(sw, 60);
+  EXPECT_EQ(sh, 60);
+  hetero_param_ranges(Pattern::kVertical, 100, 60, &sw, &sh);
+  EXPECT_EQ(sw, 60);
+  EXPECT_EQ(sh, 100);
+}
+
+}  // namespace
+}  // namespace lddp::detail

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "problems/image.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(ImageTest, GradientCoversFullRange) {
+  const GrayImage img = gradient_image(64, 64);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(63, 63), 255);
+}
+
+TEST(ImageTest, PlasmaIsDeterministic) {
+  EXPECT_EQ(plasma_image(32, 32, 5), plasma_image(32, 32, 5));
+  EXPECT_NE(plasma_image(32, 32, 5), plasma_image(32, 32, 6));
+}
+
+TEST(ImageTest, NoiseIsDeterministic) {
+  EXPECT_EQ(noise_image(16, 16, 1), noise_image(16, 16, 1));
+}
+
+TEST(ImageTest, PgmRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lddp_img_test.pgm";
+  const GrayImage img = plasma_image(20, 33, 7);
+  write_pgm(img, path);
+  const GrayImage back = read_pgm(path);
+  EXPECT_EQ(back, img);
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, ReadsAsciiP2WithComments) {
+  const std::string path = ::testing::TempDir() + "/lddp_img_p2.pgm";
+  {
+    std::ofstream out(path);
+    out << "P2\n# a comment line\n3 2\n255\n0 128 255\n10 20 30\n";
+  }
+  const GrayImage img = read_pgm(path);
+  EXPECT_EQ(img.rows(), 2u);
+  EXPECT_EQ(img.cols(), 3u);
+  EXPECT_EQ(img.at(0, 1), 128);
+  EXPECT_EQ(img.at(1, 2), 30);
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, RejectsMissingFileAndBadMagic) {
+  EXPECT_THROW(read_pgm("/nonexistent/definitely_not_here.pgm"), CheckError);
+  const std::string path = ::testing::TempDir() + "/lddp_img_bad.pgm";
+  {
+    std::ofstream out(path);
+    out << "P6\n1 1\n255\nxxx";
+  }
+  EXPECT_THROW(read_pgm(path), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lddp::problems

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/kernel.h"
+
+namespace lddp::sim {
+namespace {
+
+TEST(KernelModelTest, PresetsMatchPaperSpecs) {
+  const GpuSpec k20 = GpuSpec::tesla_k20();
+  EXPECT_EQ(k20.sm_count, 13);
+  EXPECT_EQ(k20.cores_per_sm, 192);
+  EXPECT_EQ(k20.sm_count * k20.cores_per_sm, 2496);
+  const GpuSpec gt = GpuSpec::gt650m();
+  EXPECT_EQ(gt.sm_count, 2);
+  EXPECT_EQ(gt.sm_count * gt.cores_per_sm, 384);
+}
+
+TEST(KernelModelTest, ZeroCellsIsFree) {
+  EXPECT_DOUBLE_EQ(kernel_seconds(GpuSpec::tesla_k20(), KernelInfo{}, 0), 0.0);
+}
+
+TEST(KernelModelTest, LaunchOverheadDominatesTinyKernels) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  const double one = kernel_seconds(g, KernelInfo{}, 1);
+  EXPECT_GE(one,
+            (g.launch_overhead_us + g.min_exec_latency_us) * 1e-6 - 1e-15);
+  // 1 cell and 100 cells cost nearly the same: latency floor.
+  const double hundred = kernel_seconds(g, KernelInfo{}, 100);
+  EXPECT_NEAR(one, hundred, one * 0.01);
+}
+
+TEST(KernelModelTest, ThroughputRegimeScalesLinearly) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  const KernelInfo info;
+  const double a = kernel_seconds(g, info, 1 << 22);
+  const double b = kernel_seconds(g, info, 1 << 23);
+  // Subtract the fixed launch cost before comparing slopes.
+  const double fixed = g.launch_overhead_us * 1e-6;
+  EXPECT_NEAR((b - fixed) / (a - fixed), 2.0, 0.05);
+}
+
+TEST(KernelModelTest, BiggerGpuIsFasterAtScale) {
+  const KernelInfo info;
+  EXPECT_LT(kernel_seconds(GpuSpec::tesla_k20(), info, 1 << 22),
+            kernel_seconds(GpuSpec::gt650m(), info, 1 << 22));
+}
+
+TEST(KernelModelTest, AmplifiedMemoryTrafficSlowsKernel) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  KernelInfo coalesced;
+  KernelInfo strided;
+  strided.mem_amplification = 32.0;
+  EXPECT_GT(kernel_seconds(g, strided, 1 << 20),
+            4 * kernel_seconds(g, coalesced, 1 << 20));
+}
+
+TEST(KernelModelTest, ExtraUsAddsFixedCost) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  KernelInfo base;
+  KernelInfo mapped = base;
+  mapped.extra_us = 10.0;
+  EXPECT_NEAR(kernel_seconds(g, mapped, 1000) - kernel_seconds(g, base, 1000),
+              10e-6, 1e-12);
+}
+
+TEST(KernelModelTest, PeakThroughputRespectsMemoryBound) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  KernelInfo info;
+  info.mem_amplification = 32.0;
+  EXPECT_LT(gpu_peak_throughput(g, info),
+            gpu_peak_throughput(g, KernelInfo{}));
+}
+
+TEST(TransferModelTest, PinnedBeatsPageable) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  for (std::size_t bytes : {8u, 1024u, 1u << 20}) {
+    EXPECT_LT(transfer_seconds(g, bytes, MemoryKind::kPinned),
+              transfer_seconds(g, bytes, MemoryKind::kPageable))
+        << bytes;
+  }
+}
+
+TEST(TransferModelTest, ZeroBytesIsFree) {
+  EXPECT_DOUBLE_EQ(
+      transfer_seconds(GpuSpec::tesla_k20(), 0, MemoryKind::kPinned), 0.0);
+}
+
+TEST(TransferModelTest, LatencyDominatesSmallBandwidthDominatesLarge) {
+  const GpuSpec g = GpuSpec::tesla_k20();
+  const double tiny = transfer_seconds(g, 4, MemoryKind::kPinned);
+  EXPECT_NEAR(tiny, g.pinned_latency_us * 1e-6, tiny * 0.01);
+  const double big = transfer_seconds(g, 1 << 30, MemoryKind::kPinned);
+  EXPECT_NEAR(big, static_cast<double>(1 << 30) /
+                       (g.pinned_bandwidth_gbs * 1e9),
+              big * 0.01);
+}
+
+}  // namespace
+}  // namespace lddp::sim

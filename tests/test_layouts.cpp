@@ -1,0 +1,202 @@
+// Property tests for the wavefront-major layouts: every layout must be a
+// bijection between (i, j) and [0, rows*cols), store each front
+// contiguously in execution order, and respect its pattern's dependency
+// rule (every dependency of a cell lies in an earlier front).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "tables/layout.h"
+
+namespace lddp {
+namespace {
+
+struct Dims {
+  std::size_t rows, cols;
+};
+
+class LayoutDimsTest : public ::testing::TestWithParam<Dims> {};
+
+template <typename Layout>
+void check_layout_invariants(const Layout& lay) {
+  const std::size_t n = lay.rows(), m = lay.cols();
+  ASSERT_EQ(lay.size(), n * m);
+
+  std::vector<char> seen(lay.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < lay.num_fronts(); ++f) {
+    // Empty fronts are allowed (knight-move on single-column tables).
+    const std::size_t fs = lay.front_size(f);
+    for (std::size_t p = 0; p < fs; ++p) {
+      const CellIndex c = lay.cell(f, p);
+      ASSERT_LT(c.i, n);
+      ASSERT_LT(c.j, m);
+      // Enumeration and flat() agree, and fronts are stored contiguously.
+      EXPECT_EQ(lay.flat(c.i, c.j), lay.front_offset(f) + p);
+      EXPECT_EQ(lay.front_of(c.i, c.j), f);
+      ASSERT_LT(lay.flat(c.i, c.j), lay.size());
+      char& mark = seen[lay.flat(c.i, c.j)];
+      EXPECT_EQ(mark, 0) << "cell enumerated twice";
+      mark = 1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, lay.size());
+  for (char s : seen) EXPECT_EQ(s, 1);
+}
+
+// Dependency rule: all four representative cells of (i, j) that the
+// pattern may use must lie strictly in earlier fronts.
+template <typename Layout>
+void check_dependency_order(const Layout& lay, bool use_w, bool use_nw,
+                            bool use_n, bool use_ne) {
+  const std::size_t n = lay.rows(), m = lay.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t f = lay.front_of(i, j);
+      if (use_w && j > 0) {
+        EXPECT_LT(lay.front_of(i, j - 1), f);
+      }
+      if (use_nw && i > 0 && j > 0) {
+        EXPECT_LT(lay.front_of(i - 1, j - 1), f);
+      }
+      if (use_n && i > 0) {
+        EXPECT_LT(lay.front_of(i - 1, j), f);
+      }
+      if (use_ne && i > 0 && j + 1 < m) {
+        EXPECT_LT(lay.front_of(i - 1, j + 1), f);
+      }
+    }
+  }
+}
+
+TEST_P(LayoutDimsTest, RowMajor) {
+  const auto [n, m] = GetParam();
+  RowMajorLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), n);
+  check_layout_invariants(lay);
+  check_dependency_order(lay, false, true, true, true);  // {NW, N, NE}
+}
+
+TEST_P(LayoutDimsTest, ColumnMajor) {
+  const auto [n, m] = GetParam();
+  ColumnMajorLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), m);
+  check_layout_invariants(lay);
+  check_dependency_order(lay, true, true, false, false);  // {W, NW}
+}
+
+TEST_P(LayoutDimsTest, AntiDiagonal) {
+  const auto [n, m] = GetParam();
+  AntiDiagonalLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), n + m - 1);
+  check_layout_invariants(lay);
+  check_dependency_order(lay, true, true, true, false);  // {W, NW, N}
+}
+
+TEST_P(LayoutDimsTest, KnightMove) {
+  const auto [n, m] = GetParam();
+  KnightMoveLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), 2 * (n - 1) + m);
+  check_layout_invariants(lay);
+  check_dependency_order(lay, true, true, true, true);  // all four
+}
+
+TEST_P(LayoutDimsTest, Shell) {
+  const auto [n, m] = GetParam();
+  ShellLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), std::min(n, m));
+  check_layout_invariants(lay);
+  check_dependency_order(lay, false, true, false, false);  // {NW}
+}
+
+TEST_P(LayoutDimsTest, MirrorShell) {
+  const auto [n, m] = GetParam();
+  MirrorShellLayout lay(n, m);
+  EXPECT_EQ(lay.num_fronts(), std::min(n, m));
+  check_layout_invariants(lay);
+  check_dependency_order(lay, false, false, false, true);  // {NE}
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutDimsTest,
+    ::testing::Values(Dims{1, 1}, Dims{1, 7}, Dims{7, 1}, Dims{2, 2},
+                      Dims{3, 5}, Dims{5, 3}, Dims{8, 8}, Dims{13, 4},
+                      Dims{4, 13}, Dims{16, 16}, Dims{31, 17}, Dims{1, 2},
+                      Dims{2, 1}),
+    [](const ::testing::TestParamInfo<Dims>& info) {
+      return std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+TEST(LayoutTest, KnightMoveMatchesFigure2d) {
+  // Figure 2(d): a 6-wide table's first rows are numbered
+  //   1 2 3 4 5 6 / 3 4 5 6 7 8 / 5 6 7 8 9 10 ... (1-based) — i.e. the
+  // front of (i, j) is 2i + j (0-based).
+  KnightMoveLayout lay(5, 6);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(lay.front_of(i, j), 2 * i + j);
+}
+
+TEST(LayoutTest, AntiDiagonalMatchesFigure2a) {
+  AntiDiagonalLayout lay(6, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(lay.front_of(i, j), i + j);
+}
+
+TEST(LayoutTest, ShellMatchesFigure2c) {
+  // Figure 2(c): shell of (i, j) is min(i, j).
+  ShellLayout lay(6, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(lay.front_of(i, j), std::min(i, j));
+}
+
+TEST(LayoutTest, MirrorShellMatchesFigure2f) {
+  MirrorShellLayout lay(6, 6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(lay.front_of(i, j), std::min(i, 5 - j));
+}
+
+TEST(LayoutTest, ShellEnumerationOrdersColumnPartFirst) {
+  // The CPU strip (left columns) must be a prefix of each shell: column
+  // part first (bottom-up), then the row part by ascending j.
+  ShellLayout lay(4, 5);
+  // Shell 0: column part (3,0), (2,0), (1,0); row part (0,0)..(0,4).
+  EXPECT_EQ(lay.column_part_size(0), 3u);
+  EXPECT_EQ(lay.cell(0, 0), (CellIndex{3, 0}));
+  EXPECT_EQ(lay.cell(0, 1), (CellIndex{2, 0}));
+  EXPECT_EQ(lay.cell(0, 2), (CellIndex{1, 0}));
+  EXPECT_EQ(lay.cell(0, 3), (CellIndex{0, 0}));
+  EXPECT_EQ(lay.cell(0, 7), (CellIndex{0, 4}));
+}
+
+TEST(LayoutTest, AntiDiagonalEnumerationAscendsRows) {
+  AntiDiagonalLayout lay(4, 4);
+  // Front 3 (main diagonal): (0,3), (1,2), (2,1), (3,0).
+  EXPECT_EQ(lay.cell(3, 0), (CellIndex{0, 3}));
+  EXPECT_EQ(lay.cell(3, 3), (CellIndex{3, 0}));
+}
+
+TEST(LayoutTest, KnightMoveEnumerationAscendsColumns) {
+  KnightMoveLayout lay(4, 6);
+  // Front 4 contains (0,4), (1,2), (2,0); enumeration is j ascending.
+  EXPECT_EQ(lay.front_size(4), 3u);
+  EXPECT_EQ(lay.cell(4, 0), (CellIndex{2, 0}));
+  EXPECT_EQ(lay.cell(4, 1), (CellIndex{1, 2}));
+  EXPECT_EQ(lay.cell(4, 2), (CellIndex{0, 4}));
+}
+
+TEST(LayoutTest, RejectsEmptyDimensions) {
+  EXPECT_THROW(RowMajorLayout(0, 5), CheckError);
+  EXPECT_THROW(AntiDiagonalLayout(5, 0), CheckError);
+  EXPECT_THROW(ShellLayout(0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

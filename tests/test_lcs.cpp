@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "problems/alignment.h"
+#include "problems/lcs.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(LcsTest, KnownLengths) {
+  EXPECT_EQ(lcs_reference("ABCBDAB", "BDCABA"), 4);  // classic CLRS example
+  EXPECT_EQ(lcs_reference("", "xyz"), 0);
+  EXPECT_EQ(lcs_reference("abc", "abc"), 3);
+  EXPECT_EQ(lcs_reference("abc", "cba"), 1);
+  EXPECT_EQ(lcs_reference("AGGTAB", "GXTXAYB"), 4);  // GTAB
+}
+
+TEST(LcsTest, ClassifiesAntiDiagonal) {
+  LcsProblem p("abc", "abd");
+  EXPECT_EQ(classify(p.deps()), Pattern::kAntiDiagonal);
+}
+
+TEST(LcsTest, AllModesMatchReference) {
+  const std::string a = random_sequence(140, 41);
+  const std::string b = random_sequence(170, 42);
+  LcsProblem p(a, b);
+  const auto expected = lcs_reference(a, b);
+  for (Mode mode : {Mode::kCpuSerial, Mode::kCpuParallel, Mode::kGpu,
+                    Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    EXPECT_EQ(solve(p, cfg).table.at(a.size(), b.size()), expected)
+        << to_string(mode);
+  }
+}
+
+TEST(LcsTest, TracebackProducesAValidCommonSubsequence) {
+  const std::string a = random_sequence(120, 43);
+  const std::string b = random_sequence(150, 44);
+  LcsProblem p(a, b);
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  const auto table = solve(p, cfg).table;
+  const std::string lcs = lcs_traceback(p, table);
+  EXPECT_EQ(lcs.size(),
+            static_cast<std::size_t>(table.at(a.size(), b.size())));
+  EXPECT_TRUE(is_subsequence(lcs, a));
+  EXPECT_TRUE(is_subsequence(lcs, b));
+}
+
+TEST(LcsTest, IsSubsequenceHelper) {
+  EXPECT_TRUE(is_subsequence("", "abc"));
+  EXPECT_TRUE(is_subsequence("ac", "abc"));
+  EXPECT_TRUE(is_subsequence("abc", "abc"));
+  EXPECT_FALSE(is_subsequence("ca", "abc"));
+  EXPECT_FALSE(is_subsequence("abcd", "abc"));
+}
+
+TEST(LcsTest, LcsBoundsAndMonotonicity) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const std::string a = random_sequence(40, seed * 2 + 1);
+    const std::string b = random_sequence(55, seed * 2 + 2);
+    const auto len = lcs_reference(a, b);
+    EXPECT_GE(len, 0);
+    EXPECT_LE(len, static_cast<std::int32_t>(std::min(a.size(), b.size())));
+    // Appending a shared character extends the LCS by exactly one.
+    EXPECT_EQ(lcs_reference(a + "Z", b + "Z"), len + 1);
+  }
+}
+
+}  // namespace
+}  // namespace lddp::problems

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "sim/memory.h"
+
+namespace lddp::sim {
+namespace {
+
+TEST(MemoryTest, DeviceBufferTracksAllocation) {
+  MemoryStats stats;
+  {
+    DeviceBuffer<int> buf(100, &stats);
+    EXPECT_EQ(buf.size(), 100u);
+    EXPECT_EQ(buf.bytes(), 400u);
+    EXPECT_EQ(stats.device_bytes_allocated, 400u);
+    EXPECT_EQ(stats.device_bytes_peak, 400u);
+  }
+  EXPECT_EQ(stats.device_bytes_allocated, 0u);
+  EXPECT_EQ(stats.device_bytes_peak, 400u);  // peak persists
+}
+
+TEST(MemoryTest, DeviceBufferZeroInitialized) {
+  MemoryStats stats;
+  DeviceBuffer<int> buf(16, &stats);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(buf.device_ptr()[i], 0);
+}
+
+TEST(MemoryTest, DeviceBufferMoveTransfersOwnership) {
+  MemoryStats stats;
+  DeviceBuffer<int> a(10, &stats);
+  a.device_ptr()[3] = 42;
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.device_ptr()[3], 42);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): deliberate
+  EXPECT_EQ(stats.device_bytes_allocated, 40u);
+  DeviceBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(stats.device_bytes_allocated, 40u);
+}
+
+TEST(MemoryTest, PeakTracksHighWaterMark) {
+  MemoryStats stats;
+  {
+    DeviceBuffer<char> a(1000, &stats);
+    DeviceBuffer<char> b(500, &stats);
+    EXPECT_EQ(stats.device_bytes_peak, 1500u);
+  }
+  DeviceBuffer<char> c(100, &stats);
+  EXPECT_EQ(stats.device_bytes_peak, 1500u);
+  EXPECT_EQ(stats.device_bytes_allocated, 100u);
+}
+
+TEST(MemoryTest, PinnedBufferBasics) {
+  MemoryStats stats;
+  PinnedBuffer<double> buf(8, &stats);
+  EXPECT_EQ(stats.pinned_bytes_allocated, 64u);
+  buf[2] = 1.5;
+  EXPECT_DOUBLE_EQ(buf[2], 1.5);
+  EXPECT_EQ(PinnedBuffer<double>::kind(), MemoryKind::kPinned);
+  PinnedBuffer<double> moved = std::move(buf);
+  EXPECT_DOUBLE_EQ(moved[2], 1.5);
+  EXPECT_EQ(stats.pinned_bytes_allocated, 64u);
+}
+
+TEST(MemoryTest, EmptyBuffersAreFine) {
+  MemoryStats stats;
+  DeviceBuffer<int> a(0, &stats);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.device_ptr(), nullptr);
+  EXPECT_EQ(stats.device_bytes_allocated, 0u);
+}
+
+}  // namespace
+}  // namespace lddp::sim

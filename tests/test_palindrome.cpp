@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "problems/alignment.h"
+#include "problems/lcs.h"
+#include "problems/palindrome.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(PalindromeTest, KnownCases) {
+  EXPECT_EQ(palindrome_reference("a"), 1);
+  EXPECT_EQ(palindrome_reference("ab"), 1);
+  EXPECT_EQ(palindrome_reference("aa"), 2);
+  EXPECT_EQ(palindrome_reference("bbbab"), 4);    // "bbbb"
+  EXPECT_EQ(palindrome_reference("character"), 5);  // "carac"
+  EXPECT_EQ(palindrome_reference("racecar"), 7);
+}
+
+TEST(PalindromeTest, ClassifiesAntiDiagonal) {
+  PalindromeProblem p("abc");
+  EXPECT_EQ(classify(p.deps()), Pattern::kAntiDiagonal);
+  EXPECT_THROW(PalindromeProblem(""), CheckError);
+}
+
+TEST(PalindromeTest, AllModesMatchReference) {
+  const std::string s = random_sequence(180, 77, "abcd");
+  PalindromeProblem p(s);
+  const auto expected = palindrome_reference(s);
+  for (Mode mode : {Mode::kCpuSerial, Mode::kCpuParallel, Mode::kCpuTiled,
+                    Mode::kGpu, Mode::kHeterogeneous}) {
+    RunConfig cfg;
+    cfg.mode = mode;
+    EXPECT_EQ(PalindromeProblem::answer(solve(p, cfg).table), expected)
+        << to_string(mode);
+  }
+}
+
+TEST(PalindromeTest, EqualsLcsWithReversedSelf) {
+  // Classic identity: LPS(s) == LCS(s, reverse(s)).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const std::string s = random_sequence(40 + seed * 13, seed + 5, "abc");
+    std::string rev(s.rbegin(), s.rend());
+    EXPECT_EQ(palindrome_reference(s), lcs_reference(s, rev)) << s;
+  }
+}
+
+TEST(PalindromeTest, PalindromeInputIsItsOwnAnswer) {
+  const std::string half = random_sequence(30, 99);
+  const std::string pal = half + std::string(half.rbegin(), half.rend());
+  PalindromeProblem p(pal);
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  EXPECT_EQ(PalindromeProblem::answer(solve(p, cfg).table),
+            static_cast<std::int32_t>(pal.size()));
+}
+
+}  // namespace
+}  // namespace lddp::problems

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/parallelism_profile.h"
+
+namespace lddp {
+namespace {
+
+TEST(ProfileTest, EveryPatternCoversAllCells) {
+  for (Pattern p : {Pattern::kAntiDiagonal, Pattern::kHorizontal,
+                    Pattern::kVertical, Pattern::kInvertedL,
+                    Pattern::kMirroredInvertedL, Pattern::kKnightMove}) {
+    const auto prof = parallelism_profile(p, 9, 13);
+    EXPECT_EQ(std::accumulate(prof.begin(), prof.end(), std::size_t{0}),
+              9u * 13u)
+        << to_string(p);
+  }
+}
+
+TEST(ProfileTest, ShapesMatchThePaperTaxonomy) {
+  EXPECT_EQ(profile_shape(Pattern::kHorizontal), ProfileShape::kConstant);
+  EXPECT_EQ(profile_shape(Pattern::kVertical), ProfileShape::kConstant);
+  EXPECT_EQ(profile_shape(Pattern::kAntiDiagonal),
+            ProfileShape::kRiseAndFall);
+  EXPECT_EQ(profile_shape(Pattern::kKnightMove), ProfileShape::kRiseAndFall);
+  EXPECT_EQ(profile_shape(Pattern::kInvertedL),
+            ProfileShape::kMonotoneFalling);
+  EXPECT_EQ(profile_shape(Pattern::kMirroredInvertedL),
+            ProfileShape::kMonotoneFalling);
+}
+
+TEST(ProfileTest, MeasuredProfilesClassifyToTheirShapes) {
+  for (Pattern p : {Pattern::kAntiDiagonal, Pattern::kHorizontal,
+                    Pattern::kVertical, Pattern::kInvertedL,
+                    Pattern::kMirroredInvertedL, Pattern::kKnightMove}) {
+    const auto prof = parallelism_profile(p, 16, 24);
+    EXPECT_EQ(classify_profile(prof), profile_shape(p)) << to_string(p);
+  }
+}
+
+TEST(ProfileTest, AntiDiagonalPeaksAtMinDimension) {
+  const auto prof = parallelism_profile(Pattern::kAntiDiagonal, 8, 20);
+  EXPECT_EQ(*std::max_element(prof.begin(), prof.end()), 8u);
+  EXPECT_EQ(prof.front(), 1u);
+  EXPECT_EQ(prof.back(), 1u);
+}
+
+TEST(ProfileTest, KnightMoveGapsAreIgnored) {
+  // Single-column tables have empty 2i+j lines; they are scheduling gaps,
+  // not rises.
+  const auto prof = parallelism_profile(Pattern::kKnightMove, 7, 1);
+  EXPECT_EQ(classify_profile(prof), ProfileShape::kConstant);
+}
+
+TEST(ProfileTest, NonLddpShapeRejected) {
+  EXPECT_THROW(classify_profile({3, 1, 4}), CheckError);  // falls then rises
+  EXPECT_THROW(classify_profile({}), CheckError);
+}
+
+TEST(ProfileTest, ToStringIsStable) {
+  EXPECT_EQ(to_string(ProfileShape::kConstant), "constant");
+  EXPECT_EQ(to_string(ProfileShape::kRiseAndFall), "rise-and-fall");
+  EXPECT_EQ(to_string(ProfileShape::kMonotoneFalling), "monotone-falling");
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,145 @@
+// Exhaustive verification of Table I (contributing set -> pattern), the
+// symmetry reduction, and Table II (pattern -> transfer need).
+#include <gtest/gtest.h>
+
+#include "core/pattern.h"
+
+namespace lddp {
+namespace {
+
+struct TableRow {
+  bool w, nw, n, ne;
+  Pattern pattern;
+};
+
+// The paper's Table I, row for row (columns: W=cell(i,j-1),
+// NW=cell(i-1,j-1), N=cell(i-1,j), NE=cell(i-1,j+1)).
+constexpr TableRow kTableI[] = {
+    {false, false, false, true, Pattern::kMirroredInvertedL},
+    {false, false, true, false, Pattern::kHorizontal},
+    {false, false, true, true, Pattern::kHorizontal},
+    {false, true, false, false, Pattern::kInvertedL},
+    {false, true, false, true, Pattern::kHorizontal},
+    {false, true, true, false, Pattern::kHorizontal},
+    {false, true, true, true, Pattern::kHorizontal},
+    {true, false, false, false, Pattern::kVertical},
+    {true, false, false, true, Pattern::kKnightMove},
+    {true, false, true, false, Pattern::kAntiDiagonal},
+    {true, false, true, true, Pattern::kKnightMove},
+    {true, true, false, false, Pattern::kVertical},
+    {true, true, false, true, Pattern::kKnightMove},
+    {true, true, true, false, Pattern::kAntiDiagonal},
+    {true, true, true, true, Pattern::kKnightMove},
+};
+
+ContributingSet make_set(const TableRow& r) {
+  std::uint8_t mask = 0;
+  if (r.w) mask |= static_cast<std::uint8_t>(Dep::kW);
+  if (r.nw) mask |= static_cast<std::uint8_t>(Dep::kNW);
+  if (r.n) mask |= static_cast<std::uint8_t>(Dep::kN);
+  if (r.ne) mask |= static_cast<std::uint8_t>(Dep::kNE);
+  return ContributingSet(mask);
+}
+
+TEST(PatternTest, TableIAllFifteenRows) {
+  ASSERT_EQ(std::size(kTableI), 15u);
+  for (const TableRow& row : kTableI) {
+    const ContributingSet cs = make_set(row);
+    EXPECT_EQ(classify(cs), row.pattern)
+        << "contributing set " << cs.to_string();
+  }
+}
+
+TEST(PatternTest, ClassificationCoversAllMasks) {
+  // Every valid mask classifies without throwing and appears in Table I.
+  for (int idx = 0; idx < kNumContributingSets; ++idx) {
+    const ContributingSet cs = contributing_set_by_index(idx);
+    const Pattern p = classify(cs);
+    bool found = false;
+    for (const TableRow& row : kTableI)
+      if (make_set(row) == cs && row.pattern == p) found = true;
+    EXPECT_TRUE(found) << cs.to_string();
+  }
+}
+
+TEST(PatternTest, SymmetryReduction) {
+  EXPECT_EQ(canonical(Pattern::kVertical), Pattern::kHorizontal);
+  EXPECT_EQ(canonical(Pattern::kMirroredInvertedL), Pattern::kInvertedL);
+  EXPECT_EQ(canonical(Pattern::kAntiDiagonal), Pattern::kAntiDiagonal);
+  EXPECT_EQ(canonical(Pattern::kHorizontal), Pattern::kHorizontal);
+  EXPECT_EQ(canonical(Pattern::kInvertedL), Pattern::kInvertedL);
+  EXPECT_EQ(canonical(Pattern::kKnightMove), Pattern::kKnightMove);
+
+  EXPECT_TRUE(is_symmetric_alias(Pattern::kVertical));
+  EXPECT_TRUE(is_symmetric_alias(Pattern::kMirroredInvertedL));
+  EXPECT_FALSE(is_symmetric_alias(Pattern::kAntiDiagonal));
+  EXPECT_FALSE(is_symmetric_alias(Pattern::kHorizontal));
+
+  // Exactly four canonical patterns remain across all 15 sets.
+  int seen_mask = 0;
+  for (int idx = 0; idx < kNumContributingSets; ++idx) {
+    const Pattern canon = canonical(classify(contributing_set_by_index(idx)));
+    EXPECT_FALSE(is_symmetric_alias(canon));
+    seen_mask |= 1 << static_cast<int>(canon);
+  }
+  const int expected = (1 << static_cast<int>(Pattern::kAntiDiagonal)) |
+                       (1 << static_cast<int>(Pattern::kHorizontal)) |
+                       (1 << static_cast<int>(Pattern::kInvertedL)) |
+                       (1 << static_cast<int>(Pattern::kKnightMove));
+  EXPECT_EQ(seen_mask, expected);
+}
+
+TEST(PatternTest, TableIITransferNeeds) {
+  // Anti-diagonal rows of Table II: 1-way.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kN}),
+            TransferNeed::kOneWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kNW, Dep::kN}),
+            TransferNeed::kOneWay);
+  // Horizontal case-1: 1-way; the lone {N} set needs none at all.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kN}), TransferNeed::kNone);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kNW, Dep::kN}),
+            TransferNeed::kOneWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kN, Dep::kNE}),
+            TransferNeed::kOneWay);
+  // Horizontal case-2: 2-way.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kNW, Dep::kN, Dep::kNE}),
+            TransferNeed::kTwoWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kNW, Dep::kNE}),
+            TransferNeed::kTwoWay);
+  // Inverted-L (and mirror): 1-way.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kNW}), TransferNeed::kOneWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kNE}), TransferNeed::kOneWay);
+  // Knight-move: 2-way, all four variants.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kNE}),
+            TransferNeed::kTwoWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kN, Dep::kNE}),
+            TransferNeed::kTwoWay);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kNW, Dep::kNE}),
+            TransferNeed::kTwoWay);
+  EXPECT_EQ(
+      transfer_need(ContributingSet{Dep::kW, Dep::kNW, Dep::kN, Dep::kNE}),
+      TransferNeed::kTwoWay);
+  // Vertical: {W} decouples entirely, {W, NW} is 1-way.
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW}), TransferNeed::kNone);
+  EXPECT_EQ(transfer_need(ContributingSet{Dep::kW, Dep::kNW}),
+            TransferNeed::kOneWay);
+}
+
+TEST(PatternTest, HorizontalCase2Detection) {
+  EXPECT_TRUE(is_horizontal_case2(ContributingSet{Dep::kNW, Dep::kN, Dep::kNE}));
+  EXPECT_TRUE(is_horizontal_case2(ContributingSet{Dep::kNW, Dep::kNE}));
+  EXPECT_FALSE(is_horizontal_case2(ContributingSet{Dep::kNW, Dep::kN}));
+  EXPECT_FALSE(is_horizontal_case2(ContributingSet{Dep::kN, Dep::kNE}));
+  EXPECT_FALSE(is_horizontal_case2(ContributingSet{Dep::kN}));
+}
+
+TEST(PatternTest, ToStringIsStable) {
+  EXPECT_EQ(to_string(Pattern::kAntiDiagonal), "Anti-diagonal");
+  EXPECT_EQ(to_string(Pattern::kMirroredInvertedL), "mInverted-L");
+  EXPECT_EQ(to_string(TransferNeed::kOneWay), "1 way");
+  EXPECT_EQ(to_string(TransferNeed::kTwoWay), "2 way");
+  EXPECT_EQ(to_string(TransferNeed::kNone), "none");
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace lddp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int k = 0; k < 64; ++k)
+    if (a() == b()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 10000; ++k) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 2000; ++k) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(3);
+  for (int k = 0; k < 10; ++k) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntRejectsEmptyRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(5, 4), CheckError);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(11);
+  double sum = 0;
+  for (int k = 0; k < 10000; ++k) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "problems/seam_carving.h"
+
+namespace lddp::problems {
+namespace {
+
+TEST(SeamCarvingTest, EnergyOfFlatImageIsZero) {
+  const GrayImage img(8, 8, 100);
+  const auto e = dual_gradient_energy(img);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(e.at(i, j), 0);
+}
+
+TEST(SeamCarvingTest, EnergyPeaksOnEdges) {
+  GrayImage img(4, 8, 0);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 4; j < 8; ++j) img.at(i, j) = 255;
+  const auto e = dual_gradient_energy(img);
+  EXPECT_GT(e.at(2, 4), e.at(2, 1));  // the step edge carries the energy
+}
+
+TEST(SeamCarvingTest, ClassifiesHorizontalCase2) {
+  SeamCarveProblem p(Grid<std::int32_t>(4, 4, 1));
+  EXPECT_EQ(classify(p.deps()), Pattern::kHorizontal);
+  EXPECT_TRUE(is_horizontal_case2(p.deps()));
+}
+
+TEST(SeamCarvingTest, SeamFollowsZeroEnergyValley) {
+  // Energy 9 everywhere except a zero-cost straight column at j = 3.
+  Grid<std::int32_t> e(10, 7, 9);
+  for (std::size_t i = 0; i < 10; ++i) e.at(i, 3) = 0;
+  SeamCarveProblem p(e);
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  const auto r = solve(p, cfg);
+  const auto seam = extract_seam(r.table);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(seam[i], 3u) << i;
+  EXPECT_EQ(seam_energy(e, seam), 0);
+}
+
+TEST(SeamCarvingTest, SeamIsConnected) {
+  const GrayImage img = plasma_image(40, 60, 77);
+  SeamCarveProblem p(dual_gradient_energy(img));
+  RunConfig cfg;
+  cfg.mode = Mode::kGpu;
+  const auto seam = extract_seam(solve(p, cfg).table);
+  ASSERT_EQ(seam.size(), 40u);
+  for (std::size_t i = 1; i < seam.size(); ++i) {
+    const auto d = seam[i] > seam[i - 1] ? seam[i] - seam[i - 1]
+                                         : seam[i - 1] - seam[i];
+    EXPECT_LE(d, 1u) << "row " << i;
+  }
+}
+
+TEST(SeamCarvingTest, ExtractedSeamIsOptimal) {
+  // Brute-force all connected seams on a small grid and compare.
+  Rng rng(5);
+  Grid<std::int32_t> e(5, 4);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      e.at(i, j) = static_cast<std::int32_t>(rng.uniform_int(0, 50));
+  SeamCarveProblem p(e);
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto table = solve(p, cfg).table;
+  const auto seam = extract_seam(table);
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // Enumerate seams as base-3 step sequences from every starting column.
+  for (std::size_t start = 0; start < 4; ++start) {
+    for (int steps = 0; steps < 81; ++steps) {  // 3^4 step choices
+      std::int64_t total = e.at(0, start);
+      std::size_t j = start;
+      int code = steps;
+      bool valid = true;
+      for (std::size_t i = 1; i < 5; ++i) {
+        const int move = code % 3 - 1;  // -1, 0, +1
+        code /= 3;
+        if ((move < 0 && j == 0) || (move > 0 && j == 3)) {
+          valid = false;
+          break;
+        }
+        j = static_cast<std::size_t>(static_cast<long>(j) + move);
+        total += e.at(i, j);
+      }
+      if (valid) best = std::min(best, total);
+    }
+  }
+  EXPECT_EQ(seam_energy(e, seam), best);
+}
+
+TEST(SeamCarvingTest, RemoveSeamShrinksWidthAndKeepsOtherPixels) {
+  GrayImage img(3, 5);
+  std::uint8_t v = 0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) img.at(i, j) = v++;
+  const std::vector<std::size_t> seam{1, 2, 1};
+  const GrayImage out = remove_seam(img, seam);
+  ASSERT_EQ(out.cols(), 4u);
+  EXPECT_EQ(out.at(0, 0), img.at(0, 0));
+  EXPECT_EQ(out.at(0, 1), img.at(0, 2));  // pixel after removed column
+  EXPECT_EQ(out.at(1, 2), img.at(1, 3));
+  EXPECT_EQ(out.at(2, 3), img.at(2, 4));
+}
+
+TEST(SeamCarvingTest, RepeatedCarvingMatchesAcrossModes) {
+  GrayImage a = plasma_image(24, 32, 9);
+  GrayImage b = a;
+  for (int round = 0; round < 4; ++round) {
+    RunConfig gpu_cfg;
+    gpu_cfg.mode = Mode::kGpu;
+    RunConfig het_cfg;
+    het_cfg.mode = Mode::kHeterogeneous;
+    SeamCarveProblem pa((dual_gradient_energy(a)));
+    SeamCarveProblem pb((dual_gradient_energy(b)));
+    a = remove_seam(a, extract_seam(solve(pa, gpu_cfg).table));
+    b = remove_seam(b, extract_seam(solve(pb, het_cfg).table));
+    ASSERT_EQ(a, b) << "round " << round;
+  }
+  EXPECT_EQ(a.cols(), 28u);
+}
+
+TEST(SeamCarvingTest, RemoveSeamValidatesInput) {
+  GrayImage img(3, 1, 0);
+  EXPECT_THROW(remove_seam(img, {0, 0, 0}), CheckError);
+  GrayImage wide(3, 4, 0);
+  EXPECT_THROW(remove_seam(wide, {0, 0}), CheckError);  // wrong seam length
+}
+
+}  // namespace
+}  // namespace lddp::problems

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace lddp {
+namespace {
+
+TEST(StatsTest, MeanMedianStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, MedianEvenCount) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(StatsTest, MinMaxArgmin) {
+  const std::vector<double> xs{3, 1, 4, 1.5, 5};
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5.0);
+  EXPECT_EQ(argmin(xs), 1u);
+}
+
+TEST(StatsTest, EmptyInputThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(mean(xs), CheckError);
+  EXPECT_THROW(median(xs), CheckError);
+  EXPECT_THROW(argmin(xs), CheckError);
+}
+
+TEST(StatsTest, ValleyShapeAccepted) {
+  const std::vector<double> valley{9, 6, 4, 3, 3.1, 5, 8};
+  EXPECT_TRUE(is_valley_shaped(valley));
+}
+
+TEST(StatsTest, ValleyShapeToleratesNoise) {
+  const std::vector<double> noisy{9, 6.1, 6.2, 4, 3, 3.05, 5, 8.1, 8.0};
+  EXPECT_TRUE(is_valley_shaped(noisy, 0.05));
+}
+
+TEST(StatsTest, NonValleyRejected) {
+  const std::vector<double> wavy{3, 9, 2, 9, 3};
+  EXPECT_FALSE(is_valley_shaped(wavy, 0.01));
+}
+
+TEST(StatsTest, ShortSeriesAreTriviallyValley) {
+  const std::vector<double> two{5, 1};
+  EXPECT_TRUE(is_valley_shaped(two));
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/svg.h"
+
+namespace lddp {
+namespace {
+
+TEST(SvgTest, EmitsShapesAndText) {
+  SvgWriter svg(100, 80);
+  svg.rect(1, 2, 30, 20, "#abcdef");
+  svg.text(50, 40, "hello");
+  svg.line(0, 0, 10, 10);
+  const std::string body = svg.str();
+  EXPECT_NE(body.find("<rect"), std::string::npos);
+  EXPECT_NE(body.find("#abcdef"), std::string::npos);
+  EXPECT_NE(body.find(">hello</text>"), std::string::npos);
+  EXPECT_NE(body.find("<line"), std::string::npos);
+}
+
+TEST(SvgTest, EscapesMarkup) {
+  SvgWriter svg(10, 10);
+  svg.text(1, 1, "a<b & c>d");
+  EXPECT_NE(svg.str().find("a&lt;b &amp; c&gt;d"), std::string::npos);
+}
+
+TEST(SvgTest, ArrowMarkerOnlyWhenUsed) {
+  const std::string p1 = ::testing::TempDir() + "/svg_noarrow.svg";
+  const std::string p2 = ::testing::TempDir() + "/svg_arrow.svg";
+  {
+    SvgWriter svg(10, 10);
+    svg.line(0, 0, 5, 5);
+    svg.save(p1);
+  }
+  {
+    SvgWriter svg(10, 10);
+    svg.line(0, 0, 5, 5, "#c00", 1.0, /*arrow=*/true);
+    svg.save(p2);
+  }
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  EXPECT_EQ(slurp(p1).find("marker"), std::string::npos);
+  EXPECT_NE(slurp(p2).find("marker-end"), std::string::npos);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(SvgTest, SavedFileIsWellFormedEnvelope) {
+  const std::string path = ::testing::TempDir() + "/svg_envelope.svg";
+  SvgWriter svg(42, 24);
+  svg.rect(0, 0, 10, 10, "#fff");
+  svg.save(path);
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  const std::string body = os.str();
+  EXPECT_EQ(body.rfind("<svg", 0), 0u);
+  EXPECT_NE(body.find("viewBox=\"0 0 42 24\""), std::string::npos);
+  EXPECT_NE(body.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgTest, InvalidDimensionsRejected) {
+  EXPECT_THROW(SvgWriter(0, 10), CheckError);
+  EXPECT_THROW(SvgWriter(10, -1), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.h"
+
+namespace lddp::sim {
+namespace {
+
+TEST(TimelineTest, SequentialOpsOnOneResource) {
+  Timeline tl;
+  const auto r = tl.add_resource("cpu");
+  const OpId a = tl.record(r, 1.0);
+  const OpId b = tl.record(r, 2.0);
+  EXPECT_DOUBLE_EQ(tl.start_time(a), 0.0);
+  EXPECT_DOUBLE_EQ(tl.end_time(a), 1.0);
+  EXPECT_DOUBLE_EQ(tl.start_time(b), 1.0);  // resource is busy until then
+  EXPECT_DOUBLE_EQ(tl.end_time(b), 3.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+}
+
+TEST(TimelineTest, IndependentResourcesOverlap) {
+  Timeline tl;
+  const auto cpu = tl.add_resource("cpu");
+  const auto gpu = tl.add_resource("gpu");
+  tl.record(cpu, 2.0);
+  tl.record(gpu, 3.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);  // not 5.0: they overlap
+}
+
+TEST(TimelineTest, DependencyDelaysStart) {
+  Timeline tl;
+  const auto cpu = tl.add_resource("cpu");
+  const auto gpu = tl.add_resource("gpu");
+  const OpId produce = tl.record(cpu, 2.0);
+  const OpId consume = tl.record(gpu, 1.0, produce);
+  EXPECT_DOUBLE_EQ(tl.start_time(consume), 2.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 3.0);
+}
+
+TEST(TimelineTest, MaxOfResourceAndDeps) {
+  Timeline tl;
+  const auto cpu = tl.add_resource("cpu");
+  const auto gpu = tl.add_resource("gpu");
+  tl.record(gpu, 5.0);                       // keeps gpu busy to t=5
+  const OpId p = tl.record(cpu, 1.0);        // ends at 1
+  const OpId c = tl.record(gpu, 1.0, p);     // dep ready at 1, gpu free at 5
+  EXPECT_DOUBLE_EQ(tl.start_time(c), 5.0);
+  EXPECT_DOUBLE_EQ(tl.end_time(c), 6.0);
+}
+
+TEST(TimelineTest, TwoDependencies) {
+  Timeline tl;
+  const auto a = tl.add_resource("a");
+  const auto b = tl.add_resource("b");
+  const auto c = tl.add_resource("c");
+  const OpId x = tl.record(a, 4.0);
+  const OpId y = tl.record(b, 2.0);
+  const OpId z = tl.record(c, 1.0, x, y);
+  EXPECT_DOUBLE_EQ(tl.start_time(z), 4.0);
+}
+
+TEST(TimelineTest, NoOpDependencyIgnored) {
+  Timeline tl;
+  const auto r = tl.add_resource("r");
+  const OpId a = tl.record(r, 1.0, kNoOp, kNoOp);
+  EXPECT_DOUBLE_EQ(tl.start_time(a), 0.0);
+}
+
+TEST(TimelineTest, BusyTimeAccumulates) {
+  Timeline tl;
+  const auto r = tl.add_resource("r");
+  tl.record(r, 1.5);
+  tl.record(r, 2.5);
+  EXPECT_DOUBLE_EQ(tl.busy_time(r), 4.0);
+}
+
+TEST(TimelineTest, PipelineOverlapsLikeCudaStreams) {
+  // CPU produces rows; copies overlap next row's production; GPU consumes.
+  Timeline tl;
+  const auto cpu = tl.add_resource("cpu");
+  const auto copy = tl.add_resource("copy");
+  const auto gpu = tl.add_resource("gpu");
+  OpId prev_copy = kNoOp;
+  double cpu_total = 0;
+  constexpr int kRows = 10;
+  for (int i = 0; i < kRows; ++i) {
+    const OpId c = tl.record(cpu, 1.0);
+    cpu_total += 1.0;
+    const OpId x = tl.record(copy, 0.1, c);
+    if (prev_copy != kNoOp) tl.record(gpu, 0.5, prev_copy);
+    prev_copy = x;
+  }
+  tl.record(gpu, 0.5, prev_copy);
+  // Steady state is CPU-bound: makespan ~ cpu_total + pipeline drain.
+  EXPECT_GE(tl.makespan(), cpu_total);
+  EXPECT_LE(tl.makespan(), cpu_total + 0.1 + 0.5 + 1e-9);
+}
+
+TEST(TimelineTest, ResetKeepsResources) {
+  Timeline tl;
+  const auto r = tl.add_resource("r");
+  tl.record(r, 3.0);
+  tl.reset();
+  EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(tl.busy_time(r), 0.0);
+  EXPECT_EQ(tl.op_count(), 0u);
+  const OpId a = tl.record(r, 1.0);
+  EXPECT_DOUBLE_EQ(tl.start_time(a), 0.0);
+}
+
+TEST(TimelineTest, InvalidInputsThrow) {
+  Timeline tl;
+  const auto r = tl.add_resource("r");
+  EXPECT_THROW(tl.record(99, 1.0), CheckError);
+  EXPECT_THROW(tl.record(r, -1.0), CheckError);
+  const OpId ok = tl.record(r, 1.0);
+  EXPECT_THROW(tl.record(r, 1.0, static_cast<OpId>(ok + 57)), CheckError);
+  EXPECT_THROW(tl.start_time(1234), CheckError);
+}
+
+TEST(TimelineTest, ResourceNames) {
+  Timeline tl;
+  const auto r = tl.add_resource("gpu.compute");
+  EXPECT_EQ(tl.resource_name(r), "gpu.compute");
+  EXPECT_EQ(tl.resource_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lddp::sim

@@ -1,0 +1,116 @@
+// Property tests on the discrete-event timeline with randomized operation
+// DAGs: schedule legality (no resource overlap, dependencies respected),
+// conservation (makespan vs busy time), and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/timeline.h"
+#include "util/rng.h"
+
+namespace lddp::sim {
+namespace {
+
+struct RandomSchedule {
+  Timeline tl;
+  std::vector<Timeline::ResourceId> resources;
+  std::vector<OpId> ops;
+  std::vector<double> durations;
+  std::vector<std::vector<OpId>> deps;
+};
+
+RandomSchedule build(std::uint64_t seed, int num_resources, int num_ops) {
+  RandomSchedule s;
+  Rng rng(seed);
+  for (int r = 0; r < num_resources; ++r)
+    s.resources.push_back(s.tl.add_resource("r" + std::to_string(r)));
+  for (int k = 0; k < num_ops; ++k) {
+    const auto res = s.resources[static_cast<std::size_t>(
+        rng.uniform_int(0, num_resources - 1))];
+    const double dur = rng.uniform_double(0.0, 2.0);
+    std::vector<OpId> deps;
+    const int ndeps = static_cast<int>(rng.uniform_int(0, 3));
+    for (int d = 0; d < ndeps && !s.ops.empty(); ++d)
+      deps.push_back(s.ops[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long long>(s.ops.size()) - 1))]);
+    const OpId op = s.tl.record(res, dur, std::span<const OpId>(deps));
+    s.ops.push_back(op);
+    s.durations.push_back(dur);
+    s.deps.push_back(std::move(deps));
+  }
+  return s;
+}
+
+class TimelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelinePropertyTest, DurationsAreExact) {
+  const auto s = build(GetParam(), 4, 200);
+  for (std::size_t k = 0; k < s.ops.size(); ++k)
+    EXPECT_NEAR(s.tl.end_time(s.ops[k]) - s.tl.start_time(s.ops[k]),
+                s.durations[k], 1e-12);
+}
+
+TEST_P(TimelinePropertyTest, DependenciesRespected) {
+  const auto s = build(GetParam(), 4, 200);
+  for (std::size_t k = 0; k < s.ops.size(); ++k)
+    for (OpId d : s.deps[k])
+      EXPECT_GE(s.tl.start_time(s.ops[k]), s.tl.end_time(d) - 1e-12);
+}
+
+TEST_P(TimelinePropertyTest, NoOverlapWithinResource) {
+  const auto s = build(GetParam(), 3, 150);
+  for (std::size_t a = 0; a < s.ops.size(); ++a) {
+    for (std::size_t b = a + 1; b < s.ops.size(); ++b) {
+      if (s.tl.op_resource(s.ops[a]) != s.tl.op_resource(s.ops[b])) continue;
+      const bool disjoint =
+          s.tl.end_time(s.ops[a]) <= s.tl.start_time(s.ops[b]) + 1e-12 ||
+          s.tl.end_time(s.ops[b]) <= s.tl.start_time(s.ops[a]) + 1e-12;
+      EXPECT_TRUE(disjoint) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_P(TimelinePropertyTest, MakespanIsMaxEnd) {
+  const auto s = build(GetParam(), 5, 120);
+  double max_end = 0;
+  for (OpId op : s.ops) max_end = std::max(max_end, s.tl.end_time(op));
+  EXPECT_DOUBLE_EQ(s.tl.makespan(), max_end);
+}
+
+TEST_P(TimelinePropertyTest, BusyBoundedByMakespanAndSums) {
+  const auto s = build(GetParam(), 4, 150);
+  double busy_total = 0;
+  for (auto r : s.resources) {
+    EXPECT_LE(s.tl.busy_time(r), s.tl.makespan() + 1e-12);
+    busy_total += s.tl.busy_time(r);
+  }
+  double duration_total = 0;
+  for (double d : s.durations) duration_total += d;
+  EXPECT_NEAR(busy_total, duration_total, 1e-9);
+}
+
+TEST_P(TimelinePropertyTest, ReplayIsDeterministic) {
+  const auto a = build(GetParam(), 4, 100);
+  const auto b = build(GetParam(), 4, 100);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t k = 0; k < a.ops.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.tl.start_time(a.ops[k]), b.tl.start_time(b.ops[k]));
+    EXPECT_DOUBLE_EQ(a.tl.end_time(a.ops[k]), b.tl.end_time(b.ops[k]));
+  }
+}
+
+TEST_P(TimelinePropertyTest, SerialLowerBoundHolds) {
+  // Makespan >= the busiest single resource (it can never beat its own
+  // serialized work).
+  const auto s = build(GetParam(), 3, 180);
+  for (auto r : s.resources)
+    EXPECT_GE(s.tl.makespan() + 1e-12, s.tl.busy_time(r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace lddp::sim

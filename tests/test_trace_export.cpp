@@ -1,0 +1,75 @@
+// Chrome-trace export of the simulated schedule.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/framework.h"
+#include "problems/alignment.h"
+#include "problems/levenshtein.h"
+#include "sim/platform.h"
+
+namespace lddp {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TraceExportTest, TimelineWritesLabelledEvents) {
+  sim::Timeline tl;
+  const auto cpu = tl.add_resource("cpu");
+  const auto gpu = tl.add_resource("gpu.compute");
+  const auto a = tl.record(cpu, 1e-3, sim::kNoOp, sim::kNoOp, "cpu.front");
+  tl.record(gpu, 2e-3, a, sim::kNoOp, "kernel");
+  EXPECT_EQ(tl.op_resource(a), cpu);
+  EXPECT_STREQ(tl.op_label(a), "cpu.front");
+
+  const std::string path = ::testing::TempDir() + "/lddp_trace_unit.json";
+  tl.export_chrome_trace(path);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"cpu.front\""), std::string::npos);
+  EXPECT_NE(body.find("\"kernel\""), std::string::npos);
+  EXPECT_NE(body.find("\"gpu.compute\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(body.front(), '[');
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, UnlabelledOpsGetPlaceholder) {
+  sim::Timeline tl;
+  const auto r = tl.add_resource("r");
+  tl.record(r, 1e-3);
+  const std::string path = ::testing::TempDir() + "/lddp_trace_unnamed.json";
+  tl.export_chrome_trace(path);
+  EXPECT_NE(slurp(path).find("\"op\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, SolveHonoursTracePath) {
+  problems::LevenshteinProblem p(problems::random_sequence(64, 1),
+                                 problems::random_sequence(64, 2));
+  RunConfig cfg;
+  cfg.mode = Mode::kHeterogeneous;
+  cfg.trace_path = ::testing::TempDir() + "/lddp_trace_solve.json";
+  solve(p, cfg);
+  const std::string body = slurp(cfg.trace_path);
+  EXPECT_NE(body.find("\"cpu\""), std::string::npos);
+  EXPECT_NE(body.find("\"kernel\""), std::string::npos);
+  EXPECT_NE(body.find("\"h2d\""), std::string::npos);
+  std::remove(cfg.trace_path.c_str());
+}
+
+TEST(TraceExportTest, BadPathThrows) {
+  sim::Timeline tl;
+  tl.add_resource("r");
+  EXPECT_THROW(tl.export_chrome_trace("/nonexistent_dir/trace.json"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

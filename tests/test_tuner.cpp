@@ -1,0 +1,57 @@
+// The empirical tuner (Section V-A / Fig 7): sweep shapes and optima.
+#include <gtest/gtest.h>
+
+#include "core/tuner.h"
+#include "problems/alignment.h"
+#include "problems/lcs.h"
+#include "util/stats.h"
+
+namespace lddp {
+namespace {
+
+TEST(TunerTest, SweepsCoverRangesAndPickMinima) {
+  problems::LcsProblem p(problems::random_sequence(384, 1),
+                         problems::random_sequence(384, 2));
+  RunConfig cfg;
+  const TuneResult r = tune(p, cfg, 9);
+
+  ASSERT_GE(r.switch_values.size(), 2u);
+  ASSERT_EQ(r.switch_values.size(), r.switch_seconds.size());
+  EXPECT_EQ(r.switch_values.front(), 0);
+  // The sweep's minimum is the returned optimum.
+  const std::size_t k = argmin(r.switch_seconds);
+  EXPECT_EQ(r.best.t_switch, r.switch_values[k]);
+  const std::size_t k2 = argmin(r.share_seconds);
+  EXPECT_EQ(r.best.t_share, r.share_values[k2]);
+}
+
+TEST(TunerTest, TSwitchCurveIsValleyShaped) {
+  // Fig 7's qualitative claim: the t_switch sweep (t_share = 0) descends
+  // to an interior minimum and rises again.
+  problems::LcsProblem p(problems::random_sequence(512, 3),
+                         problems::random_sequence(512, 4));
+  RunConfig cfg;
+  const TuneResult r = tune(p, cfg, 9);
+  EXPECT_TRUE(is_valley_shaped(r.switch_seconds, 0.10));
+}
+
+TEST(TunerTest, TunedBeatsExtremes) {
+  problems::LcsProblem p(problems::random_sequence(512, 5),
+                         problems::random_sequence(512, 6));
+  RunConfig cfg;
+  const TuneResult r = tune(p, cfg, 9);
+  cfg.mode = Mode::kHeterogeneous;
+  cfg.hetero = r.best;
+  const double tuned = solve(p, cfg).stats.sim_seconds;
+  EXPECT_LE(tuned, r.switch_seconds.front() + 1e-12);  // beats t_switch = 0
+  EXPECT_LE(tuned, r.switch_seconds.back() + 1e-12);   // beats the far end
+}
+
+TEST(TunerTest, RejectsDegenerateSampleCount) {
+  problems::LcsProblem p("ab", "cd");
+  RunConfig cfg;
+  EXPECT_THROW(tune(p, cfg, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace lddp

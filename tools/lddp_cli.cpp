@@ -1,0 +1,248 @@
+// lddp_cli — run any bundled LDDP-Plus problem from the command line:
+// choose the problem, execution mode, platform, size, split parameters, or
+// let the tuner pick them; optionally dump a chrome://tracing schedule.
+//
+//   lddp_cli --problem levenshtein --size 4096 --mode hetero
+//   lddp_cli --problem checkerboard --size 2048 --platform low --tune
+//   lddp_cli --problem dither --size 1024 --trace dither.trace.json
+//   lddp_cli --problem gotoh --size 1000 --mode gpu
+//   lddp_cli --list
+#include <cstdio>
+#include <string>
+
+#include "core/framework.h"
+#include "core/framework3.h"
+#include "core/multi.h"
+#include "core/tuner.h"
+#include "problems/alignment.h"
+#include "problems/checkerboard.h"
+#include "problems/column_min.h"
+#include "problems/dtw.h"
+#include "problems/floyd_steinberg.h"
+#include "problems/gotoh.h"
+#include "problems/lcs.h"
+#include "problems/lcs3.h"
+#include "problems/levenshtein.h"
+#include "problems/seam_carving.h"
+#include "problems/synthetic.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace lddp;
+
+constexpr const char* kUsage = R"(usage: lddp_cli [flags]
+  --problem NAME   levenshtein | lcs | lcs3 | nw | sw | gotoh | dtw
+                   | checkerboard | columnmin | dither | seam | minnwn
+                   | maxnw   (required)
+  --size N         table side (default 1024)
+  --mode M         serial | cpu | tiled | gpu | hetero | auto (default hetero)
+  --platform P     high | low | phi (default high)
+  --t-switch N     low-work fronts per end (default: model heuristic)
+  --t-share N      CPU strip width in cells (default: model heuristic)
+  --tile N         tile side for --mode tiled (default 64)
+  --seed N         workload seed (default 1)
+  --band N         Sakoe-Chiba band for dtw (default 0 = off)
+  --devices N      CPU + N copies of the platform's accelerator via the
+                   multi-device strategy (horizontal problems only)
+  --tune           run the Section V-A parameter sweeps first
+  --trace FILE     write the simulated schedule as chrome://tracing JSON
+  --list           list problems and exit
+)";
+
+Mode parse_mode(const std::string& s) {
+  if (s == "serial") return Mode::kCpuSerial;
+  if (s == "cpu") return Mode::kCpuParallel;
+  if (s == "tiled") return Mode::kCpuTiled;
+  if (s == "gpu") return Mode::kGpu;
+  if (s == "hetero") return Mode::kHeterogeneous;
+  if (s == "auto") return Mode::kAuto;
+  throw CheckError("unknown --mode '" + s + "'");
+}
+
+sim::PlatformSpec parse_platform(const std::string& s) {
+  if (s == "high") return sim::PlatformSpec::hetero_high();
+  if (s == "low") return sim::PlatformSpec::hetero_low();
+  if (s == "phi") return sim::PlatformSpec::hetero_phi();
+  throw CheckError("unknown --platform '" + s + "'");
+}
+
+struct Report {
+  SolveStats stats;
+  std::string answer;
+};
+
+int g_devices = 1;  // set from --devices before dispatch
+
+template <typename P, typename AnswerFn>
+Report run(const P& problem, RunConfig cfg, bool tune_first,
+           AnswerFn&& answer) {
+  if (g_devices > 1) {
+    LDDP_CHECK_MSG(canonical(classify(problem.deps())) ==
+                       Pattern::kHorizontal,
+                   "--devices needs a horizontal-pattern problem");
+    sim::Platform platform(
+        cfg.platform.cpu,
+        std::vector<sim::GpuSpec>(static_cast<std::size_t>(g_devices),
+                                  cfg.platform.gpu));
+    Report r;
+    const auto table =
+        solve_multi_horizontal(problem, platform, MultiSplit{}, &r.stats);
+    r.answer = answer(table);
+    return r;
+  }
+  if (tune_first) {
+    RunConfig tune_cfg = cfg;
+    const TuneResult t = tune(problem, tune_cfg);
+    std::printf("tuned: t_switch=%lld t_share=%lld\n", t.best.t_switch,
+                t.best.t_share);
+    cfg.hetero = t.best;
+  }
+  auto result = solve(problem, cfg);
+  Report r;
+  r.stats = result.stats;
+  r.answer = answer(result.table);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace lddp::problems;
+  Flags flags(argc, argv);
+
+  if (flags.get_bool("list")) {
+    std::printf("levenshtein lcs lcs3 nw sw gotoh dtw checkerboard "
+                "columnmin dither seam minnwn maxnw\n");
+    return 0;
+  }
+  const std::string name = flags.get("problem", "");
+  if (name.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const auto n = static_cast<std::size_t>(flags.get_int("size", 1024));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  RunConfig cfg;
+  cfg.mode = parse_mode(flags.get("mode", "hetero"));
+  cfg.platform = parse_platform(flags.get("platform", "high"));
+  cfg.hetero.t_switch = flags.get_int("t-switch", -1);
+  cfg.hetero.t_share = flags.get_int("t-share", -1);
+  cfg.cpu_tile = static_cast<std::size_t>(flags.get_int("tile", 64));
+  cfg.trace_path = flags.get("trace", "");
+  const bool tune_first = flags.get_bool("tune");
+  g_devices = static_cast<int>(flags.get_int("devices", 1));
+  LDDP_CHECK_MSG(g_devices >= 1, "--devices must be >= 1");
+  const auto band = static_cast<std::size_t>(flags.get_int("band", 0));
+
+  Report r;
+  if (name == "levenshtein") {
+    LevenshteinProblem p(random_sequence(n, seed), random_sequence(n, seed + 1));
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "distance = " + std::to_string(t.at(n, n));
+    });
+  } else if (name == "lcs") {
+    LcsProblem p(random_sequence(n, seed), random_sequence(n, seed + 1));
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "lcs length = " + std::to_string(t.at(n, n));
+    });
+  } else if (name == "lcs3") {
+    // 3-D path: the k = 3 LDDP-Plus extension.
+    Lcs3Problem p(random_sequence(n, seed), random_sequence(n, seed + 1),
+                  random_sequence(n, seed + 2));
+    SolveStats stats;
+    const auto t = solve3(p, cfg, &stats);
+    r.stats = stats;
+    r.answer =
+        "3-way lcs length = " + std::to_string(t.at(n, n, n));
+  } else if (name == "nw") {
+    NeedlemanWunschProblem p(random_sequence(n, seed),
+                             random_sequence(n, seed + 1));
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "alignment score = " + std::to_string(t.at(n, n));
+    });
+  } else if (name == "sw") {
+    SmithWatermanProblem p(random_sequence(n, seed),
+                           random_sequence(n, seed + 1));
+    r = run(p, cfg, tune_first, [](const auto& t) {
+      return "best local score = " + std::to_string(sw_best_score(t));
+    });
+  } else if (name == "gotoh") {
+    GotohProblem p(random_sequence(n, seed), random_sequence(n, seed + 1));
+    r = run(p, cfg, tune_first, [](const auto& t) {
+      return "affine score = " + std::to_string(gotoh_score(t));
+    });
+  } else if (name == "dtw") {
+    DtwProblem p(random_walk_series(n, seed), random_walk_series(n, seed + 1),
+                 band);
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "warp cost = " + std::to_string(t.at(n, n));
+    });
+  } else if (name == "checkerboard") {
+    CheckerboardProblem p(random_cost_board(n, n, seed));
+    r = run(p, cfg, tune_first, [](const auto& t) {
+      return "cheapest path = " + std::to_string(checkerboard_best(t));
+    });
+  } else if (name == "columnmin") {
+    ColumnMinPathProblem p(random_cost_board(n, n, seed));
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      auto best = t.at(0, n - 1);
+      for (std::size_t i = 1; i < n; ++i)
+        best = std::min(best, t.at(i, n - 1));
+      return "cheapest path = " + std::to_string(best);
+    });
+  } else if (name == "dither") {
+    FloydSteinbergProblem p(plasma_image(n, n, seed));
+    r = run(p, cfg, tune_first, [](const auto& t) {
+      std::size_t white = 0;
+      for (std::size_t i = 0; i < t.rows(); ++i)
+        for (std::size_t j = 0; j < t.cols(); ++j)
+          white += t.at(i, j).out == 255;
+      return std::to_string(white) + " white pixels";
+    });
+  } else if (name == "seam") {
+    SeamCarveProblem p(dual_gradient_energy(plasma_image(n, n, seed)));
+    r = run(p, cfg, tune_first, [&](const auto& t) {
+      return "min seam energy = " +
+             std::to_string(seam_energy(p.energy(), extract_seam(t)));
+    });
+  } else if (name == "minnwn") {
+    MinNwNProblem p(n, n, 1);
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "corner = " + std::to_string(t.at(n - 1, n - 1));
+    });
+  } else if (name == "maxnw") {
+    MaxNwProblem p(random_input_grid(n, n, seed), 3);
+    r = run(p, cfg, tune_first, [n](const auto& t) {
+      return "corner = " + std::to_string(t.at(n - 1, n - 1));
+    });
+  } else {
+    std::fprintf(stderr, "unknown problem '%s'\n%s", name.c_str(), kUsage);
+    return 2;
+  }
+
+  for (const auto& bad : flags.unknown())
+    std::fprintf(stderr, "warning: unused flag --%s\n", bad.c_str());
+
+  std::printf("%s\n", r.answer.c_str());
+  std::printf("pattern=%s transfers=%s mode=%s platform=%s\n",
+              to_string(r.stats.pattern).c_str(),
+              to_string(r.stats.transfer).c_str(),
+              to_string(r.stats.mode_used).c_str(),
+              cfg.platform.name.c_str());
+  std::printf("sim=%.3f ms (cpu busy %.3f, gpu busy %.3f, dma %.3f) | "
+              "real=%.3f ms\n",
+              r.stats.sim_seconds * 1e3, r.stats.cpu_busy_seconds * 1e3,
+              r.stats.gpu_busy_seconds * 1e3,
+              r.stats.copy_busy_seconds * 1e3, r.stats.real_seconds * 1e3);
+  std::printf("fronts=%zu t_switch=%lld t_share=%lld pcie: %zu B up / %zu B "
+              "down\n",
+              r.stats.fronts, r.stats.t_switch, r.stats.t_share,
+              r.stats.h2d_bytes, r.stats.d2h_bytes);
+  if (!cfg.trace_path.empty())
+    std::printf("trace written to %s\n", cfg.trace_path.c_str());
+  return 0;
+} catch (const lddp::CheckError& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

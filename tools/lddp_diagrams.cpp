@@ -1,0 +1,194 @@
+// lddp_diagrams — regenerates the paper's schematic figures as SVG files,
+// computed from the framework's own classification, layout and ownership
+// logic (so the diagrams are *checked documentation*, not hand drawings):
+//
+//   fig1_conflicts.svg    neighbour/conflict structure (Fig 1a/1b)
+//   fig2_patterns.svg     wavefront numbering of all six patterns (Fig 2)
+//   fig3_antidiagonal.svg  } heterogeneous ownership (grey = CPU low-work,
+//   fig4_horizontal.svg    } blue = CPU strip, white = GPU) for the four
+//   fig5_invertedl.svg     } canonical patterns (Figs 3-6)
+//   fig6_knightmove.svg    }
+//   fig11_fs_weights.svg  Floyd-Steinberg error-diffusion weights (Fig 11)
+//
+// Usage: lddp_diagrams [output_directory]
+#include <cstdio>
+#include <string>
+
+#include "core/pattern.h"
+#include "tables/layout.h"
+#include "util/svg.h"
+
+namespace {
+
+using namespace lddp;
+
+constexpr double kCell = 34;
+constexpr double kPad = 18;
+
+template <typename FillFn, typename LabelFn>
+void draw_grid(SvgWriter& svg, double x0, double y0, std::size_t rows,
+               std::size_t cols, FillFn&& fill, LabelFn&& label) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double x = x0 + static_cast<double>(j) * kCell;
+      const double y = y0 + static_cast<double>(i) * kCell;
+      svg.rect(x, y, kCell, kCell, fill(i, j));
+      const std::string s = label(i, j);
+      if (!s.empty())
+        svg.text(x + kCell / 2, y + kCell / 2 + 4, s, 12);
+    }
+  }
+}
+
+void figure1(const std::string& dir) {
+  // 3x3 neighbourhood: the centre cell, its 8 neighbours; conflicting
+  // pairs (opposite cells) share a colour; the representative set is the
+  // paper's set 'a' = {W, NW, N, NE}.
+  SvgWriter svg(3 * kCell + 2 * kPad + 260, 3 * kCell + 2 * kPad + 30);
+  const char* pair_color[3][3] = {
+      {"#f4c7c3", "#c3d7f4", "#c9f4c3"},
+      {"#f4eec3", "#333333", "#f4eec3"},
+      {"#c9f4c3", "#c3d7f4", "#f4c7c3"},
+  };
+  draw_grid(
+      svg, kPad, kPad, 3, 3,
+      [&](std::size_t i, std::size_t j) -> std::string {
+        return pair_color[i][j];
+      },
+      [&](std::size_t i, std::size_t j) -> std::string {
+        if (i == 1 && j == 1) return "";
+        const bool representative =
+            (i == 0) || (i == 1 && j == 0);  // NW, N, NE row + W
+        return representative ? "R" : "";
+      });
+  svg.text(kPad + 1.5 * kCell, kPad + 3 * kCell + 20,
+           "same colour = conflicting pair; R = representative set", 11);
+  svg.text(kPad + 3 * kCell + 16, kPad + 16,
+           "Fig 1: the black cell's 8 neighbours;", 12, "#111", "start");
+  svg.text(kPad + 3 * kCell + 16, kPad + 34,
+           "a line through a conflicting pair", 12, "#111", "start");
+  svg.text(kPad + 3 * kCell + 16, kPad + 52,
+           "passes through the cell itself.", 12, "#111", "start");
+  svg.save(dir + "/fig1_conflicts.svg");
+}
+
+template <typename Layout>
+void pattern_panel(SvgWriter& svg, double x0, double y0, const char* title) {
+  const Layout lay(6, 6);
+  draw_grid(
+      svg, x0, y0, 6, 6,
+      [](std::size_t, std::size_t) -> std::string { return "#ffffff"; },
+      [&](std::size_t i, std::size_t j) {
+        return std::to_string(lay.front_of(i, j) + 1);
+      });
+  svg.text(x0 + 3 * kCell, y0 + 6 * kCell + 18, title, 13);
+}
+
+void figure2(const std::string& dir) {
+  const double panel = 6 * kCell + kPad;
+  SvgWriter svg(3 * panel + kPad, 2 * (panel + 30) + kPad);
+  pattern_panel<AntiDiagonalLayout>(svg, kPad, kPad, "(a) Anti-Diagonal");
+  pattern_panel<RowMajorLayout>(svg, kPad + panel, kPad, "(b) Horizontal");
+  pattern_panel<ShellLayout>(svg, kPad + 2 * panel, kPad, "(c) Inverted-L");
+  const double y2 = kPad + panel + 40;
+  pattern_panel<KnightMoveLayout>(svg, kPad, y2, "(d) Knight-Move");
+  pattern_panel<ColumnMajorLayout>(svg, kPad + panel, y2, "(e) Vertical");
+  pattern_panel<MirrorShellLayout>(svg, kPad + 2 * panel, y2,
+                                   "(f) mInverted-L");
+  svg.save(dir + "/fig2_patterns.svg");
+}
+
+// Ownership colouring for the heterogeneous split diagrams. `front_of`
+// gives the pattern's front index; `cpu_all` marks low-work fronts handled
+// entirely by the CPU; `cpu_strip` marks the CPU's strip cells.
+template <typename FrontOf, typename StripFn>
+void hetero_figure(const std::string& path, const char* title,
+                   std::size_t rows, std::size_t cols, std::size_t t_switch,
+                   std::size_t num_fronts, FrontOf&& front_of,
+                   StripFn&& cpu_strip) {
+  SvgWriter svg(static_cast<double>(cols) * kCell + 2 * kPad,
+                static_cast<double>(rows) * kCell + 2 * kPad + 40);
+  draw_grid(
+      svg, kPad, kPad, rows, cols,
+      [&](std::size_t i, std::size_t j) -> std::string {
+        const std::size_t f = front_of(i, j);
+        if (f < t_switch || f >= num_fronts - t_switch)
+          return "#cccccc";  // CPU, low-work region
+        return cpu_strip(i, j) ? "#9db8e8" : "#ffffff";
+      },
+      [&](std::size_t i, std::size_t j) {
+        return std::to_string(front_of(i, j) + 1);
+      });
+  svg.text(kPad + static_cast<double>(cols) * kCell / 2,
+           kPad + static_cast<double>(rows) * kCell + 22, title, 13);
+  svg.text(kPad + static_cast<double>(cols) * kCell / 2,
+           kPad + static_cast<double>(rows) * kCell + 38,
+           "grey = CPU (low work), blue = CPU strip, white = GPU", 11);
+  svg.save(path);
+}
+
+void figures3to6(const std::string& dir) {
+  constexpr std::size_t n = 10, m = 10, ts = 3, share = 3;
+  const AntiDiagonalLayout ad(n, m);
+  hetero_figure(
+      dir + "/fig3_antidiagonal.svg", "Fig 3: anti-diagonal split", n, m, ts,
+      ad.num_fronts(), [](std::size_t i, std::size_t j) { return i + j; },
+      [](std::size_t i, std::size_t) { return i < share; });
+  const RowMajorLayout h(n, m);
+  hetero_figure(
+      dir + "/fig4_horizontal.svg", "Fig 4: horizontal split", n, m, 0,
+      h.num_fronts(), [](std::size_t i, std::size_t) { return i; },
+      [](std::size_t, std::size_t j) { return j < share; });
+  const ShellLayout il(n, m);
+  hetero_figure(
+      dir + "/fig5_invertedl.svg", "Fig 5: inverted-L split", n, m, ts,
+      il.num_fronts(),
+      [](std::size_t i, std::size_t j) { return std::min(i, j); },
+      [](std::size_t, std::size_t j) { return j < share; });
+  const KnightMoveLayout km(n, m);
+  hetero_figure(
+      dir + "/fig6_knightmove.svg", "Fig 6: knight-move split", n, m, 2 * ts,
+      km.num_fronts(),
+      [](std::size_t i, std::size_t j) { return 2 * i + j; },
+      [](std::size_t, std::size_t j) { return j < share; });
+}
+
+void figure11(const std::string& dir) {
+  // The error-diffusion stencil: cell (i,j) pushes scaled error to E, SW,
+  // S, SE — equivalently pulls from W, NW, N, NE.
+  SvgWriter svg(3 * kCell + 2 * kPad + 280, 2 * kCell + 2 * kPad + 40);
+  const char* labels[2][3] = {{"", "*", "7/16"}, {"3/16", "5/16", "1/16"}};
+  draw_grid(
+      svg, kPad, kPad, 2, 3,
+      [&](std::size_t i, std::size_t j) -> std::string {
+        return (i == 0 && j == 1) ? "#333333" : "#ffffff";
+      },
+      [&](std::size_t i, std::size_t j) -> std::string {
+        return labels[i][j];
+      });
+  const double cx = kPad + 1.5 * kCell, cy = kPad + 0.5 * kCell;
+  svg.line(cx, cy, kPad + 2.5 * kCell, cy, "#c00", 1.5, true);
+  svg.line(cx, cy, kPad + 0.5 * kCell, cy + kCell, "#c00", 1.5, true);
+  svg.line(cx, cy, cx, cy + kCell, "#c00", 1.5, true);
+  svg.line(cx, cy, kPad + 2.5 * kCell, cy + kCell, "#c00", 1.5, true);
+  svg.text(kPad + 3 * kCell + 16, kPad + 20,
+           "Fig 11: Floyd-Steinberg weights —", 12, "#111", "start");
+  svg.text(kPad + 3 * kCell + 16, kPad + 38,
+           "cell * cannot start before W, NW, N, NE", 12, "#111", "start");
+  svg.text(kPad + 3 * kCell + 16, kPad + 56,
+           "have forwarded their errors.", 12, "#111", "start");
+  svg.save(dir + "/fig11_fs_weights.svg");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc >= 2 ? argv[1] : ".";
+  figure1(dir);
+  figure2(dir);
+  figures3to6(dir);
+  figure11(dir);
+  std::printf("wrote fig1_conflicts, fig2_patterns, fig3..6 splits and "
+              "fig11_fs_weights SVGs to %s/\n", dir.c_str());
+  return 0;
+}
