@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tshare.dir/bench_ablation_tshare.cpp.o"
+  "CMakeFiles/bench_ablation_tshare.dir/bench_ablation_tshare.cpp.o.d"
+  "bench_ablation_tshare"
+  "bench_ablation_tshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_accelerators.dir/bench_ext_accelerators.cpp.o"
+  "CMakeFiles/bench_ext_accelerators.dir/bench_ext_accelerators.cpp.o.d"
+  "bench_ext_accelerators"
+  "bench_ext_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi.dir/bench_ext_multi.cpp.o"
+  "CMakeFiles/bench_ext_multi.dir/bench_ext_multi.cpp.o.d"
+  "bench_ext_multi"
+  "bench_ext_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_levenshtein.dir/bench_fig10_levenshtein.cpp.o"
+  "CMakeFiles/bench_fig10_levenshtein.dir/bench_fig10_levenshtein.cpp.o.d"
+  "bench_fig10_levenshtein"
+  "bench_fig10_levenshtein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_levenshtein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dithering.dir/bench_fig12_dithering.cpp.o"
+  "CMakeFiles/bench_fig12_dithering.dir/bench_fig12_dithering.cpp.o.d"
+  "bench_fig12_dithering"
+  "bench_fig12_dithering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dithering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

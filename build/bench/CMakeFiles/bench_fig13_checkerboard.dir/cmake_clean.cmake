@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_checkerboard.dir/bench_fig13_checkerboard.cpp.o"
+  "CMakeFiles/bench_fig13_checkerboard.dir/bench_fig13_checkerboard.cpp.o.d"
+  "bench_fig13_checkerboard"
+  "bench_fig13_checkerboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_checkerboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

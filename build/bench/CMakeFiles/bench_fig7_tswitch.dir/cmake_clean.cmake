@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tswitch.dir/bench_fig7_tswitch.cpp.o"
+  "CMakeFiles/bench_fig7_tswitch.dir/bench_fig7_tswitch.cpp.o.d"
+  "bench_fig7_tswitch"
+  "bench_fig7_tswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

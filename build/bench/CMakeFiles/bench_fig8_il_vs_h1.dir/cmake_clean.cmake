@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_il_vs_h1.dir/bench_fig8_il_vs_h1.cpp.o"
+  "CMakeFiles/bench_fig8_il_vs_h1.dir/bench_fig8_il_vs_h1.cpp.o.d"
+  "bench_fig8_il_vs_h1"
+  "bench_fig8_il_vs_h1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_il_vs_h1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

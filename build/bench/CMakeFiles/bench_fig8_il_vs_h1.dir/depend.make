@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_il_vs_h1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_transfers.dir/bench_table2_transfers.cpp.o"
+  "CMakeFiles/bench_table2_transfers.dir/bench_table2_transfers.cpp.o.d"
+  "bench_table2_transfers"
+  "bench_table2_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_sequences.dir/align_sequences.cpp.o"
+  "CMakeFiles/align_sequences.dir/align_sequences.cpp.o.d"
+  "align_sequences"
+  "align_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

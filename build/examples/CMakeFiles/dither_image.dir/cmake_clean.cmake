@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dither_image.dir/dither_image.cpp.o"
+  "CMakeFiles/dither_image.dir/dither_image.cpp.o.d"
+  "dither_image"
+  "dither_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dither_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seam_carve.dir/seam_carve.cpp.o"
+  "CMakeFiles/seam_carve.dir/seam_carve.cpp.o.d"
+  "seam_carve"
+  "seam_carve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seam_carve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/parallelism_profile.cpp" "src/core/CMakeFiles/lddp_core.dir/parallelism_profile.cpp.o" "gcc" "src/core/CMakeFiles/lddp_core.dir/parallelism_profile.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/core/CMakeFiles/lddp_core.dir/pattern.cpp.o" "gcc" "src/core/CMakeFiles/lddp_core.dir/pattern.cpp.o.d"
+  "/root/repo/src/core/run_config.cpp" "src/core/CMakeFiles/lddp_core.dir/run_config.cpp.o" "gcc" "src/core/CMakeFiles/lddp_core.dir/run_config.cpp.o.d"
+  "/root/repo/src/core/strategies/heuristics.cpp" "src/core/CMakeFiles/lddp_core.dir/strategies/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/lddp_core.dir/strategies/heuristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/lddp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lddp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

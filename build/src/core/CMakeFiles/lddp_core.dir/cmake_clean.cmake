@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddp_core.dir/parallelism_profile.cpp.o"
+  "CMakeFiles/lddp_core.dir/parallelism_profile.cpp.o.d"
+  "CMakeFiles/lddp_core.dir/pattern.cpp.o"
+  "CMakeFiles/lddp_core.dir/pattern.cpp.o.d"
+  "CMakeFiles/lddp_core.dir/run_config.cpp.o"
+  "CMakeFiles/lddp_core.dir/run_config.cpp.o.d"
+  "CMakeFiles/lddp_core.dir/strategies/heuristics.cpp.o"
+  "CMakeFiles/lddp_core.dir/strategies/heuristics.cpp.o.d"
+  "liblddp_core.a"
+  "liblddp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

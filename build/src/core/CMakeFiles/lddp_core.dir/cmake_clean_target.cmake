@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblddp_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddp_cpu.dir/cost_model.cpp.o"
+  "CMakeFiles/lddp_cpu.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lddp_cpu.dir/thread_pool.cpp.o"
+  "CMakeFiles/lddp_cpu.dir/thread_pool.cpp.o.d"
+  "liblddp_cpu.a"
+  "liblddp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coalescing.cpp" "src/sim/CMakeFiles/lddp_sim.dir/coalescing.cpp.o" "gcc" "src/sim/CMakeFiles/lddp_sim.dir/coalescing.cpp.o.d"
+  "/root/repo/src/sim/device_spec.cpp" "src/sim/CMakeFiles/lddp_sim.dir/device_spec.cpp.o" "gcc" "src/sim/CMakeFiles/lddp_sim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/lddp_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/lddp_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/lddp_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/lddp_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/lddp_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

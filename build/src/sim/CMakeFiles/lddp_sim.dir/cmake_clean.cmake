@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddp_sim.dir/coalescing.cpp.o"
+  "CMakeFiles/lddp_sim.dir/coalescing.cpp.o.d"
+  "CMakeFiles/lddp_sim.dir/device_spec.cpp.o"
+  "CMakeFiles/lddp_sim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/lddp_sim.dir/kernel.cpp.o"
+  "CMakeFiles/lddp_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/lddp_sim.dir/timeline.cpp.o"
+  "CMakeFiles/lddp_sim.dir/timeline.cpp.o.d"
+  "liblddp_sim.a"
+  "liblddp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

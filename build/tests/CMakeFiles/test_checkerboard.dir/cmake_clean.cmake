@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkerboard.dir/test_checkerboard.cpp.o"
+  "CMakeFiles/test_checkerboard.dir/test_checkerboard.cpp.o.d"
+  "test_checkerboard"
+  "test_checkerboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkerboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

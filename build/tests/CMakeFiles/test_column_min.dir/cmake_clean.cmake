@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column_min.dir/test_column_min.cpp.o"
+  "CMakeFiles/test_column_min.dir/test_column_min.cpp.o.d"
+  "test_column_min"
+  "test_column_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contributing_set.dir/test_contributing_set.cpp.o"
+  "CMakeFiles/test_contributing_set.dir/test_contributing_set.cpp.o.d"
+  "test_contributing_set"
+  "test_contributing_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contributing_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

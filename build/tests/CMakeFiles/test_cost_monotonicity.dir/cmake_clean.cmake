@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_monotonicity.dir/test_cost_monotonicity.cpp.o"
+  "CMakeFiles/test_cost_monotonicity.dir/test_cost_monotonicity.cpp.o.d"
+  "test_cost_monotonicity"
+  "test_cost_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

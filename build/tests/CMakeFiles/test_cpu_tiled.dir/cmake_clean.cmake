@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_tiled.dir/test_cpu_tiled.cpp.o"
+  "CMakeFiles/test_cpu_tiled.dir/test_cpu_tiled.cpp.o.d"
+  "test_cpu_tiled"
+  "test_cpu_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

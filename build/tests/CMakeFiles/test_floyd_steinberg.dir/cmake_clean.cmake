@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floyd_steinberg.dir/test_floyd_steinberg.cpp.o"
+  "CMakeFiles/test_floyd_steinberg.dir/test_floyd_steinberg.cpp.o.d"
+  "test_floyd_steinberg"
+  "test_floyd_steinberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floyd_steinberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_floyd_steinberg.
+# This may be replaced when dependencies are built.

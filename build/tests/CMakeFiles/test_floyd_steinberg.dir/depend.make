@@ -1,0 +1,2 @@
+# Empty dependencies file for test_floyd_steinberg.
+# This may be replaced when dependencies are built.

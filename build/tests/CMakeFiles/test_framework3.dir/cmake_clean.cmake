@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framework3.dir/test_framework3.cpp.o"
+  "CMakeFiles/test_framework3.dir/test_framework3.cpp.o.d"
+  "test_framework3"
+  "test_framework3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framework3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

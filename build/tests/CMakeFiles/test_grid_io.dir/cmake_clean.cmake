@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_io.dir/test_grid_io.cpp.o"
+  "CMakeFiles/test_grid_io.dir/test_grid_io.cpp.o.d"
+  "test_grid_io"
+  "test_grid_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

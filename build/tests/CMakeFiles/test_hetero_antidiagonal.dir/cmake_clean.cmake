@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_antidiagonal.dir/test_hetero_antidiagonal.cpp.o"
+  "CMakeFiles/test_hetero_antidiagonal.dir/test_hetero_antidiagonal.cpp.o.d"
+  "test_hetero_antidiagonal"
+  "test_hetero_antidiagonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_antidiagonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_horizontal.dir/test_hetero_horizontal.cpp.o"
+  "CMakeFiles/test_hetero_horizontal.dir/test_hetero_horizontal.cpp.o.d"
+  "test_hetero_horizontal"
+  "test_hetero_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

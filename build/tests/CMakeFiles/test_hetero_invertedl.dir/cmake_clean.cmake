@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_invertedl.dir/test_hetero_invertedl.cpp.o"
+  "CMakeFiles/test_hetero_invertedl.dir/test_hetero_invertedl.cpp.o.d"
+  "test_hetero_invertedl"
+  "test_hetero_invertedl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_invertedl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_knightmove.dir/test_hetero_knightmove.cpp.o"
+  "CMakeFiles/test_hetero_knightmove.dir/test_hetero_knightmove.cpp.o.d"
+  "test_hetero_knightmove"
+  "test_hetero_knightmove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_knightmove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

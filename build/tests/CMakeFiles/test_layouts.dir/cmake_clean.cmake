@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layouts.dir/test_layouts.cpp.o"
+  "CMakeFiles/test_layouts.dir/test_layouts.cpp.o.d"
+  "test_layouts"
+  "test_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcs.dir/test_lcs.cpp.o"
+  "CMakeFiles/test_lcs.dir/test_lcs.cpp.o.d"
+  "test_lcs"
+  "test_lcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_levenshtein.dir/test_levenshtein.cpp.o"
+  "CMakeFiles/test_levenshtein.dir/test_levenshtein.cpp.o.d"
+  "test_levenshtein"
+  "test_levenshtein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_levenshtein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_max_square.dir/test_max_square.cpp.o"
+  "CMakeFiles/test_max_square.dir/test_max_square.cpp.o.d"
+  "test_max_square"
+  "test_max_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_max_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_accelerator.dir/test_multi_accelerator.cpp.o"
+  "CMakeFiles/test_multi_accelerator.dir/test_multi_accelerator.cpp.o.d"
+  "test_multi_accelerator"
+  "test_multi_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

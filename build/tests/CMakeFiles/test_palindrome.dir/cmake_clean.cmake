@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_palindrome.dir/test_palindrome.cpp.o"
+  "CMakeFiles/test_palindrome.dir/test_palindrome.cpp.o.d"
+  "test_palindrome"
+  "test_palindrome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_palindrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

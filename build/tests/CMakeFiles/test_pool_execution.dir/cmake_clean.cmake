@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_execution.dir/test_pool_execution.cpp.o"
+  "CMakeFiles/test_pool_execution.dir/test_pool_execution.cpp.o.d"
+  "test_pool_execution"
+  "test_pool_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seam_carving.dir/test_seam_carving.cpp.o"
+  "CMakeFiles/test_seam_carving.dir/test_seam_carving.cpp.o.d"
+  "test_seam_carving"
+  "test_seam_carving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seam_carving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

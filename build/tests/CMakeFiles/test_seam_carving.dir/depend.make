@@ -1,0 +1,2 @@
+# Empty dependencies file for test_seam_carving.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategies_correctness.dir/test_strategies_correctness.cpp.o"
+  "CMakeFiles/test_strategies_correctness.dir/test_strategies_correctness.cpp.o.d"
+  "test_strategies_correctness"
+  "test_strategies_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategies_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

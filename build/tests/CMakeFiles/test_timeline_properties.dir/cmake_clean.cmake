@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeline_properties.dir/test_timeline_properties.cpp.o"
+  "CMakeFiles/test_timeline_properties.dir/test_timeline_properties.cpp.o.d"
+  "test_timeline_properties"
+  "test_timeline_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeline_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddp_cli.dir/lddp_cli.cpp.o"
+  "CMakeFiles/lddp_cli.dir/lddp_cli.cpp.o.d"
+  "lddp_cli"
+  "lddp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lddp_diagrams.dir/lddp_diagrams.cpp.o"
+  "CMakeFiles/lddp_diagrams.dir/lddp_diagrams.cpp.o.d"
+  "lddp_diagrams"
+  "lddp_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lddp_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

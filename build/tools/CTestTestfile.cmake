@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/lddp_cli" "--list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_levenshtein "/root/repo/build/tools/lddp_cli" "--problem" "levenshtein" "--size" "256" "--mode" "hetero")
+set_tests_properties(cli_levenshtein PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_checkerboard_low "/root/repo/build/tools/lddp_cli" "--problem" "checkerboard" "--size" "256" "--platform" "low")
+set_tests_properties(cli_checkerboard_low PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lcs3 "/root/repo/build/tools/lddp_cli" "--problem" "lcs3" "--size" "48")
+set_tests_properties(cli_lcs3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dtw_banded "/root/repo/build/tools/lddp_cli" "--problem" "dtw" "--size" "200" "--band" "20" "--mode" "gpu")
+set_tests_properties(cli_dtw_banded PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tiled "/root/repo/build/tools/lddp_cli" "--problem" "palindrome_unknown" "--size" "8")
+set_tests_properties(cli_tiled PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gotoh "/root/repo/build/tools/lddp_cli" "--problem" "gotoh" "--size" "200")
+set_tests_properties(cli_gotoh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_seam_multi "/root/repo/build/tools/lddp_cli" "--problem" "seam" "--size" "256" "--devices" "2")
+set_tests_properties(cli_seam_multi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(diagrams "/root/repo/build/tools/lddp_diagrams" "/root/repo/build/tools")
+set_tests_properties(diagrams PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
