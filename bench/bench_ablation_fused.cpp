@@ -1,0 +1,90 @@
+// Ablation: graph-style fused launches (one full launch overhead per phase
+// plus a per-node issue cost) versus eager per-operation submission.
+//
+// The win concentrates in the launch-bound regime: an n x n anti-diagonal
+// table has 2n-1 fronts, so the pure-GPU path pays 2n-1 full launch
+// overheads unfused but only one (plus 2n-1 small node-issue costs) fused.
+// Small tables are dominated by that fixed cost — exactly the regime the
+// paper's Section VI assigns to the CPU — so fusing moves the t_switch
+// valley left. Large tables amortize launch overhead against kernel work
+// and the two curves converge.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cpu/thread_pool.h"
+#include "problems/synthetic.h"
+#include "sim/memory.h"
+
+namespace {
+
+using namespace lddp;
+
+constexpr std::size_t kSizes[] = {128, 256, 512, 1024, 2048, 4096};
+
+RunConfig fused_cfg(const char* platform, Mode mode, bool fused,
+                    cpu::ThreadPool* pool, sim::BufferPool* buffers) {
+  auto cfg = lddp::bench::config_for(platform, mode);
+  cfg.fused_launches = fused;
+  cfg.pool = pool;
+  cfg.buffer_pool = buffers;
+  return cfg;
+}
+
+void BM_FusedLaunches(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  problems::MinNwNProblem p(n, n, 1);
+  const auto cfg =
+      fused_cfg("Hetero-High", Mode::kGpu, fused, nullptr, nullptr);
+  lddp::bench::run_once(state, p, cfg);
+}
+BENCHMARK(BM_FusedLaunches)
+    ->ArgsProduct({{128, 256, 512, 1024, 2048, 4096}, {0, 1}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_series() {
+  cpu::ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+  sim::BufferPool buffers;
+  lddp::bench::JsonWriter json("ablation_fused");
+
+  for (const char* platform : {"Hetero-High", "Hetero-Low"}) {
+    for (const Mode mode : {Mode::kGpu, Mode::kHeterogeneous}) {
+      std::printf("\n=== Ablation: fused launches (%s, %s) ===\n", platform,
+                  lddp::bench::mode_label(mode));
+      std::printf("%8s %14s %14s %9s %12s %12s\n", "size", "unfused (ms)",
+                  "fused (ms)", "saving", "wall un (ms)", "wall fu (ms)");
+      for (const std::size_t n : kSizes) {
+        problems::MinNwNProblem p(n, n, 1);
+        const auto unfused =
+            solve(p, fused_cfg(platform, mode, false, &pool, &buffers)).stats;
+        const auto fused =
+            solve(p, fused_cfg(platform, mode, true, &pool, &buffers)).stats;
+        const double saving = 100.0 *
+                              (unfused.sim_seconds - fused.sim_seconds) /
+                              unfused.sim_seconds;
+        std::printf("%8zu %14.3f %14.3f %8.1f%% %12.3f %12.3f\n", n,
+                    unfused.sim_seconds * 1e3, fused.sim_seconds * 1e3,
+                    saving, unfused.real_seconds * 1e3,
+                    fused.real_seconds * 1e3);
+        const std::string tag = std::string(platform) + "/" +
+                                lddp::bench::mode_label(mode);
+        json.record(tag + "/unfused", n, unfused);
+        json.record(tag + "/fused", n, fused);
+      }
+    }
+  }
+  json.save();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/framework.h"
@@ -19,6 +20,61 @@
 #include "util/csv.h"
 
 namespace lddp::bench {
+
+/// Machine-readable results sink: collects one record per measured
+/// configuration and writes `BENCH_<name>.json` on save() — a flat array
+/// downstream tooling (plots, regression gates) can consume without
+/// parsing google-benchmark console output.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// `label` identifies the configuration (platform/mode/variant); `size`
+  /// is the table side; times are in milliseconds of simulated platform
+  /// time and real host wall-clock respectively.
+  void record(const std::string& label, std::size_t size,
+              double simulated_ms, double wall_ms) {
+    rows_.push_back(Row{label, size, simulated_ms, wall_ms});
+  }
+
+  void record(const std::string& label, std::size_t size,
+              const SolveStats& stats) {
+    record(label, size, stats.sim_seconds * 1e3, stats.real_seconds * 1e3);
+  }
+
+  /// Writes BENCH_<name>.json in the current working directory.
+  void save() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"size\": %zu, "
+                   "\"simulated_ms\": %.6f, \"wall_ms\": %.6f}%s\n",
+                   r.label.c_str(), r.size, r.simulated_ms, r.wall_ms,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::size_t size;
+    double simulated_ms;
+    double wall_ms;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// Solves once and feeds the simulated time to google-benchmark.
 template <typename P>

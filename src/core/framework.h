@@ -49,8 +49,9 @@ inline Mode resolve_auto(Mode mode, std::size_t cells) {
 template <LddpProblem P>
 SolveResult<P> solve_canonical(const P& p, Pattern pattern,
                                const RunConfig& cfg) {
-  sim::Platform platform(cfg.platform, cfg.pool);
+  sim::Platform platform(cfg.platform, cfg.pool, cfg.buffer_pool);
   const Mode mode = resolve_auto(cfg.mode, p.rows() * p.cols());
+  const bool fused = cfg.fused_launches;
   SolveResult<P> result;
   switch (mode) {
     case Mode::kCpuSerial:
@@ -91,18 +92,19 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
         case Pattern::kAntiDiagonal:
           result.table =
               solve_gpu(p, AntiDiagonalLayout(p.rows(), p.cols()), platform,
-                        &result.stats);
+                        &result.stats, fused);
           break;
         case Pattern::kHorizontal:
           result.table = solve_gpu(p, RowMajorLayout(p.rows(), p.cols()),
-                                   platform, &result.stats);
+                                   platform, &result.stats, fused);
           break;
         case Pattern::kKnightMove:
           result.table = solve_gpu(p, KnightMoveLayout(p.rows(), p.cols()),
-                                   platform, &result.stats);
+                                   platform, &result.stats, fused);
           break;
         case Pattern::kInvertedL:
-          result.table = solve_gpu_invertedl(p, platform, &result.stats);
+          result.table = solve_gpu_invertedl(p, platform, &result.stats,
+                                             fused);
           break;
         default:
           LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
@@ -114,19 +116,22 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
         case Pattern::kAntiDiagonal:
           result.table =
               solve_hetero_antidiagonal(p, platform, cfg.hetero,
-                                        &result.stats);
+                                        &result.stats, fused);
           break;
         case Pattern::kHorizontal:
           result.table =
-              solve_hetero_horizontal(p, platform, cfg.hetero, &result.stats);
+              solve_hetero_horizontal(p, platform, cfg.hetero, &result.stats,
+                                      fused);
           break;
         case Pattern::kKnightMove:
           result.table =
-              solve_hetero_knightmove(p, platform, cfg.hetero, &result.stats);
+              solve_hetero_knightmove(p, platform, cfg.hetero, &result.stats,
+                                      fused);
           break;
         case Pattern::kInvertedL:
           result.table =
-              solve_hetero_invertedl(p, platform, cfg.hetero, &result.stats);
+              solve_hetero_invertedl(p, platform, cfg.hetero, &result.stats,
+                                     fused);
           break;
         default:
           LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");

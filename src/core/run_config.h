@@ -8,6 +8,10 @@
 #include "cpu/thread_pool.h"
 #include "sim/device_spec.h"
 
+namespace lddp::sim {
+class BufferPool;
+}  // namespace lddp::sim
+
 namespace lddp {
 
 /// Which implementation runs the table fill.
@@ -44,6 +48,14 @@ struct RunConfig {
   /// Optional host pool for real execution; null runs everything on the
   /// calling thread (simulated timings are identical either way).
   cpu::ThreadPool* pool = nullptr;
+  /// Optional device/pinned-host buffer pool; repeated solve() calls then
+  /// reuse arenas instead of re-allocating per run. Must outlive the call.
+  sim::BufferPool* buffer_pool = nullptr;
+  /// Batch each GPU phase's kernels and copies into one graph-style fused
+  /// submission (one full launch overhead per phase + a small per-node
+  /// issue cost) instead of paying full launch overhead per operation.
+  /// Results are bit-identical; only the simulated timing changes.
+  bool fused_launches = true;
   /// If non-empty, the simulated schedule is written here as a
   /// chrome://tracing / Perfetto JSON file after the run.
   std::string trace_path;

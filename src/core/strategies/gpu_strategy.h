@@ -9,13 +9,15 @@
 #pragma once
 
 #include "core/strategies/common.h"
+#include "sim/launch_graph.h"
 #include "sim/memory.h"
 
 namespace lddp {
 
 template <LddpProblem P, typename Layout>
 Grid<typename P::Value> solve_gpu(const P& p, const Layout& layout,
-                                  sim::Platform& platform, SolveStats* stats) {
+                                  sim::Platform& platform, SolveStats* stats,
+                                  bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -28,18 +30,24 @@ Grid<typename P::Value> solve_gpu(const P& p, const Layout& layout,
   detail::DeviceReader<V, Layout> read{dtable.device_ptr(), &layout};
   const sim::KernelInfo info = detail::kernel_info_for(p, "gpu.front");
 
+  // The whole compute phase — input upload plus every per-front kernel —
+  // is one graph submission; nothing on the host consumes GPU data before
+  // the final download, so the entire loop can fuse.
+  sim::LaunchGraph graph(gpu, fused);
+
   // Inputs (sequences / cost grid / image) go up once, pageable.
-  gpu.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
+  graph.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
 
   for (std::size_t f = 0; f < layout.num_fronts(); ++f) {
     const std::size_t base = layout.front_offset(f);
     V* out = dtable.device_ptr();
-    gpu.launch(stream, info, layout.front_size(f), [&, base, out](std::size_t c) {
+    graph.launch(stream, info, layout.front_size(f), [&, base, out](std::size_t c) {
       const CellIndex cell = layout.cell(f, c);
       out[base + c] =
           detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
     });
   }
+  graph.replay();
 
   // Assemble the full host-side table for the caller; the priced download
   // is what a production consumer would fetch (result_bytes_of).

@@ -15,6 +15,7 @@
 
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
+#include "sim/launch_graph.h"
 
 namespace lddp {
 
@@ -22,7 +23,8 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
                                                   sim::Platform& platform,
                                                   const HeteroParams& user,
-                                                  SolveStats* stats) {
+                                                  SolveStats* stats,
+                                                  bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -37,7 +39,7 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
   const HeteroParams params = detail::resolve_hetero_params(
       user, Pattern::kAntiDiagonal, n, m, platform.spec(), info,
       detail::kDiagonalCpuAmplification,
-      static_cast<double>(input_bytes_of(p)), /*two_way=*/false);
+      static_cast<double>(input_bytes_of(p)), /*two_way=*/false, fused);
   const std::size_t ts = static_cast<std::size_t>(params.t_switch);
   const std::size_t s = static_cast<std::size_t>(params.t_share);
   const std::size_t phase2_begin = ts;
@@ -52,9 +54,14 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
   const auto compute_stream = gpu.default_stream();
   const auto h2d_stream = gpu.create_stream();
   const auto d2h_stream = gpu.create_stream();
+  // Transfers are strictly CPU→GPU until phase 3, so the entire phase-2
+  // pipeline (uploads + kernels) fuses into one graph submission; workers
+  // stay resident in the strip barrier across all CPU fronts.
+  sim::LaunchGraph graph(gpu, fused);
+  cpu::StripSession strips(platform.pool());
   // Only the GPU strip's share of the problem input goes up (the CPU reads
   // its rows from host memory directly).
-  gpu.record_h2d(compute_stream,
+  graph.record_h2d(compute_stream,
                  static_cast<std::size_t>(
                      static_cast<double>(input_bytes_of(p)) *
                      static_cast<double>(n - std::min(s, n)) /
@@ -109,8 +116,8 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
         bytes += sizeof(V);
       }
     }
-    h2d_m1 = h2d_m2 = gpu.record_h2d(h2d_stream, bytes,
-                                     sim::MemoryKind::kPageable, last_cpu);
+    h2d_m1 = h2d_m2 = graph.record_h2d(h2d_stream, bytes,
+                                       sim::MemoryKind::kPageable, last_cpu);
   }
 
   // ---- Phase 2 ----------------------------------------------------------
@@ -133,17 +140,17 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
         s - 1 <= layout.i_max(d)) {
       const std::size_t j = d - (s - 1);
       dtable.device_ptr()[layout.flat(s - 1, j)] = table.at(s - 1, j);
-      h2d_op = gpu.record_h2d(h2d_stream, sizeof(V),
-                              sim::MemoryKind::kPinned, cpu_op);
+      h2d_op = graph.record_h2d(h2d_stream, sizeof(V),
+                                sim::MemoryKind::kPinned, cpu_op);
     }
 
     if (c < fs) {
       // The kernel additionally waits for the boundary cells of the last
       // two fronts (the W/N/NW reads that cross the strip).
-      gpu.stream_wait(compute_stream, h2d_m2);
+      graph.stream_wait(compute_stream, h2d_m2);
       const std::size_t base = layout.front_offset(d);
       V* out = dtable.device_ptr();
-      last_gpu = gpu.launch(
+      last_gpu = graph.launch(
           compute_stream, info, fs - c,
           [&, d, c, base, out](std::size_t k) {
             const CellIndex cell = layout.cell(d, c + k);
@@ -155,6 +162,11 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
     h2d_m2 = h2d_m1;
     h2d_m1 = h2d_op;
   }
+
+  // Phase 2 is over: submit the fused pipeline before anything on the host
+  // side needs a GPU op id (the downloads below depend on last_gpu).
+  graph.replay();
+  last_gpu = graph.resolve(last_gpu);
 
   // Phase-3 entry: the CPU reads everything in the two fronts preceding
   // phase2_end; download the GPU-owned parts in bulk.

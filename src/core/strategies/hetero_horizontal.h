@@ -17,6 +17,7 @@
 
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
+#include "sim/launch_graph.h"
 
 namespace lddp {
 
@@ -24,7 +25,8 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_hetero_horizontal(const P& p,
                                                 sim::Platform& platform,
                                                 const HeteroParams& user,
-                                                SolveStats* stats) {
+                                                SolveStats* stats,
+                                                bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -38,7 +40,10 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
   const HeteroParams params = detail::resolve_hetero_params(
       user, Pattern::kHorizontal, n, m, platform.spec(), info,
       /*cpu_mem_amplification=*/1.0, static_cast<double>(input_bytes_of(p)),
-      is_horizontal_case2(deps));
+      is_horizontal_case2(deps),
+      // An NE dependency forces eager submission (gpu->cpu boundary every
+      // row), so only NE-free shapes see the fused per-front pricing.
+      fused && !deps.has_ne());
   const std::size_t s = static_cast<std::size_t>(params.t_share);
 
   const bool cpu_to_gpu = deps.has_nw() && s > 0 && s < m;
@@ -60,9 +65,14 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
   const auto compute_stream = gpu.default_stream();
   const auto h2d_stream = gpu.create_stream();
   const auto d2h_stream = gpu.create_stream();
+  // Fusing requires strictly one-way traffic: with an NE dependency the
+  // CPU consumes a GPU boundary every row (mid-phase host sync), which a
+  // graph cannot span — exactly like a real CUDA graph.
+  sim::LaunchGraph graph(gpu, fused && !gpu_to_cpu);
+  cpu::StripSession strips(platform.pool());
   // Only the GPU strip's share of the problem input goes up (the CPU reads
   // its columns from host memory directly).
-  gpu.record_h2d(compute_stream,
+  graph.record_h2d(compute_stream,
                  static_cast<std::size_t>(
                      static_cast<double>(input_bytes_of(p)) *
                      static_cast<double>(m - std::min(s, m)) /
@@ -111,8 +121,8 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
     if (cpu_to_gpu) {
       dtable.device_ptr()[layout.flat(i, s - 1)] = table.at(i, s - 1);
       if (!two_way) {
-        h2d_op = gpu.record_h2d(h2d_stream, sizeof(V),
-                                sim::MemoryKind::kPinned, cpu_op);
+        h2d_op = graph.record_h2d(h2d_stream, sizeof(V),
+                                  sim::MemoryKind::kPinned, cpu_op);
       }
     }
 
@@ -122,7 +132,7 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
       const sim::OpId dep = two_way ? cpu_m1 : (cpu_to_gpu ? h2d_m1 : sim::kNoOp);
       const std::size_t base = layout.front_offset(i) + s;
       V* out = dtable.device_ptr();
-      gpu_op = gpu.launch(
+      gpu_op = graph.launch(
           compute_stream, info, m - s,
           [&, i, base, out](std::size_t k) {
             out[base + k] =
@@ -137,8 +147,8 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
     if (gpu_to_cpu && !two_way) {
       // The actual copy happens lazily at the top of the next iteration;
       // here we schedule its simulated cost behind the kernel.
-      d2h_op = gpu.record_d2h(d2h_stream, sizeof(V),
-                              sim::MemoryKind::kPinned, gpu_op);
+      d2h_op = graph.record_d2h(d2h_stream, sizeof(V),
+                                sim::MemoryKind::kPinned, gpu_op);
     }
 
     h2d_m1 = h2d_op;
@@ -146,6 +156,10 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
     gpu_m1 = gpu_op;
     cpu_m1 = cpu_op;
   }
+
+  // Submit the fused pipeline before the host-side download needs real ids.
+  graph.replay();
+  last_gpu = graph.resolve(last_gpu);
 
   // Final download of the GPU strip.
   {

@@ -19,6 +19,7 @@
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
 #include "sim/coalescing.h"
+#include "sim/launch_graph.h"
 
 namespace lddp {
 
@@ -71,6 +72,7 @@ Grid<typename P::Value> solve_cpu_invertedl(const P& p,
 
   Grid<V> table(n, m);
   detail::GridReader<V> read{&table};
+  cpu::StripSession strips(platform.pool());
   for (std::size_t k = 0; k < layout.num_fronts(); ++k) {
     const std::size_t fs = layout.front_size(k);
     const std::size_t col_n = layout.column_part_size(k);
@@ -104,7 +106,8 @@ Grid<typename P::Value> solve_cpu_invertedl(const P& p,
 template <LddpProblem P>
 Grid<typename P::Value> solve_gpu_invertedl(const P& p,
                                             sim::Platform& platform,
-                                            SolveStats* stats) {
+                                            SolveStats* stats,
+                                            bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -120,7 +123,9 @@ Grid<typename P::Value> solve_gpu_invertedl(const P& p,
   detail::DeviceReader<V, RowMajorLayout> dread{dtable.device_ptr(),
                                                 &storage};
   const auto stream = gpu.default_stream();
-  gpu.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
+  // Upload + all shell kernels form one host-independent chain: fuse them.
+  sim::LaunchGraph graph(gpu, fused);
+  graph.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
 
   for (std::size_t k = 0; k < layout.num_fronts(); ++k) {
     const std::size_t fs = layout.front_size(k);
@@ -129,12 +134,13 @@ Grid<typename P::Value> solve_gpu_invertedl(const P& p,
     info.mem_amplification =
         detail::mixed_amplification(col_n, fs - col_n, col_amp);
     V* out = dtable.device_ptr();
-    gpu.launch(stream, info, fs, [&, k, out](std::size_t c) {
+    graph.launch(stream, info, fs, [&, k, out](std::size_t c) {
       const CellIndex cell = layout.cell(k, c);
       out[storage.flat(cell.i, cell.j)] =
           detail::compute_cell(p, deps, bound, cell.i, cell.j, m, dread);
     });
   }
+  graph.replay();
 
   Grid<V> table(n, m);
   for (std::size_t i = 0; i < n; ++i)
@@ -160,7 +166,8 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_hetero_invertedl(const P& p,
                                                sim::Platform& platform,
                                                const HeteroParams& user,
-                                               SolveStats* stats) {
+                                               SolveStats* stats,
+                                               bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -177,7 +184,7 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
       user, Pattern::kInvertedL, n, m, platform.spec(), base_info,
       detail::mixed_amplification(
           n - 1, m, detail::invl_cpu_column_amplification<V>()),
-      static_cast<double>(input_bytes_of(p)), /*two_way=*/false);
+      static_cast<double>(input_bytes_of(p)), /*two_way=*/false, fused);
   const std::size_t ts = static_cast<std::size_t>(params.t_switch);
   const std::size_t s = static_cast<std::size_t>(params.t_share);
   const std::size_t phase_b_begin = num_shells - std::min(ts, num_shells);
@@ -195,9 +202,13 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
   const auto compute_stream = gpu.default_stream();
   const auto h2d_stream = gpu.create_stream();
   const auto d2h_stream = gpu.create_stream();
+  // Transfers are one-way CPU→GPU throughout phase A: the whole pipeline
+  // fuses, and workers stay resident in the strip barrier across shells.
+  sim::LaunchGraph graph(gpu, fused);
+  cpu::StripSession strips(platform.pool());
   // Only the GPU strip's share of the problem input goes up (the CPU reads
   // its columns from host memory directly).
-  gpu.record_h2d(compute_stream,
+  graph.record_h2d(compute_stream,
                  static_cast<std::size_t>(
                      static_cast<double>(input_bytes_of(p)) *
                      static_cast<double>(m - std::min(s, m)) /
@@ -252,8 +263,8 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
           bytes += sizeof(V);
         }
       }
-      h2d_op = gpu.record_h2d(h2d_stream, bytes, sim::MemoryKind::kPinned,
-                              cpu_op);
+      h2d_op = graph.record_h2d(h2d_stream, bytes, sim::MemoryKind::kPinned,
+                                cpu_op);
     }
 
     if (c < fs) {
@@ -262,7 +273,7 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
       info.mem_amplification = detail::mixed_amplification(
           gpu_col, fs - c - gpu_col, gpu_col_amp);
       V* out = dtable.device_ptr();
-      last_gpu = gpu.launch(
+      last_gpu = graph.launch(
           compute_stream, info, fs - c,
           [&, k, c, out](std::size_t q) {
             const CellIndex cell = layout.cell(k, c + q);
@@ -273,6 +284,11 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
     }
     h2d_m1 = h2d_op;
   }
+
+  // Phase A is over: submit the fused pipeline before the downloads below
+  // need a real GPU op id.
+  graph.replay();
+  last_gpu = graph.resolve(last_gpu);
 
   // Phase-B entry: the CPU's first low-work shell reads NW values from the
   // previous shell's GPU part — download it in bulk.

@@ -15,6 +15,7 @@
 
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
+#include "sim/launch_graph.h"
 
 namespace lddp {
 
@@ -22,7 +23,8 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_hetero_knightmove(const P& p,
                                                 sim::Platform& platform,
                                                 const HeteroParams& user,
-                                                SolveStats* stats) {
+                                                SolveStats* stats,
+                                                bool fused = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -37,7 +39,12 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
   const HeteroParams params = detail::resolve_hetero_params(
       user, Pattern::kKnightMove, n, m, platform.spec(), info,
       detail::kDiagonalCpuAmplification,
-      static_cast<double>(input_bytes_of(p)), /*two_way=*/true);
+      static_cast<double>(input_bytes_of(p)), /*two_way=*/true,
+      // The graph only engages when the strip is unsplit (two-way mapped
+      // traffic forces eager submission), and whether the default split is
+      // trivial is not known until the params are resolved — price the
+      // defaults for the common, eager case.
+      /*fused=*/false);
   const std::size_t ts = static_cast<std::size_t>(params.t_switch);
   const std::size_t s = static_cast<std::size_t>(params.t_share);
   const std::size_t phase2_begin = ts;
@@ -57,9 +64,14 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
   const auto compute_stream = gpu.default_stream();
   const auto h2d_stream = gpu.create_stream();
   const auto d2h_stream = gpu.create_stream();
+  // A split strip means two-way mapped traffic every front (the CPU reads
+  // the GPU's previous front mid-phase) — a graph cannot span those host
+  // syncs, so fusing only applies to the unsplit (single-unit) case.
+  sim::LaunchGraph graph(gpu, fused && !split);
+  cpu::StripSession strips(platform.pool());
   // Only the GPU strip's share of the problem input goes up (the CPU reads
   // its columns from host memory directly).
-  gpu.record_h2d(compute_stream,
+  graph.record_h2d(compute_stream,
                  static_cast<std::size_t>(
                      static_cast<double>(input_bytes_of(p)) *
                      static_cast<double>(m - std::min(s, m)) /
@@ -119,8 +131,8 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
         bytes += sizeof(V);
       }
     }
-    entry_h2d = gpu.record_h2d(h2d_stream, bytes, sim::MemoryKind::kPageable,
-                               last_cpu);
+    entry_h2d = graph.record_h2d(h2d_stream, bytes,
+                                 sim::MemoryKind::kPageable, last_cpu);
   }
 
   // ---- Phase 2 ----------------------------------------------------------
@@ -167,8 +179,8 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
       }
       const std::size_t base = layout.front_offset(t);
       V* out = dtable.device_ptr();
-      gpu.stream_wait(compute_stream, entry_h2d);
-      last_gpu = gpu.launch(
+      graph.stream_wait(compute_stream, entry_h2d);
+      last_gpu = graph.launch(
           compute_stream, info, fs - c,
           [&, t, c, base, out](std::size_t k) {
             const CellIndex cell = layout.cell(t, c + k);
@@ -181,6 +193,11 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
 
     gpu_m1 = last_gpu;
   }
+
+  // Phase 2 is over: submit the fused pipeline before the downloads below
+  // need a real GPU op id.
+  graph.replay();
+  last_gpu = graph.resolve(last_gpu);
 
   // Phase-3 entry: the CPU reads columns >= s of the three preceding
   // fronts' GPU parts.

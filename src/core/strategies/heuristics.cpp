@@ -18,11 +18,25 @@ double cpu_best_front_seconds(const cpu::CpuSpec& spec,
       cpu::cpu_front_seconds(spec, work, cells, false));
 }
 
+// Per-front submission cost: a full launch overhead when every operation is
+// issued eagerly, but only the graph node-issue cost once the phase is
+// recorded as a fused launch (the one-off full overhead per replay is
+// amortized over all fronts and ignored here).
+double submit_seconds(const sim::GpuSpec& spec, bool fused) {
+  return (fused ? spec.graph_node_issue_us : spec.launch_overhead_us) * 1e-6;
+}
+
 double gpu_front_seconds(const sim::GpuSpec& spec,
-                         const sim::KernelInfo& kernel, std::size_t cells) {
-  return sim::kernel_seconds(spec, kernel, cells) +
-         sim::transfer_seconds(spec, sizeof(double),
-                               sim::MemoryKind::kPinned);
+                         const sim::KernelInfo& kernel, std::size_t cells,
+                         bool fused) {
+  const double boundary =
+      fused ? submit_seconds(spec, fused) +
+                  sim::transfer_exec_seconds(spec, sizeof(double),
+                                             sim::MemoryKind::kPinned)
+            : sim::transfer_seconds(spec, sizeof(double),
+                                    sim::MemoryKind::kPinned);
+  return submit_seconds(spec, fused) +
+         sim::kernel_exec_seconds(spec, kernel, cells) + boundary;
 }
 
 }  // namespace
@@ -30,13 +44,14 @@ double gpu_front_seconds(const sim::GpuSpec& spec,
 std::size_t gpu_crossover_front_cells(const sim::PlatformSpec& platform,
                                       const sim::KernelInfo& kernel,
                                       std::size_t max_front,
-                                      double cpu_mem_amplification) {
+                                      double cpu_mem_amplification,
+                                      bool fused) {
   if (max_front == 0) return 0;
   // The cost difference gpu - cpu is decreasing in the front size (the CPU
   // slope exceeds the GPU slope; the intercepts favour the CPU), so a
   // binary search finds the crossover.
   auto gpu_wins = [&](std::size_t f) {
-    return gpu_front_seconds(platform.gpu, kernel, f) <
+    return gpu_front_seconds(platform.gpu, kernel, f, fused) <
            cpu_best_front_seconds(platform.cpu, kernel.work, f,
                                   cpu_mem_amplification);
   };
@@ -55,7 +70,7 @@ long long balanced_t_share(const sim::PlatformSpec& platform,
                            std::size_t front_cells,
                            double cpu_mem_amplification,
                            double input_bytes_per_front,
-                           double mapped_us_when_split) {
+                           double mapped_us_when_split, bool fused) {
   if (front_cells == 0) return 0;
   const double upload_rate = platform.gpu.pageable_bandwidth_gbs * 1e9;
   auto objective = [&](std::size_t s) {
@@ -65,7 +80,8 @@ long long balanced_t_share(const sim::PlatformSpec& platform,
                                         cpu_mem_amplification,
                                         /*streamed=*/true);
     const std::size_t g = front_cells - s;
-    double gpu = sim::kernel_seconds(platform.gpu, kernel, g);
+    double gpu = submit_seconds(platform.gpu, fused) +
+                 sim::kernel_exec_seconds(platform.gpu, kernel, g);
     if (g > 0) {
       // Amortized share of the input upload that the GPU strip requires.
       gpu += input_bytes_per_front * static_cast<double>(g) /
@@ -96,13 +112,14 @@ HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
                                    const sim::PlatformSpec& platform,
                                    const sim::KernelInfo& kernel,
                                    double cpu_mem_amplification,
-                                   double input_bytes, bool two_way) {
+                                   double input_bytes, bool two_way,
+                                   bool fused) {
   HeteroParams out = user;
   const std::size_t max_front = std::min(rows, cols);
 
   if (out.t_switch < 0) {
     const std::size_t fc = gpu_crossover_front_cells(
-        platform, kernel, max_front, cpu_mem_amplification);
+        platform, kernel, max_front, cpu_mem_amplification, fused);
     switch (canon) {
       case Pattern::kAntiDiagonal:
         // Front d has d+1 cells while growing.
@@ -160,9 +177,9 @@ HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
         num_fronts > 0 ? input_bytes / static_cast<double>(num_fronts) : 0.0;
     const double mapped_us =
         two_way ? platform.gpu.mapped_access_overhead_us : 0.0;
-    out.t_share =
-        balanced_t_share(platform, kernel, typical_front,
-                         cpu_mem_amplification, input_per_front, mapped_us);
+    out.t_share = balanced_t_share(platform, kernel, typical_front,
+                                   cpu_mem_amplification, input_per_front,
+                                   mapped_us, fused);
     // Keep the default split genuinely heterogeneous: never hand the CPU
     // more than half of the strip even when the balance equation says the
     // GPU is not worth engaging (the tuner may still pick larger values).

@@ -19,10 +19,13 @@ namespace lddp::detail {
 /// (launch + execution + one pinned boundary transfer) drops below the best
 /// CPU front cost (serial, or streamed-parallel with the pattern's cache
 /// amplification). Fronts below this size belong to the "low work region".
+/// With `fused` the per-front submission cost is graph_node_issue_us
+/// instead of a full launch_overhead_us, which moves the crossover left.
 std::size_t gpu_crossover_front_cells(const sim::PlatformSpec& platform,
                                       const sim::KernelInfo& kernel,
                                       std::size_t max_front,
-                                      double cpu_mem_amplification = 1.0);
+                                      double cpu_mem_amplification = 1.0,
+                                      bool fused = false);
 
 /// Cells per front the CPU should own in the high-work region: minimizes
 /// the per-front critical path max(cpu_strip, gpu_kernel) over candidate
@@ -36,7 +39,8 @@ long long balanced_t_share(const sim::PlatformSpec& platform,
                            std::size_t front_cells,
                            double cpu_mem_amplification = 1.0,
                            double input_bytes_per_front = 0.0,
-                           double mapped_us_when_split = 0.0);
+                           double mapped_us_when_split = 0.0,
+                           bool fused = false);
 
 /// Valid parameter ranges for a canonical pattern on an rows x cols table:
 /// t_switch in [0, switch_max], t_share in [0, share_max].
@@ -52,6 +56,7 @@ HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
                                    const sim::KernelInfo& kernel,
                                    double cpu_mem_amplification = 1.0,
                                    double input_bytes = 0.0,
-                                   bool two_way = false);
+                                   bool two_way = false,
+                                   bool fused = false);
 
 }  // namespace lddp::detail

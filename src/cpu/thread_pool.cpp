@@ -4,6 +4,24 @@
 
 namespace lddp::cpu {
 
+namespace {
+
+// One spin iteration while waiting on the strip barrier.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin budget before a waiter parks (worker) or starts yielding (master).
+// A few thousand pauses cover the skew between threads finishing their
+// chunks of the same front; anything longer means genuine idleness.
+constexpr int kStripSpinIters = 4096;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   LDDP_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
   workers_.reserve(num_threads - 1);
@@ -22,21 +40,23 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunk(std::size_t thread_index, std::size_t nthreads) {
+void ThreadPool::run_chunk(const Region& region, std::size_t thread_index,
+                           std::size_t nthreads) {
   // Static chunking identical to OpenMP schedule(static): thread k gets the
   // k-th contiguous block, sized to balance remainders.
-  const std::size_t total = region_.end - region_.begin;
+  const std::size_t total = region.end - region.begin;
   const std::size_t base = total / nthreads;
   const std::size_t rem = total % nthreads;
-  const std::size_t lo = region_.begin + thread_index * base +
+  const std::size_t lo = region.begin + thread_index * base +
                          std::min(thread_index, rem);
   const std::size_t hi = lo + base + (thread_index < rem ? 1 : 0);
-  if (lo < hi) (*region_.body)(lo, hi);
+  if (lo < hi) (*region.body)(lo, hi);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
+    bool strips = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] {
@@ -44,10 +64,18 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       });
       if (shutdown_) return;
       seen_epoch = region_.epoch;
+      strips = strip_mode_;
+    }
+    if (strips) {
+      // Stay resident in the barrier until the session ends, then go back
+      // to waiting for the next fork/join epoch.
+      strip_worker_loop(worker_index + 1);
+      strip_exited_.fetch_add(1, std::memory_order_seq_cst);
+      continue;
     }
     // Worker index w maps to thread index w+1; the master is thread 0.
     try {
-      run_chunk(worker_index + 1, workers_.size() + 1);
+      run_chunk(region_, worker_index + 1, workers_.size() + 1);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -60,12 +88,128 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
+void ThreadPool::strip_worker_loop(std::size_t thread_index) {
+  // Baseline generation captured at session entry (published under mu_ by
+  // begin_strips before the wakeup); the worker runs every generation the
+  // master issues after it exactly once.
+  std::uint64_t seen = strip_enter_gen_;
+  for (;;) {
+    // Spin-then-park until the next front (generation bump) or session end.
+    int spins = 0;
+    while (strip_gen_.load(std::memory_order_seq_cst) == seen &&
+           !strip_exit_.load(std::memory_order_seq_cst)) {
+      if (++spins < kStripSpinIters) {
+        cpu_relax();
+      } else {
+        std::unique_lock<std::mutex> lock(strip_mu_);
+        strip_parked_.fetch_add(1, std::memory_order_seq_cst);
+        strip_cv_.wait(lock, [&] {
+          return strip_gen_.load(std::memory_order_seq_cst) != seen ||
+                 strip_exit_.load(std::memory_order_seq_cst);
+        });
+        strip_parked_.fetch_sub(1, std::memory_order_seq_cst);
+        break;
+      }
+    }
+    if (strip_gen_.load(std::memory_order_seq_cst) == seen) return;  // exit
+    seen = strip_gen_.load(std::memory_order_seq_cst);
+    try {
+      run_chunk(strip_region_, thread_index, workers_.size() + 1);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(strip_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    strip_done_.fetch_add(1, std::memory_order_seq_cst);
+  }
+}
+
+void ThreadPool::begin_strips() {
+  if (workers_.empty()) return;  // single thread: everything runs inline
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LDDP_CHECK_MSG(!strip_mode_, "strip sessions do not nest");
+    LDDP_CHECK_MSG(pending_ == 0,
+                   "strip session inside an active parallel region");
+    strip_mode_ = true;
+    strip_exit_.store(false, std::memory_order_seq_cst);
+    strip_exited_.store(0, std::memory_order_seq_cst);
+    strip_enter_gen_ = strip_gen_.load(std::memory_order_seq_cst);
+    first_error_ = nullptr;
+    ++region_.epoch;  // wake the workers into the barrier
+  }
+  cv_start_.notify_all();
+}
+
+void ThreadPool::end_strips() {
+  if (workers_.empty() || !strip_mode_) return;
+  strip_exit_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(strip_mu_);
+  }
+  strip_cv_.notify_all();
+  // Workers leave the barrier quickly (they are spinning or parked, never
+  // mid-front here — dispatch joins every front before returning).
+  while (strip_exited_.load(std::memory_order_seq_cst) != workers_.size())
+    std::this_thread::yield();
+  std::lock_guard<std::mutex> lock(mu_);
+  strip_mode_ = false;
+}
+
+void ThreadPool::strip_dispatch(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  // Workers are quiescent between generations (the previous dispatch joined
+  // them), so the region can be published without a lock: the seq_cst
+  // generation bump below is the release point.
+  strip_region_.begin = begin;
+  strip_region_.end = end;
+  strip_region_.body = &body;
+  strip_done_.store(0, std::memory_order_seq_cst);
+  strip_gen_.fetch_add(1, std::memory_order_seq_cst);
+  // Wake parked workers. The empty critical section orders the notify
+  // against a worker that is between its predicate check and its wait;
+  // spinning workers see the generation bump directly.
+  if (strip_parked_.load(std::memory_order_seq_cst) != 0) {
+    {
+      std::lock_guard<std::mutex> lock(strip_mu_);
+    }
+    strip_cv_.notify_all();
+  }
+  try {
+    run_chunk(strip_region_, 0, workers_.size() + 1);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(strip_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  int spins = 0;
+  while (strip_done_.load(std::memory_order_seq_cst) != workers_.size()) {
+    if (++spins < kStripSpinIters)
+      cpu_relax();
+    else
+      std::this_thread::yield();
+  }
+  strip_region_.body = nullptr;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(strip_mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
 void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (begin >= end) return;
   if (workers_.empty()) {
     body(begin, end);
+    return;
+  }
+  if (strip_mode_) {
+    // Only the master calls this, and only the master toggles strip_mode_,
+    // so the unlocked read is safe.
+    strip_dispatch(begin, end, body);
     return;
   }
   {
@@ -82,7 +226,7 @@ void ThreadPool::parallel_for_chunked(
   cv_start_.notify_all();
   // The master participates as thread 0 rather than idling (CP.43).
   try {
-    run_chunk(0, workers_.size() + 1);
+    run_chunk(region_, 0, workers_.size() + 1);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -105,6 +249,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                        [&](std::size_t lo, std::size_t hi) {
                          for (std::size_t i = lo; i < hi; ++i) body(i);
                        });
+}
+
+void ThreadPool::run_strips(
+    std::size_t num_fronts,
+    const std::function<void(std::size_t)>& front_body) {
+  StripSession session(this);
+  for (std::size_t f = 0; f < num_fronts; ++f) front_body(f);
 }
 
 ThreadPool& default_pool() {

@@ -6,10 +6,21 @@
 // wavefront iterations (CP.41: minimize thread creation/destruction), and
 // `parallel_for` hands each worker one static chunk per call, mirroring
 // OpenMP's `schedule(static)`.
+//
+// Two dispatch mechanisms share the workers:
+//  * fork/join — the default: each parallel region wakes the workers
+//    through a condvar and joins them through another (OpenMP-style).
+//  * strip sessions — while a StripSession is active, workers stay
+//    resident in a generation-counted spin-then-park barrier and each
+//    region is one barrier round. This removes the two condvar round
+//    trips per wavefront that dominate small fronts, implementing the
+//    paper's persistent-thread model for real.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,14 +56,26 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& body);
 
   /// Chunked variant: body(chunk_begin, chunk_end) once per chunk — lets
-  /// hot loops avoid a std::function call per cell.
+  /// hot loops avoid a std::function call per cell. Inside an active strip
+  /// session this dispatches through the persistent-strip barrier.
   void parallel_for_chunked(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Persistent-strip execution: enters a strip session for the duration
+  /// of the call and runs front_body(f) for f in [0, num_fronts) in order
+  /// on the calling thread. parallel_for calls made by front_body are each
+  /// one lightweight barrier round — workers never return to the condvar
+  /// between fronts.
+  void run_strips(std::size_t num_fronts,
+                  const std::function<void(std::size_t)>& front_body);
+
  private:
+  friend class StripSession;
+
   struct Region {
-    // Current parallel region, guarded by mu_.
+    // Current parallel region, guarded by mu_ (fork/join mode) or by the
+    // strip barrier's generation protocol (strip mode).
     std::size_t begin = 0;
     std::size_t end = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
@@ -60,7 +83,15 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_index);
-  void run_chunk(std::size_t thread_index, std::size_t nthreads);
+  void run_chunk(const Region& region, std::size_t thread_index,
+                 std::size_t nthreads);
+
+  // --- strip-session machinery -------------------------------------------
+  void begin_strips();
+  void end_strips();
+  void strip_dispatch(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t, std::size_t)>& body);
+  void strip_worker_loop(std::size_t thread_index);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -70,6 +101,39 @@ class ThreadPool {
   std::size_t pending_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;
+
+  // Strip-session state. strip_mode_/strip_enter_gen_ are written by the
+  // master under mu_ and read by waking workers under mu_; the atomics
+  // carry the per-front barrier (Dekker-style handshake with seq_cst).
+  bool strip_mode_ = false;
+  std::uint64_t strip_enter_gen_ = 0;
+  Region strip_region_;
+  std::atomic<std::uint64_t> strip_gen_{0};
+  std::atomic<std::size_t> strip_done_{0};
+  std::atomic<std::size_t> strip_parked_{0};
+  std::atomic<std::size_t> strip_exited_{0};
+  std::atomic<bool> strip_exit_{false};
+  std::mutex strip_mu_;
+  std::condition_variable strip_cv_;
+};
+
+/// RAII strip session: while alive, every parallel region on the pool
+/// dispatches through the persistent-strip barrier instead of a full
+/// condvar fork/join. Null and single-threaded pools are a no-op; sessions
+/// do not nest.
+class StripSession {
+ public:
+  explicit StripSession(ThreadPool* pool) : pool_(pool) {
+    if (pool_) pool_->begin_strips();
+  }
+  ~StripSession() {
+    if (pool_) pool_->end_strips();
+  }
+  StripSession(const StripSession&) = delete;
+  StripSession& operator=(const StripSession&) = delete;
+
+ private:
+  ThreadPool* pool_;
 };
 
 /// Process-wide default pool sized to the hardware. Lazily constructed;

@@ -170,38 +170,39 @@ inline GotohAlignment gotoh_traceback(const GotohProblem& p,
   return out;
 }
 
-/// Independent two-row serial reference (classic three-array Gotoh).
+/// Independent full-table serial reference (classic three-matrix Gotoh).
+///
+/// Kept as explicit full tables rather than three parallel rolling rows:
+/// the rolling-row form has a loop-carried dependence through cx[j-1] that
+/// GCC 12's -O3 loop-distribution pass splits incorrectly, yielding wrong
+/// scores. The full-table form carries the same recurrence without
+/// tempting that transformation and is what the tests diff against.
 inline std::int32_t gotoh_reference(const std::string& a,
                                     const std::string& b,
                                     AffineScores s = {}) {
   constexpr std::int32_t kNegInf = GotohCell::kNegInf;
-  const std::size_t m = b.size();
-  std::vector<std::int32_t> pm(m + 1), px(m + 1), py(m + 1);
-  std::vector<std::int32_t> cm(m + 1), cx(m + 1), cy(m + 1);
-  pm[0] = 0;
-  px[0] = py[0] = kNegInf;
-  for (std::size_t j = 1; j <= m; ++j) {
-    pm[j] = kNegInf;
-    py[j] = kNegInf;
-    px[j] = s.gap_open + static_cast<std::int32_t>(j - 1) * s.gap_extend;
-  }
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cm[0] = kNegInf;
-    cx[0] = kNegInf;
-    cy[0] = s.gap_open + static_cast<std::int32_t>(i - 1) * s.gap_extend;
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::vector<std::int32_t>> M(
+      n + 1, std::vector<std::int32_t>(m + 1, kNegInf));
+  auto X = M, Y = M;
+  M[0][0] = 0;
+  for (std::size_t j = 1; j <= m; ++j)
+    X[0][j] = s.gap_open + static_cast<std::int32_t>(j - 1) * s.gap_extend;
+  for (std::size_t i = 1; i <= n; ++i)
+    Y[i][0] = s.gap_open + static_cast<std::int32_t>(i - 1) * s.gap_extend;
+  for (std::size_t i = 1; i <= n; ++i) {
     for (std::size_t j = 1; j <= m; ++j) {
       const std::int32_t sub = a[i - 1] == b[j - 1] ? s.match : s.mismatch;
-      cm[j] = std::max(pm[j - 1], std::max(px[j - 1], py[j - 1])) + sub;
-      cx[j] = std::max(std::max(cm[j - 1], cy[j - 1]) + s.gap_open,
-                       cx[j - 1] + s.gap_extend);
-      cy[j] = std::max(std::max(pm[j], px[j]) + s.gap_open,
-                       py[j] + s.gap_extend);
+      M[i][j] = std::max(M[i - 1][j - 1],
+                         std::max(X[i - 1][j - 1], Y[i - 1][j - 1])) +
+                sub;
+      X[i][j] = std::max(std::max(M[i][j - 1], Y[i][j - 1]) + s.gap_open,
+                         X[i][j - 1] + s.gap_extend);
+      Y[i][j] = std::max(std::max(M[i - 1][j], X[i - 1][j]) + s.gap_open,
+                         Y[i - 1][j] + s.gap_extend);
     }
-    std::swap(pm, cm);
-    std::swap(px, cx);
-    std::swap(py, cy);
   }
-  return std::max(pm[m], std::max(px[m], py[m]));
+  return std::max(M[n][m], std::max(X[n][m], Y[n][m]));
 }
 
 }  // namespace lddp::problems

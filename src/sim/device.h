@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstring>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -35,10 +36,12 @@ class Device {
   /// `pool` may be null: kernels then run serially on the calling thread.
   /// The Timeline must outlive the Device. `name` prefixes the device's
   /// timeline resources (distinguishes devices on multi-accelerator
-  /// platforms).
+  /// platforms). `buffers`, when given, backs alloc/alloc_pinned with
+  /// reusable arenas and must outlive every buffer handed out.
   Device(GpuSpec spec, Timeline& timeline, cpu::ThreadPool* pool = nullptr,
-         const std::string& name = "gpu")
-      : spec_(std::move(spec)), tl_(&timeline), pool_(pool) {
+         const std::string& name = "gpu", BufferPool* buffers = nullptr)
+      : spec_(std::move(spec)), tl_(&timeline), pool_(pool),
+        buffers_(buffers) {
     compute_res_ = tl_->add_resource(name + ".compute");
     h2d_res_ = tl_->add_resource(name + ".copy.h2d");
     d2h_res_ = spec_.copy_engines >= 2 ? tl_->add_resource(name + ".copy.d2h")
@@ -63,13 +66,15 @@ class Device {
 
   template <typename T>
   DeviceBuffer<T> alloc(std::size_t count) {
-    return DeviceBuffer<T>(count, &stats_);
+    return DeviceBuffer<T>(count, &stats_, buffers_);
   }
 
   template <typename T>
   PinnedBuffer<T> alloc_pinned(std::size_t count) {
-    return PinnedBuffer<T>(count, &stats_);
+    return PinnedBuffer<T>(count, &stats_, buffers_);
   }
+
+  BufferPool* buffer_pool() { return buffers_; }
 
   /// Async host-to-device copy on `stream`. Returns the op id (usable as an
   /// event). `kind` prices the copy (pinned vs pageable source).
@@ -133,6 +138,18 @@ class Device {
   OpId launch(StreamId stream, const KernelInfo& info, std::size_t num_cells,
               Body&& body, OpId extra_dep = kNoOp) {
     if (num_cells == 0) return last_op(stream);
+    execute_cells(num_cells, body);
+    return enqueue(stream, compute_res_,
+                   kernel_seconds(spec_, info, num_cells), extra_dep,
+                   "kernel");
+  }
+
+  /// Eagerly runs `body(cell)` over [0, num_cells) on the host (via the
+  /// pool for large counts) without recording anything — the execution half
+  /// of launch(), also used by LaunchGraph when timeline recording is
+  /// deferred to replay.
+  template <typename Body>
+  void execute_cells(std::size_t num_cells, Body&& body) {
     if (pool_ && num_cells >= kParallelExecThreshold) {
       pool_->parallel_for_chunked(0, num_cells,
                                   [&body](std::size_t lo, std::size_t hi) {
@@ -142,9 +159,6 @@ class Device {
     } else {
       for (std::size_t c = 0; c < num_cells; ++c) body(c);
     }
-    return enqueue(stream, compute_res_,
-                   kernel_seconds(spec_, info, num_cells), extra_dep,
-                   "kernel");
   }
 
   /// cudaStreamWaitEvent: the next operation on `stream` will additionally
@@ -177,6 +191,8 @@ class Device {
   }
 
  private:
+  friend class LaunchGraph;
+
   // Below this size the fork/join cost of the host pool exceeds the loop.
   static constexpr std::size_t kParallelExecThreshold = 4096;
 
@@ -184,6 +200,18 @@ class Device {
     OpId last = kNoOp;
     std::vector<OpId> pending_waits;
   };
+
+  /// Records one replayed graph node: explicit dependency list, stream
+  /// FIFO chaining handled by the caller via set_last_op.
+  OpId record_raw(Timeline::ResourceId res, double seconds,
+                  std::span<const OpId> deps, const char* label) {
+    return tl_->record(res, seconds, deps, label);
+  }
+
+  void set_last_op(StreamId stream, OpId op) {
+    LDDP_CHECK(stream < streams_.size());
+    streams_[stream].last = op;
+  }
 
   OpId enqueue(StreamId stream, Timeline::ResourceId res, double seconds,
                OpId extra_dep, const char* label) {
@@ -200,6 +228,7 @@ class Device {
   GpuSpec spec_;
   Timeline* tl_;
   cpu::ThreadPool* pool_;
+  BufferPool* buffers_ = nullptr;
   MemoryStats stats_;
   Timeline::ResourceId compute_res_{}, h2d_res_{}, d2h_res_{};
   std::vector<Stream> streams_;

@@ -33,6 +33,12 @@ struct GpuSpec {
   double launch_overhead_us = 5.0;
   /// Pipeline fill latency: even a one-thread kernel takes this long.
   double min_exec_latency_us = 2.0;
+  /// Per-node issue cost inside a fused launch graph (cudaGraphLaunch
+  /// replay): the device front-end dequeues a pre-built command instead of
+  /// taking a full driver round trip, so this is a small fraction of
+  /// launch_overhead_us. One full launch_overhead_us is still paid per
+  /// graph submission.
+  double graph_node_issue_us = 0.5;
 
   // --- memory ------------------------------------------------------------
   double dram_bandwidth_gbs = 100.0;  ///< global-memory peak bandwidth

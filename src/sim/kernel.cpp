@@ -18,8 +18,8 @@ double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info) {
   return std::min(compute_rate, mem_rate);
 }
 
-double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
-                      std::size_t num_cells) {
+double kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                           std::size_t num_cells) {
   if (num_cells == 0) return 0.0;
   LDDP_CHECK(info.block_size > 0);
 
@@ -44,8 +44,14 @@ double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
   const double memory =
       traffic / (spec.dram_bandwidth_gbs * spec.dram_efficiency * 1e9);
 
-  return (spec.launch_overhead_us + info.extra_us) * 1e-6 +
-         std::max(compute, memory);
+  return info.extra_us * 1e-6 + std::max(compute, memory);
+}
+
+double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
+                      std::size_t num_cells) {
+  if (num_cells == 0) return 0.0;
+  return spec.launch_overhead_us * 1e-6 +
+         kernel_exec_seconds(spec, info, num_cells);
 }
 
 double transfer_seconds(const GpuSpec& spec, std::size_t bytes,
@@ -60,6 +66,16 @@ double transfer_seconds(const GpuSpec& spec, std::size_t bytes,
                                 : spec.pageable_bandwidth_gbs) *
                            1e9;
   return latency + static_cast<double>(bytes) / bandwidth;
+}
+
+double transfer_exec_seconds(const GpuSpec& spec, std::size_t bytes,
+                             MemoryKind kind) {
+  if (bytes == 0) return 0.0;
+  const double bandwidth = (kind == MemoryKind::kPinned
+                                ? spec.pinned_bandwidth_gbs
+                                : spec.pageable_bandwidth_gbs) *
+                           1e9;
+  return static_cast<double>(bytes) / bandwidth;
 }
 
 }  // namespace lddp::sim

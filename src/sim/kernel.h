@@ -43,6 +43,13 @@ struct KernelInfo {
 double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
                       std::size_t num_cells);
 
+/// Execution-only portion of kernel_seconds: everything except the
+/// per-launch driver overhead (extra_us included — mapped-pinned reaches
+/// happen during execution). A fused launch graph replaces the per-kernel
+/// launch_overhead with its per-node issue cost but pays this in full.
+double kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                           std::size_t num_cells);
+
 /// Throughput (cells/s) of the saturated device for this kernel — used by
 /// workload-division heuristics to pick an initial t_share.
 double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info);
@@ -51,5 +58,11 @@ double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info);
 /// endpoint lives in `kind` memory.
 double transfer_seconds(const GpuSpec& spec, std::size_t bytes,
                         MemoryKind kind);
+
+/// Wire-time-only portion of transfer_seconds (bytes / bandwidth, no
+/// per-copy submission latency) — what a copy node costs inside a fused
+/// launch graph, where the DMA descriptor is pre-built.
+double transfer_exec_seconds(const GpuSpec& spec, std::size_t bytes,
+                             MemoryKind kind);
 
 }  // namespace lddp::sim

@@ -9,11 +9,21 @@
 // Pinned buffers model cudaHostAlloc storage: the transfer engine prices
 // copies from/to them with lower latency and higher bandwidth (Section
 // IV-C2 of the paper uses pinned memory for small two-way transfers).
+//
+// A BufferPool lets repeated solve() calls (tuner sweeps, benches,
+// multi-run services) reuse device/pinned arenas instead of re-allocating.
+// Reused storage is zeroed, so pooled buffers keep the fresh-allocation
+// semantics of cudaMalloc-then-memset that the strategies rely on.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstring>
 #include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <vector>
 
 #include "util/check.h"
 
@@ -36,6 +46,137 @@ struct MemoryStats {
   std::size_t d2h_copies = 0;
 };
 
+/// Arena cache for device and pinned-host allocations (cudaMalloc /
+/// cudaHostAlloc are expensive; real frameworks pool them — so do we).
+///
+/// Best-fit on size; released arenas go back to the free list instead of
+/// the heap. acquire() always returns zero-filled storage. Thread-safe: a
+/// process-wide pool may serve concurrent solve() calls.
+class BufferPool {
+ public:
+  struct Stats {
+    std::size_t hits = 0;          ///< acquisitions served from the cache
+    std::size_t misses = 0;        ///< acquisitions that hit the heap
+    std::size_t bytes_reused = 0;  ///< sum of requested bytes over hits
+  };
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool() { trim(); }
+
+  /// Returns zeroed storage of at least `bytes` (aligned for any scalar
+  /// type). `pinned` selects the pinned-host cache — pinned and device
+  /// arenas never mix, as on real hardware.
+  void* acquire(std::size_t bytes, bool pinned) {
+    if (bytes == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& cache = pinned ? pinned_free_ : device_free_;
+    std::size_t best = cache.size();
+    for (std::size_t k = 0; k < cache.size(); ++k) {
+      if (cache[k].bytes < bytes) continue;
+      if (best == cache.size() || cache[k].bytes < cache[best].bytes)
+        best = k;
+    }
+    if (best != cache.size()) {
+      void* p = cache[best].data;
+      cache[best] = cache.back();
+      cache.pop_back();
+      std::memset(p, 0, bytes);
+      ++stats_.hits;
+      stats_.bytes_reused += bytes;
+      return p;
+    }
+    void* p = ::operator new(bytes);
+    std::memset(p, 0, bytes);
+    ++stats_.misses;
+    return p;
+  }
+
+  /// Returns an arena from acquire() to the cache. `bytes` must be the
+  /// size originally requested.
+  void release(void* p, std::size_t bytes, bool pinned) {
+    if (p == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    (pinned ? pinned_free_ : device_free_).push_back(Arena{p, bytes});
+  }
+
+  /// Frees every cached arena (buffers still in use are unaffected).
+  void trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& a : device_free_) ::operator delete(a.data);
+    for (auto& a : pinned_free_) ::operator delete(a.data);
+    device_free_.clear();
+    pinned_free_.clear();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t cached_arenas() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return device_free_.size() + pinned_free_.size();
+  }
+
+ private:
+  struct Arena {
+    void* data;
+    std::size_t bytes;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Arena> device_free_;
+  std::vector<Arena> pinned_free_;
+  Stats stats_;
+};
+
+namespace detail {
+
+/// Shared storage logic of DeviceBuffer / PinnedBuffer: zeroed elements,
+/// optionally borrowed from a BufferPool (trivially-copyable T only — the
+/// pool hands out raw zeroed bytes) and returned to it on release.
+template <typename T>
+struct PooledStorage {
+  T* data = nullptr;
+  std::size_t size = 0;
+  BufferPool* pool = nullptr;
+
+  void acquire(std::size_t count, BufferPool* from, bool pinned) {
+    if (count == 0) return;
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (from != nullptr) {
+        data = static_cast<T*>(from->acquire(count * sizeof(T), pinned));
+        size = count;
+        pool = from;
+        return;
+      }
+    }
+    data = new T[count]();
+    size = count;
+  }
+
+  void release(bool pinned) {
+    if (data == nullptr) return;
+    if (pool != nullptr)
+      pool->release(data, size * sizeof(T), pinned);
+    else
+      delete[] data;
+    data = nullptr;
+    size = 0;
+    pool = nullptr;
+  }
+
+  void swap(PooledStorage& o) {
+    std::swap(data, o.data);
+    std::swap(size, o.size);
+    std::swap(pool, o.pool);
+  }
+};
+
+}  // namespace detail
+
 /// A typed region of simulated device global memory.
 ///
 /// Movable, non-copyable (it is an owning handle, like a cudaMalloc
@@ -46,8 +187,10 @@ template <typename T>
 class DeviceBuffer {
  public:
   DeviceBuffer() = default;
-  DeviceBuffer(std::size_t count, MemoryStats* stats)
-      : data_(count ? new T[count]() : nullptr), size_(count), stats_(stats) {
+  DeviceBuffer(std::size_t count, MemoryStats* stats,
+               BufferPool* pool = nullptr)
+      : stats_(stats) {
+    storage_.acquire(count, pool, /*pinned=*/false);
     if (stats_) {
       stats_->device_bytes_allocated += bytes();
       stats_->device_bytes_peak =
@@ -67,29 +210,27 @@ class DeviceBuffer {
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
   ~DeviceBuffer() { release(); }
 
-  std::size_t size() const { return size_; }
-  std::size_t bytes() const { return size_ * sizeof(T); }
-  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return storage_.size; }
+  std::size_t bytes() const { return storage_.size * sizeof(T); }
+  bool empty() const { return storage_.size == 0; }
+  bool pooled() const { return storage_.pool != nullptr; }
 
   /// Raw device pointer — pass to kernels.
-  T* device_ptr() { return data_.get(); }
-  const T* device_ptr() const { return data_.get(); }
+  T* device_ptr() { return storage_.data; }
+  const T* device_ptr() const { return storage_.data; }
 
  private:
   void release() {
-    if (data_ && stats_) stats_->device_bytes_allocated -= bytes();
-    data_.reset();
-    size_ = 0;
+    if (storage_.data && stats_) stats_->device_bytes_allocated -= bytes();
+    storage_.release(/*pinned=*/false);
     stats_ = nullptr;
   }
   void swap(DeviceBuffer& o) {
-    std::swap(data_, o.data_);
-    std::swap(size_, o.size_);
+    storage_.swap(o.storage_);
     std::swap(stats_, o.stats_);
   }
 
-  std::unique_ptr<T[]> data_;
-  std::size_t size_ = 0;
+  detail::PooledStorage<T> storage_;
   MemoryStats* stats_ = nullptr;
 };
 
@@ -98,8 +239,10 @@ template <typename T>
 class PinnedBuffer {
  public:
   PinnedBuffer() = default;
-  PinnedBuffer(std::size_t count, MemoryStats* stats)
-      : data_(count ? new T[count]() : nullptr), size_(count), stats_(stats) {
+  PinnedBuffer(std::size_t count, MemoryStats* stats,
+               BufferPool* pool = nullptr)
+      : stats_(stats) {
+    storage_.acquire(count, pool, /*pinned=*/true);
     if (stats_) stats_->pinned_bytes_allocated += count * sizeof(T);
   }
   PinnedBuffer(PinnedBuffer&& o) noexcept { swap(o); }
@@ -114,36 +257,34 @@ class PinnedBuffer {
   PinnedBuffer& operator=(const PinnedBuffer&) = delete;
   ~PinnedBuffer() { release(); }
 
-  std::size_t size() const { return size_; }
-  std::size_t bytes() const { return size_ * sizeof(T); }
-  T* data() { return data_.get(); }
-  const T* data() const { return data_.get(); }
+  std::size_t size() const { return storage_.size; }
+  std::size_t bytes() const { return storage_.size * sizeof(T); }
+  bool pooled() const { return storage_.pool != nullptr; }
+  T* data() { return storage_.data; }
+  const T* data() const { return storage_.data; }
   T& operator[](std::size_t i) {
-    LDDP_DCHECK(i < size_);
-    return data_[i];
+    LDDP_DCHECK(i < storage_.size);
+    return storage_.data[i];
   }
   const T& operator[](std::size_t i) const {
-    LDDP_DCHECK(i < size_);
-    return data_[i];
+    LDDP_DCHECK(i < storage_.size);
+    return storage_.data[i];
   }
 
   static constexpr MemoryKind kind() { return MemoryKind::kPinned; }
 
  private:
   void release() {
-    if (data_ && stats_) stats_->pinned_bytes_allocated -= bytes();
-    data_.reset();
-    size_ = 0;
+    if (storage_.data && stats_) stats_->pinned_bytes_allocated -= bytes();
+    storage_.release(/*pinned=*/true);
     stats_ = nullptr;
   }
   void swap(PinnedBuffer& o) {
-    std::swap(data_, o.data_);
-    std::swap(size_, o.size_);
+    storage_.swap(o.storage_);
     std::swap(stats_, o.stats_);
   }
 
-  std::unique_ptr<T[]> data_;
-  std::size_t size_ = 0;
+  detail::PooledStorage<T> storage_;
   MemoryStats* stats_ = nullptr;
 };
 

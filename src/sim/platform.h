@@ -20,16 +20,20 @@ class Platform {
  public:
   /// `pool` may be null: all real execution then runs on the calling
   /// thread (simulated times are unaffected — they come from the models).
-  explicit Platform(PlatformSpec spec, cpu::ThreadPool* pool = nullptr)
+  /// `buffers`, when given, backs the devices' alloc/alloc_pinned with
+  /// reusable arenas shared across Platform instances.
+  explicit Platform(PlatformSpec spec, cpu::ThreadPool* pool = nullptr,
+                    BufferPool* buffers = nullptr)
       : spec_(std::move(spec)), pool_(pool) {
     cpu_res_ = timeline_.add_resource("cpu");
-    gpus_.push_back(std::make_unique<Device>(spec_.gpu, timeline_, pool));
+    gpus_.push_back(std::make_unique<Device>(spec_.gpu, timeline_, pool,
+                                             "gpu", buffers));
   }
 
   /// Multi-accelerator platform: one CPU plus any number of devices — the
   /// configuration the paper's conclusion asks about.
   Platform(cpu::CpuSpec cpu, std::vector<GpuSpec> accels,
-           cpu::ThreadPool* pool = nullptr)
+           cpu::ThreadPool* pool = nullptr, BufferPool* buffers = nullptr)
       : pool_(pool) {
     LDDP_CHECK_MSG(!accels.empty(), "need at least one accelerator");
     spec_.name = "multi-accelerator";
@@ -39,7 +43,7 @@ class Platform {
     for (std::size_t k = 0; k < accels.size(); ++k)
       gpus_.push_back(std::make_unique<Device>(
           std::move(accels[k]), timeline_, pool,
-          "gpu" + std::to_string(k)));
+          "gpu" + std::to_string(k), buffers));
   }
 
   Platform(const Platform&) = delete;

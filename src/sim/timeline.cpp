@@ -27,6 +27,7 @@ OpId Timeline::record(ResourceId resource, double duration_s,
   ends_.push_back(end);
   op_resources_.push_back(resource);
   labels_.push_back(label != nullptr ? label : "");
+  groups_.push_back(current_group_);
   makespan_ = std::max(makespan_, end);
   return static_cast<OpId>(ends_.size() - 1);
 }
@@ -67,6 +68,22 @@ Timeline::ResourceId Timeline::op_resource(OpId op) const {
   return op_resources_[op];
 }
 
+GroupId Timeline::begin_group() {
+  LDDP_CHECK_MSG(current_group_ == kNoGroup, "op groups do not nest");
+  current_group_ = next_group_++;
+  return current_group_;
+}
+
+void Timeline::end_group() {
+  LDDP_CHECK_MSG(current_group_ != kNoGroup, "end_group without begin_group");
+  current_group_ = kNoGroup;
+}
+
+GroupId Timeline::op_group(OpId op) const {
+  LDDP_CHECK(op < groups_.size());
+  return groups_[op];
+}
+
 const char* Timeline::op_label(OpId op) const {
   LDDP_CHECK(op < labels_.size());
   return labels_[op];
@@ -77,6 +94,8 @@ void Timeline::reset() {
   ends_.clear();
   op_resources_.clear();
   labels_.clear();
+  groups_.clear();
+  current_group_ = kNoGroup;
   makespan_ = 0.0;
   for (auto& res : resources_) {
     res.free_at = 0.0;
@@ -102,7 +121,10 @@ void Timeline::export_chrome_trace(const std::string& path) const {
     const char* label = labels_[op][0] != '\0' ? labels_[op] : "op";
     out << R"({"name":")" << label << R"(","ph":"X","pid":0,"tid":)"
         << op_resources_[op] << R"(,"ts":)" << starts_[op] * 1e6
-        << R"(,"dur":)" << (ends_[op] - starts_[op]) * 1e6 << "}";
+        << R"(,"dur":)" << (ends_[op] - starts_[op]) * 1e6;
+    if (groups_[op] != kNoGroup)
+      out << R"(,"args":{"graph":)" << groups_[op] << "}";
+    out << "}";
   }
   out << "\n]\n";
   LDDP_CHECK_MSG(out.good(), "short write to trace file " << path);

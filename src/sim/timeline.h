@@ -27,6 +27,11 @@ namespace lddp::sim {
 using OpId = std::uint32_t;
 inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
 
+/// Group tag for ops that belong to one batched submission (a fused launch
+/// graph replay); kNoGroup marks ordinary stand-alone ops.
+using GroupId = std::uint32_t;
+inline constexpr GroupId kNoGroup = std::numeric_limits<GroupId>::max();
+
 class Timeline {
  public:
   using ResourceId = std::uint32_t;
@@ -57,6 +62,13 @@ class Timeline {
   /// Total occupied time on a resource — utilization numerator.
   double busy_time(ResourceId r) const;
 
+  /// Opens a new op group: every op recorded until end_group() is tagged
+  /// with the returned id (exported as "args":{"graph":N} in traces).
+  /// Groups do not nest.
+  GroupId begin_group();
+  void end_group();
+  GroupId op_group(OpId op) const;  ///< kNoGroup for ungrouped ops
+
   std::size_t op_count() const { return ends_.size(); }
   std::size_t resource_count() const { return resources_.size(); }
   const std::string& resource_name(ResourceId r) const;
@@ -83,6 +95,9 @@ class Timeline {
   std::vector<double> ends_;
   std::vector<ResourceId> op_resources_;
   std::vector<const char*> labels_;
+  std::vector<GroupId> groups_;
+  GroupId current_group_ = kNoGroup;
+  GroupId next_group_ = 0;
   double makespan_ = 0.0;
 };
 

@@ -1,0 +1,190 @@
+// LaunchGraph semantics: pass-through parity in immediate mode, eager body
+// execution and deferred recording in fused mode, graph pricing (one full
+// launch overhead per replay + per-node issue cost), handle resolution,
+// cross-stream dependencies, and Timeline group tagging.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/kernel.h"
+#include "sim/launch_graph.h"
+
+namespace lddp::sim {
+namespace {
+
+class LaunchGraphTest : public ::testing::Test {
+ protected:
+  Timeline tl_;
+  Device dev_{GpuSpec::tesla_k20(), tl_};
+};
+
+TEST_F(LaunchGraphTest, ImmediateModeMatchesDevicePricing) {
+  // fused=false must behave exactly like calling the Device directly.
+  Timeline ref_tl;
+  Device ref_dev(GpuSpec::tesla_k20(), ref_tl);
+  const auto s = ref_dev.default_stream();
+  ref_dev.record_h2d(s, 4096, MemoryKind::kPageable);
+  for (int i = 0; i < 10; ++i)
+    ref_dev.launch(s, KernelInfo{}, 256, [](std::size_t) {});
+  ref_dev.record_d2h(s, 4096, MemoryKind::kPageable);
+
+  LaunchGraph graph(dev_, /*fused=*/false);
+  const auto t = dev_.default_stream();
+  graph.record_h2d(t, 4096, MemoryKind::kPageable);
+  for (int i = 0; i < 10; ++i)
+    graph.launch(t, KernelInfo{}, 256, [](std::size_t) {});
+  graph.record_d2h(t, 4096, MemoryKind::kPageable);
+
+  EXPECT_DOUBLE_EQ(tl_.makespan(), ref_tl.makespan());
+  EXPECT_EQ(tl_.op_count(), ref_tl.op_count());
+  EXPECT_EQ(graph.node_count(), 0u);  // nothing deferred
+}
+
+TEST_F(LaunchGraphTest, FusedBodiesExecuteEagerlyBeforeReplay) {
+  LaunchGraph graph(dev_, /*fused=*/true);
+  std::vector<int> data(64, 0);
+  int* p = data.data();
+  graph.launch(dev_.default_stream(), KernelInfo{}, 64,
+               [p](std::size_t c) { p[c] = static_cast<int>(c) + 1; });
+  // Real execution happened at add-time; nothing recorded yet.
+  for (int c = 0; c < 64; ++c) EXPECT_EQ(data[c], c + 1);
+  EXPECT_EQ(tl_.op_count(), 0u);
+  EXPECT_EQ(graph.node_count(), 1u);
+  graph.replay();
+  EXPECT_EQ(tl_.op_count(), 1u);
+}
+
+TEST_F(LaunchGraphTest, FusedPaysOneLaunchOverheadPlusPerNodeIssue) {
+  const GpuSpec& spec = dev_.spec();
+  const KernelInfo info{};
+  constexpr std::size_t kCells = 32;
+  constexpr int kKernels = 50;
+
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const auto s = dev_.default_stream();
+  for (int i = 0; i < kKernels; ++i)
+    graph.launch(s, info, kCells, [](std::size_t) {});
+  graph.replay();
+
+  const double exec = kernel_exec_seconds(spec, info, kCells);
+  const double expected =
+      spec.launch_overhead_us * 1e-6 +
+      kKernels * (spec.graph_node_issue_us * 1e-6 + exec);
+  EXPECT_NEAR(tl_.makespan(), expected, 1e-12);
+
+  // The same sequence unfused pays the full overhead per kernel.
+  const double unfused = kKernels * kernel_seconds(spec, info, kCells);
+  EXPECT_LT(tl_.makespan(), unfused);
+}
+
+TEST_F(LaunchGraphTest, ResolveMapsHandlesToTimelineOps) {
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const auto s = dev_.default_stream();
+  const OpId h1 = graph.launch(s, KernelInfo{}, 8, [](std::size_t) {});
+  const OpId h2 = graph.launch(s, KernelInfo{}, 8, [](std::size_t) {});
+  EXPECT_NE(h1 & LaunchGraph::kNodeFlag, 0u);
+  EXPECT_NE(h2 & LaunchGraph::kNodeFlag, 0u);
+  EXPECT_EQ(graph.last_op(s), h2);
+  graph.replay();
+  const OpId o1 = graph.resolve(h1);
+  const OpId o2 = graph.resolve(h2);
+  ASSERT_LT(o1, tl_.op_count());
+  ASSERT_LT(o2, tl_.op_count());
+  EXPECT_GE(tl_.start_time(o2), tl_.end_time(o1));  // stream FIFO preserved
+  // Real OpIds and kNoOp pass through untouched.
+  EXPECT_EQ(graph.resolve(o1), o1);
+  EXPECT_EQ(graph.resolve(kNoOp), kNoOp);
+  // After replay the device stream tail is the replayed op.
+  EXPECT_EQ(dev_.last_op(s), o2);
+}
+
+TEST_F(LaunchGraphTest, StreamWaitOrdersAcrossStreamsInsideGraph) {
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const auto compute = dev_.default_stream();
+  const auto copy = dev_.create_stream();
+  const OpId x = graph.record_h2d(copy, 1 << 20, MemoryKind::kPageable);
+  graph.stream_wait(compute, x);
+  const OpId k = graph.launch(compute, KernelInfo{}, 8, [](std::size_t) {});
+  graph.replay();
+  EXPECT_GE(tl_.start_time(graph.resolve(k)), tl_.end_time(graph.resolve(x)));
+}
+
+TEST_F(LaunchGraphTest, ExternalOpDependencyIsHonored) {
+  // An op recorded on the Timeline before replay (e.g. a CPU front) is a
+  // valid dependency of a graph node.
+  const auto cpu_res = tl_.add_resource("cpu");
+  const OpId cpu_op = tl_.record(cpu_res, 1e-3, kNoOp, kNoOp, "cpu");
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const OpId k = graph.launch(dev_.default_stream(), KernelInfo{}, 8,
+                              [](std::size_t) {}, cpu_op);
+  graph.replay();
+  EXPECT_GE(tl_.start_time(graph.resolve(k)), tl_.end_time(cpu_op));
+}
+
+TEST_F(LaunchGraphTest, ReplayTagsOpsAsOneGroup) {
+  const auto s = dev_.default_stream();
+  const OpId before = dev_.launch(s, KernelInfo{}, 8, [](std::size_t) {});
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const OpId h1 = graph.record_h2d(s, 64, MemoryKind::kPageable);
+  const OpId h2 = graph.launch(s, KernelInfo{}, 8, [](std::size_t) {});
+  graph.replay();
+  const OpId after = dev_.launch(s, KernelInfo{}, 8, [](std::size_t) {});
+  EXPECT_EQ(tl_.op_group(before), kNoGroup);
+  EXPECT_EQ(tl_.op_group(after), kNoGroup);
+  const GroupId g = tl_.op_group(graph.resolve(h1));
+  EXPECT_NE(g, kNoGroup);
+  EXPECT_EQ(tl_.op_group(graph.resolve(h2)), g);
+}
+
+TEST_F(LaunchGraphTest, EmptyOperationsAddNoNodes) {
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const auto s = dev_.default_stream();
+  graph.launch(s, KernelInfo{}, 0, [](std::size_t) {});
+  graph.record_h2d(s, 0, MemoryKind::kPageable);
+  graph.record_d2h(s, 0, MemoryKind::kPinned);
+  EXPECT_EQ(graph.node_count(), 0u);
+  graph.replay();
+  EXPECT_EQ(tl_.op_count(), 0u);
+  EXPECT_EQ(graph.replay_count(), 0u);  // empty replay is a no-op
+}
+
+TEST_F(LaunchGraphTest, DestructorReplaysPendingNodes) {
+  {
+    LaunchGraph graph(dev_, /*fused=*/true);
+    graph.launch(dev_.default_stream(), KernelInfo{}, 8, [](std::size_t) {});
+    EXPECT_EQ(tl_.op_count(), 0u);
+  }
+  EXPECT_EQ(tl_.op_count(), 1u);
+}
+
+TEST_F(LaunchGraphTest, CopyStatsAccumulateAtAddTime) {
+  LaunchGraph graph(dev_, /*fused=*/true);
+  const auto s = dev_.default_stream();
+  graph.record_h2d(s, 128, MemoryKind::kPageable);
+  graph.record_d2h(s, 256, MemoryKind::kPinned);
+  EXPECT_EQ(dev_.stats().h2d_bytes, 128u);
+  EXPECT_EQ(dev_.stats().d2h_bytes, 256u);
+  EXPECT_EQ(dev_.stats().h2d_copies, 1u);
+  EXPECT_EQ(dev_.stats().d2h_copies, 1u);
+}
+
+TEST_F(LaunchGraphTest, MultipleReplaysEachPayFullOverheadOnce) {
+  const GpuSpec& spec = dev_.spec();
+  const KernelInfo info{};
+  const auto s = dev_.default_stream();
+  LaunchGraph graph(dev_, /*fused=*/true);
+  graph.launch(s, info, 16, [](std::size_t) {});
+  graph.replay();
+  graph.launch(s, info, 16, [](std::size_t) {});
+  graph.replay();
+  EXPECT_EQ(graph.replay_count(), 2u);
+  const double exec = kernel_exec_seconds(spec, info, 16);
+  const double expected =
+      2 * (spec.launch_overhead_us * 1e-6 + spec.graph_node_issue_us * 1e-6 +
+           exec);
+  EXPECT_NEAR(tl_.makespan(), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace lddp::sim

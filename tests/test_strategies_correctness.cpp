@@ -76,6 +76,41 @@ TEST_P(AllSetsTest, AllModesMatchSerialReference) {
   EXPECT_EQ(solve(probe, cfg).table, ref.table) << "auto";
 }
 
+// Fused graph submission is a pure timing-model change: for every
+// contributing set and shape, fused and unfused runs must produce tables
+// bit-identical to the serial reference — with and without a host pool and
+// a shared buffer pool (the arenas repeated solves reuse).
+TEST_P(AllSetsTest, FusedMatchesUnfusedAndSerial) {
+  const Case c = GetParam();
+  const auto probe = make_probe(c);
+
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuSerial;
+  const auto ref = solve(probe, cfg);
+
+  cpu::ThreadPool pool(3);
+  sim::BufferPool buffers;
+  const HeteroParams sweeps[] = {{-1, -1}, {0, 0}, {2, 3}, {5, 5}};
+  for (const bool fused : {true, false}) {
+    cfg.fused_launches = fused;
+    cfg.pool = &pool;
+    cfg.buffer_pool = &buffers;
+
+    cfg.mode = Mode::kGpu;
+    cfg.hetero = HeteroParams{};
+    EXPECT_EQ(solve(probe, cfg).table, ref.table)
+        << "gpu fused=" << fused;
+
+    cfg.mode = Mode::kHeterogeneous;
+    for (const HeteroParams& hp : sweeps) {
+      cfg.hetero = hp;
+      EXPECT_EQ(solve(probe, cfg).table, ref.table)
+          << "hetero fused=" << fused << " t_switch=" << hp.t_switch
+          << " t_share=" << hp.t_share;
+    }
+  }
+}
+
 std::vector<Case> all_cases() {
   std::vector<Case> cases;
   const std::size_t shapes[][2] = {{1, 1},  {1, 9},  {9, 1},  {2, 2},

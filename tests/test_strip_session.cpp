@@ -1,0 +1,147 @@
+// Persistent-strip execution: while a StripSession is active, parallel
+// regions dispatch through the resident-worker barrier instead of condvar
+// fork/join. Correctness properties: exact coverage per front, sequencing
+// across many fronts, exception propagation, session re-entry, and
+// graceful degradation on single-threaded / null pools.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "cpu/thread_pool.h"
+
+namespace lddp::cpu {
+namespace {
+
+TEST(StripSessionTest, RunStripsVisitsEveryFrontInOrder) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.run_strips(50, [&](std::size_t f) { order.push_back(f); });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t f = 0; f < 50; ++f) EXPECT_EQ(order[f], f);
+}
+
+TEST(StripSessionTest, ParallelForInsideSessionCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 40000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run_strips(8, [&](std::size_t) {
+    pool.parallel_for(0, kN / 8, [&](std::size_t) {});
+  });
+  StripSession session(&pool);
+  pool.parallel_for(0, kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(StripSessionTest, ManySmallFrontsSumCorrectly) {
+  ThreadPool pool(6);
+  std::atomic<long> total{0};
+  pool.run_strips(500, [&](std::size_t) {
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 500 * 64);
+}
+
+TEST(StripSessionTest, WavefrontDependenciesSeePreviousFront) {
+  // Each front reads the previous front's results — the strip barrier must
+  // fully join every front before the next one starts.
+  ThreadPool pool(4);
+  constexpr std::size_t kWidth = 10000;
+  std::vector<long> prev(kWidth, 1), cur(kWidth, 0);
+  pool.run_strips(20, [&](std::size_t) {
+    pool.parallel_for(0, kWidth, [&](std::size_t i) {
+      const long left = i > 0 ? prev[i - 1] : 0;
+      cur[i] = prev[i] + left;
+    });
+    std::swap(prev, cur);
+  });
+  // Row f of Pascal-like recurrence: value at i is C(20+i choose i)-ish
+  // growth — just verify against a serial recomputation.
+  std::vector<long> sprev(kWidth, 1), scur(kWidth, 0);
+  for (int f = 0; f < 20; ++f) {
+    for (std::size_t i = 0; i < kWidth; ++i)
+      scur[i] = sprev[i] + (i > 0 ? sprev[i - 1] : 0);
+    std::swap(sprev, scur);
+  }
+  EXPECT_EQ(prev, sprev);
+}
+
+TEST(StripSessionTest, ExceptionInsideFrontPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_strips(10, [&](std::size_t f) {
+        pool.parallel_for(0, 1000, [&](std::size_t i) {
+          if (f == 3 && i == 777) throw std::runtime_error("boom");
+        });
+      }),
+      std::runtime_error);
+  // Fork/join mode still works after the session unwound.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+  // And a fresh session works too.
+  std::atomic<int> m{0};
+  pool.run_strips(5, [&](std::size_t) {
+    pool.parallel_for(0, 100, [&](std::size_t) { m++; });
+  });
+  EXPECT_EQ(m.load(), 500);
+}
+
+TEST(StripSessionTest, SessionsAreReenterable) {
+  ThreadPool pool(3);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 30; ++round) {
+    StripSession session(&pool);
+    pool.parallel_for(0, 100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 3000);
+}
+
+TEST(StripSessionTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.run_strips(4, [&](std::size_t) {
+    pool.parallel_for(0, 25, [&](std::size_t i) { hits[i]++; });
+  });
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(hits[i], 4);
+}
+
+TEST(StripSessionTest, NullPoolSessionIsNoop) {
+  StripSession session(nullptr);  // must not crash
+  SUCCEED();
+}
+
+TEST(StripSessionTest, EmptyRangeInsideSessionIsNoop) {
+  ThreadPool pool(4);
+  StripSession session(&pool);
+  bool touched = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(StripSessionTest, ChunkedDispatchMatchesForkJoinChunking) {
+  // Same static chunking as fork/join: every index exactly once, chunks
+  // non-overlapping.
+  ThreadPool pool(5);
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  StripSession session(&pool);
+  pool.parallel_for_chunked(3, kN, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 3; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  EXPECT_EQ(hits[0].load(), 0);
+}
+
+}  // namespace
+}  // namespace lddp::cpu
