@@ -1,10 +1,16 @@
 // Reproduces Table I (all 15 contributing sets -> patterns) and the
-// Figure 2 wavefront numberings, and times classification itself.
+// Figure 2 wavefront numberings, times classification itself, and — wired
+// through the shared bench harness — solves one small heterogeneous
+// instance per contributing set so BENCH_table1_patterns.json records a
+// simulated time for every row of the table.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench_common.h"
 #include "core/pattern.h"
+#include "problems/synthetic.h"
 #include "tables/layout.h"
 
 namespace {
@@ -34,6 +40,36 @@ void print_numbering(const char* title) {
   }
 }
 
+/// One heterogeneous solve per contributing set on a small table: the
+/// simulated time of each Table-I row on the Hetero-High testbed.
+void solve_all_sets() {
+  constexpr std::size_t kSide = 256;
+  lddp::bench::JsonWriter json("table1_patterns");
+  std::printf("\n=== Table I rows, solved (256x256, Hetero-High, Framework) "
+              "===\n");
+  std::printf("%-14s %-12s %12s %12s\n", "set", "pattern", "sim_ms",
+              "wall_ms");
+  for (int idx = 0; idx < kNumContributingSets; ++idx) {
+    const ContributingSet cs = contributing_set_by_index(idx);
+    auto p = problems::make_function_problem(
+        kSide, kSide, cs, std::int64_t{0},
+        [](std::size_t i, std::size_t j, const Neighbors<std::int64_t>& nb) {
+          return nb.w ^ (nb.nw + 1) ^ (nb.n << 1) ^ nb.ne ^
+                 static_cast<std::int64_t>(i * 31 + j);
+        });
+    const auto cfg =
+        lddp::bench::config_for("Hetero-High", Mode::kHeterogeneous);
+    const auto stats = solve(p, cfg).stats;
+    const std::string label =
+        cs.to_string() + "->" + to_string(classify(cs));
+    json.record(label, kSide, stats);
+    std::printf("%-14s %-12s %12.3f %12.3f\n", cs.to_string().c_str(),
+                to_string(classify(cs)).c_str(), stats.sim_seconds * 1e3,
+                stats.real_seconds * 1e3);
+  }
+  json.save();
+}
+
 void BM_ClassifyAll15(benchmark::State& state) {
   for (auto _ : state) {
     for (int idx = 0; idx < kNumContributingSets; ++idx) {
@@ -53,6 +89,7 @@ int main(int argc, char** argv) {
   print_numbering<KnightMoveLayout>("Knight-Move");
   print_numbering<ColumnMajorLayout>("Vertical");
   print_numbering<MirrorShellLayout>("mInverted-L");
+  solve_all_sets();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -19,10 +19,12 @@
 #include "core/strategies/cpu_strategy.h"
 #include "core/strategies/cpu_tiled.h"
 #include "core/strategies/gpu_strategy.h"
+#include "core/strategies/gpu_tiled.h"
 #include "core/strategies/hetero_antidiagonal.h"
 #include "core/strategies/hetero_horizontal.h"
 #include "core/strategies/hetero_invertedl.h"
 #include "core/strategies/hetero_knightmove.h"
+#include "core/strategies/hetero_tiled.h"
 #include "sim/platform.h"
 
 namespace lddp {
@@ -44,6 +46,19 @@ inline Mode resolve_auto(Mode mode, std::size_t cells) {
   constexpr std::size_t kHeteroThresholdCells = 512 * 512;
   return cells < kHeteroThresholdCells ? Mode::kCpuParallel
                                        : Mode::kHeterogeneous;
+}
+
+/// RunConfig::tile resolution: 0 keeps the legacy untiled strategies, a
+/// positive value is used as-is, -1 asks the heuristics for a model-based
+/// default for this problem/platform.
+template <LddpProblem P>
+std::size_t resolve_tile(const P& p, const RunConfig& cfg) {
+  if (cfg.tile == 0) return 0;
+  if (cfg.tile > 0) return static_cast<std::size_t>(cfg.tile);
+  const sim::KernelInfo info = kernel_info_for(p, "auto.tile");
+  return default_tile(cfg.platform, info, p.rows(), p.cols(),
+                      sizeof(typename P::Value), p.deps(),
+                      cfg.fused_launches);
 }
 
 template <LddpProblem P>
@@ -88,6 +103,11 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
       break;
 
     case Mode::kGpu:
+      if (const std::size_t tile = resolve_tile(p, cfg); tile > 0) {
+        result.table =
+            solve_gpu_tiled(p, platform, tile, &result.stats, fused);
+        break;
+      }
       switch (pattern) {
         case Pattern::kAntiDiagonal:
           result.table =
@@ -112,6 +132,11 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
       break;
 
     case Mode::kHeterogeneous:
+      if (const std::size_t tile = resolve_tile(p, cfg); tile > 0) {
+        result.table = solve_hetero_tiled(p, platform, cfg.hetero, tile,
+                                          &result.stats, fused);
+        break;
+      }
       switch (pattern) {
         case Pattern::kAntiDiagonal:
           result.table =

@@ -45,6 +45,13 @@ struct RunConfig {
   HeteroParams hetero;
   /// Tile side for Mode::kCpuTiled.
   std::size_t cpu_tile = 64;
+  /// Tile side for the tile-granular GPU / heterogeneous execution layer:
+  /// 0 runs the legacy untiled strategies (thread-per-cell kernels,
+  /// cell-granular splits), > 0 uses tile x tile blocks (skewed when the
+  /// contributing set has NE) with block-per-tile shared-memory kernels
+  /// and halo-only CPU<->GPU transfers, -1 picks a model-based default.
+  /// Results are bit-identical across settings; only timing changes.
+  long long tile = 0;
   /// Optional host pool for real execution; null runs everything on the
   /// calling thread (simulated timings are identical either way).
   cpu::ThreadPool* pool = nullptr;

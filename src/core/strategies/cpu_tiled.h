@@ -3,12 +3,12 @@
 // blocks/sub-blocks)", Section IV-A), in the cache-efficient tiling style
 // of Chowdhury & Ramachandran that the related work surveys.
 //
-// The table is partitioned into tile x tile blocks. Because every cell
-// dependency points up or left (this strategy requires NE-free
-// contributing sets; NE-bearing problems would need skewed tiles), the
-// *tile-level* dependency structure is always within {W, NW, N}, so tiles
-// can be scheduled by anti-diagonal tile wavefronts regardless of the
-// cell-level pattern. Each tile is swept serially in row-major order —
+// Partitioning is delegated to the TileScheduler: rectangular tile x tile
+// blocks for NE-free contributing sets, skewed parallelogram tiles when NE
+// is present. Either way the tile-level dependency structure reduces to
+// {W, NW, N}, so tiles run in anti-diagonal tile wavefronts for *every*
+// one of the 15 contributing sets — the historical NE restriction of this
+// strategy is gone. Each tile is swept serially in row-major order —
 // cache-resident, amplification-free — and tiles of one tile-front run
 // block-per-thread.
 //
@@ -18,44 +18,36 @@
 #pragma once
 
 #include "core/strategies/common.h"
+#include "core/tile_scheduler.h"
 
 namespace lddp {
 
-/// True if the tiled CPU strategy supports this contributing set.
-inline bool cpu_tiled_supports(ContributingSet deps) {
-  return !deps.has_ne();
-}
+/// True if the tiled CPU strategy supports this contributing set. Always
+/// true since the skewed-tile scheduler landed; kept for API compatibility.
+inline bool cpu_tiled_supports(ContributingSet) { return true; }
 
 template <LddpProblem P>
 Grid<typename P::Value> solve_cpu_tiled(const P& p, sim::Platform& platform,
                                         std::size_t tile, SolveStats* stats) {
   using V = typename P::Value;
   LDDP_CHECK_MSG(tile >= 1, "tile size must be positive");
-  LDDP_CHECK_MSG(cpu_tiled_supports(p.deps()),
-                 "tiled CPU execution requires an NE-free contributing set "
-                 "(got " << p.deps().to_string() << ")");
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
   const cpu::WorkProfile work = work_profile_of(p);
-
-  const std::size_t tn = (n + tile - 1) / tile;
-  const std::size_t tm = (m + tile - 1) / tile;
-  const AntiDiagonalLayout tiles(tn, tm);
+  const TileScheduler sched(n, m, tile, deps);
 
   Grid<V> table(n, m);
   detail::GridReader<V> read{&table};
-  for (std::size_t f = 0; f < tiles.num_fronts(); ++f) {
+  for (std::size_t g = 0; g < sched.num_fronts(); ++g) {
     platform.cpu_tiled_front(
-        tiles.front_size(f), tile * tile, work, [&, f](std::size_t t) {
-          const CellIndex tc = tiles.cell(f, t);
-          const std::size_t i_end = std::min(n, (tc.i + 1) * tile);
-          const std::size_t j_end = std::min(m, (tc.j + 1) * tile);
-          for (std::size_t i = tc.i * tile; i < i_end; ++i)
-            for (std::size_t j = tc.j * tile; j < j_end; ++j)
-              table.at(i, j) =
-                  detail::compute_cell(p, deps, bound, i, j, m, read);
+        sched.front_tiles(g), tile * tile, work, [&, g](std::size_t k) {
+          const TileScheduler::TileCoord t = sched.front_tile(g, k);
+          sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
+            table.at(i, j) =
+                detail::compute_cell(p, deps, bound, i, j, m, read);
+          });
         });
   }
 
@@ -63,7 +55,7 @@ Grid<typename P::Value> solve_cpu_tiled(const P& p, sim::Platform& platform,
     stats->mode_used = Mode::kCpuTiled;
     stats->pattern = classify(deps);
     stats->transfer = TransferNeed::kNone;
-    stats->fronts = tiles.num_fronts();
+    stats->fronts = sched.num_fronts();
     stats->cells = n * m;
     detail::finish_stats(*stats, platform, wall.seconds());
   }

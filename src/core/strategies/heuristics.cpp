@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cpu/cost_model.h"
+#include "sim/tile_kernel.h"
 
 namespace lddp::detail {
 
@@ -189,6 +190,146 @@ HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
   out.t_switch = std::clamp<long long>(out.t_switch, 0, switch_max);
   out.t_share = std::clamp<long long>(out.t_share, 0, share_max);
   return out;
+}
+
+namespace {
+
+// halo_cells() of a full interior tile, without a TileScheduler walk.
+std::size_t tile_halo_estimate(ContributingSet deps, std::size_t tile,
+                               bool skewed) {
+  std::size_t halo = 0;
+  if (deps.has_n() || deps.has_nw() || deps.has_ne())
+    halo += tile + 1 + (skewed ? 1 : 0);
+  if (deps.has_w()) halo += tile;
+  return halo;
+}
+
+double gpu_tiled_front_seconds_est(const sim::GpuSpec& spec,
+                                   const sim::KernelInfo& kernel,
+                                   std::size_t num_tiles, std::size_t tile,
+                                   std::size_t value_bytes,
+                                   ContributingSet deps, bool skewed,
+                                   bool fused) {
+  const std::size_t cells = num_tiles * tile * tile;
+  const std::size_t staged = sim::tiled_staged_bytes(
+      kernel, deps.count(), value_bytes, cells,
+      num_tiles * tile_halo_estimate(deps, tile, skewed));
+  return submit_seconds(spec, fused) +
+         sim::tiled_kernel_exec_seconds(spec, kernel, num_tiles, tile, tile,
+                                        cells, staged);
+}
+
+}  // namespace
+
+TiledSplit resolve_tiled_split(const HeteroParams& user,
+                               const TileScheduler& sched,
+                               const sim::PlatformSpec& platform,
+                               const sim::KernelInfo& kernel,
+                               std::size_t value_bytes, double input_bytes,
+                               bool fused) {
+  TiledSplit out;
+  const std::size_t T = sched.tile();
+  const std::size_t F = sched.num_fronts();
+  const std::size_t tr = sched.tile_rows();
+  const std::size_t K = std::min(tr, sched.tile_cols());
+  const std::size_t tile_cells = T * T;
+  const bool skewed = sched.skewed();
+  const ContributingSet deps = sched.deps();
+
+  auto cpu_front = [&](std::size_t k) {
+    return cpu::cpu_tiled_front_seconds(platform.cpu, kernel.work, k,
+                                        tile_cells);
+  };
+  // A GPU tile front additionally pays the pinned bottom-row halo shipment
+  // of the pipelined split.
+  const double halo_copy =
+      submit_seconds(platform.gpu, fused) +
+      sim::transfer_exec_seconds(platform.gpu, T * value_bytes,
+                                 sim::MemoryKind::kPinned);
+  auto gpu_front = [&](std::size_t k) {
+    return gpu_tiled_front_seconds_est(platform.gpu, kernel, k, T,
+                                       value_bytes, deps, skewed, fused) +
+           halo_copy;
+  };
+
+  if (user.t_switch >= 0) {
+    out.t_switch_fronts = std::min<std::size_t>(
+        F / 2, static_cast<std::size_t>(user.t_switch) / T);
+  } else {
+    // First tile-front index where the full-front GPU cost drops below the
+    // tiled CPU cost (front g has min(g+1, K) tiles while growing).
+    std::size_t ts = 0;
+    while (ts < F / 2) {
+      const std::size_t k = std::min(ts + 1, K);
+      if (gpu_front(k) < cpu_front(k)) break;
+      ++ts;
+    }
+    out.t_switch_fronts = ts;
+  }
+
+  if (user.t_share >= 0) {
+    out.t_share_tiles = std::min<std::size_t>(
+        tr, (static_cast<std::size_t>(user.t_share) + T / 2) / T);
+  } else {
+    // Balance the per-front critical path max(cpu strip, gpu rest) on a
+    // typical (full) front of K tiles; the GPU side is charged its
+    // amortized share of the input upload.
+    const double upload_rate = platform.gpu.pageable_bandwidth_gbs * 1e9;
+    const double input_per_front =
+        F > 0 ? input_bytes / static_cast<double>(F) : 0.0;
+    std::size_t best = 0;
+    double best_t = 0.0;
+    for (std::size_t s = 0; s <= K; ++s) {
+      const double cpu = s == 0 ? 0.0 : cpu_front(s);
+      const std::size_t g = K - s;
+      double gpu = 0.0;
+      if (g > 0)
+        gpu = gpu_front(g) + input_per_front * static_cast<double>(g) /
+                                 static_cast<double>(K) / upload_rate;
+      const double t = std::max(cpu, gpu);
+      if (s == 0 || t < best_t - 1e-15) {
+        best_t = t;
+        best = s;
+      }
+    }
+    // Same convention as the untiled default: keep the split genuinely
+    // heterogeneous — at most half the strip to the CPU.
+    out.t_share_tiles = std::min(best, tr / 2);
+  }
+
+  out.t_switch_fronts = std::min(out.t_switch_fronts, F / 2);
+  out.t_share_tiles = std::min(out.t_share_tiles, tr);
+  return out;
+}
+
+std::size_t default_tile(const sim::PlatformSpec& platform,
+                         const sim::KernelInfo& kernel, std::size_t rows,
+                         std::size_t cols, std::size_t value_bytes,
+                         ContributingSet deps, bool fused) {
+  const bool skewed = deps.has_ne();
+  const std::size_t vspan = cols + (skewed ? rows - 1 : 0);
+  std::size_t best = 8;
+  double best_t = 0.0;
+  bool have = false;
+  for (std::size_t tile : {8, 16, 32, 64, 128, 256}) {
+    // Skip candidates larger than the whole table (keep at least one).
+    if (have && tile > rows && tile > vspan) continue;
+    const std::size_t tr = (rows + tile - 1) / tile;
+    const std::size_t tc = (vspan + tile - 1) / tile;
+    const std::size_t fronts = tr + tc - 1;
+    double total = platform.gpu.launch_overhead_us * 1e-6;
+    for (std::size_t g = 0; g < fronts; ++g) {
+      const std::size_t k = std::min({g + 1, tr, tc, fronts - g});
+      total += gpu_tiled_front_seconds_est(platform.gpu, kernel, k, tile,
+                                           value_bytes, deps, skewed, fused);
+    }
+    if (!have || total < best_t) {
+      have = true;
+      best_t = total;
+      best = tile;
+    }
+  }
+  return best;
 }
 
 void hetero_param_ranges(Pattern canon, std::size_t rows, std::size_t cols,

@@ -9,8 +9,10 @@
 
 #include <cstddef>
 
+#include "core/contributing_set.h"
 #include "core/pattern.h"
 #include "core/run_config.h"
+#include "core/tile_scheduler.h"
 #include "sim/kernel.h"
 
 namespace lddp::detail {
@@ -58,5 +60,32 @@ HeteroParams resolve_hetero_params(HeteroParams user, Pattern canon,
                                    double input_bytes = 0.0,
                                    bool two_way = false,
                                    bool fused = false);
+
+/// Tile-granular heterogeneous split, in *tile* units (the public
+/// HeteroParams stay in cell units; the tiled solver converts).
+struct TiledSplit {
+  std::size_t t_switch_fronts = 0;  ///< tile fronts at each end run CPU-only
+  std::size_t t_share_tiles = 0;    ///< CPU-owned tile rows in phase 2
+};
+
+/// Tiled counterpart of resolve_hetero_params: negative user fields get
+/// model-based defaults (tile-front cost crossover for t_switch, per-front
+/// balance of cpu_tiled_front_seconds vs the tiled kernel for t_share);
+/// non-negative fields are cell values converted to tile units. Both are
+/// clamped to the scheduler's geometry.
+TiledSplit resolve_tiled_split(const HeteroParams& user,
+                               const TileScheduler& sched,
+                               const sim::PlatformSpec& platform,
+                               const sim::KernelInfo& kernel,
+                               std::size_t value_bytes, double input_bytes,
+                               bool fused);
+
+/// Model-chosen tile side for `RunConfig::tile = -1` (auto): argmin of the
+/// modeled tiled-GPU makespan (per-front submission + tiled kernel model)
+/// over power-of-two candidates.
+std::size_t default_tile(const sim::PlatformSpec& platform,
+                         const sim::KernelInfo& kernel, std::size_t rows,
+                         std::size_t cols, std::size_t value_bytes,
+                         ContributingSet deps, bool fused);
 
 }  // namespace lddp::detail

@@ -1,0 +1,193 @@
+// Pattern-aware tile partitioning — the unit of scheduling for the
+// tile-granular execution layer (GPU block-per-tile kernels, tiled CPU
+// fronts, and tile-level heterogeneous splits), in the spirit of the
+// blocked/pipelined GPU DP of Matsumae & Miyazaki (arXiv:2008.01938) and
+// the blocked work-efficient DP of Ding, Gu & Sun (arXiv:2404.16314).
+//
+// The table is cut into tile x tile blocks in *skewed coordinates*
+// (u, v) = (i, j + skew * i) with skew = 1 when the contributing set
+// contains NE and skew = 0 otherwise. Under that map the four
+// representative dependencies become
+//
+//              skew = 0 (NE-free)        skew = 1 (NE present)
+//   W          (u,   v-1)                (u,   v-1)
+//   NW         (u-1, v-1)                (u-1, v-2)
+//   N          (u-1, v  )                (u-1, v-1)
+//   NE         —                         (u-1, v  )
+//
+// i.e. every one of the 15 contributing sets reduces to a cell dependency
+// cone pointing up/left, so the *tile-level* dependency structure is
+// always within {W, NW, N} and tiles can be scheduled by anti-diagonal
+// tile wavefronts (front g = tu + tv) regardless of the cell-level
+// pattern. NE-bearing problems get parallelogram ("skewed") tiles; NE-free
+// problems keep rectangular ones. Inside a tile a plain (u asc, v asc)
+// sweep respects every dependency.
+//
+// Consequences the strategies exploit:
+//  * one tiled implementation covers all four canonical patterns;
+//  * with a horizontal split (CPU owns tile rows tu < s) every cross-unit
+//    dependency points CPU -> GPU — even the cell-level two-way patterns
+//    (knight-move, horizontal case-2) become one-way at tile granularity,
+//    so the whole phase fuses into a single LaunchGraph submission;
+//  * cross-unit traffic shrinks to *tile halos*: the bottom cell row of a
+//    boundary tile (north halo) and the eastmost 1 + skew cell columns
+//    (west halo), instead of whole fronts.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/contributing_set.h"
+#include "util/check.h"
+
+namespace lddp {
+
+class TileScheduler {
+ public:
+  /// Tile-grid coordinates (tile row, tile column in skewed space).
+  struct TileCoord {
+    std::size_t tu = 0;
+    std::size_t tv = 0;
+  };
+
+  TileScheduler(std::size_t rows, std::size_t cols, std::size_t tile,
+                ContributingSet deps)
+      : n_(rows), m_(cols), tile_(tile), deps_(deps),
+        skew_(deps.has_ne() ? 1 : 0) {
+    LDDP_CHECK_MSG(rows > 0 && cols > 0, "table must be non-empty");
+    LDDP_CHECK_MSG(tile >= 1, "tile size must be positive");
+    vspan_ = m_ + skew_ * (n_ - 1);
+    tr_ = (n_ + tile_ - 1) / tile_;
+    tc_ = (vspan_ + tile_ - 1) / tile_;
+  }
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return m_; }
+  std::size_t tile() const { return tile_; }
+  ContributingSet deps() const { return deps_; }
+  bool skewed() const { return skew_ != 0; }
+
+  std::size_t tile_rows() const { return tr_; }
+  std::size_t tile_cols() const { return tc_; }
+  std::size_t num_tiles() const { return tr_ * tc_; }
+
+  /// Anti-diagonal tile fronts: front g = {tiles with tu + tv == g}.
+  std::size_t num_fronts() const { return tr_ + tc_ - 1; }
+  std::size_t tu_min(std::size_t g) const {
+    return g < tc_ ? 0 : g - tc_ + 1;
+  }
+  std::size_t tu_max(std::size_t g) const { return std::min(tr_ - 1, g); }
+  /// Tiles on front g, enumerated by tu ascending (the CPU's strip of a
+  /// heterogeneous split — top tile rows — is a prefix). Skewed partial
+  /// tiles may be empty; cell_count() reports 0 for them.
+  std::size_t front_tiles(std::size_t g) const {
+    LDDP_DCHECK(g < num_fronts());
+    return tu_max(g) - tu_min(g) + 1;
+  }
+  TileCoord front_tile(std::size_t g, std::size_t k) const {
+    LDDP_DCHECK(k < front_tiles(g));
+    const std::size_t tu = tu_min(g) + k;
+    return {tu, g - tu};
+  }
+
+  /// Global row range [i_begin, i_end) of tile row tu.
+  std::size_t row_begin(std::size_t tu) const { return tu * tile_; }
+  std::size_t row_end(std::size_t tu) const {
+    return std::min(n_, (tu + 1) * tile_);
+  }
+
+  /// Valid column range [j_begin, j_end) of global row i within tile
+  /// (tu, tv) — empty (j_begin >= j_end) for rows a skewed parallelogram
+  /// does not reach.
+  struct RowSpan {
+    std::size_t j_begin = 0;
+    std::size_t j_end = 0;
+    std::size_t size() const { return j_end > j_begin ? j_end - j_begin : 0; }
+  };
+  RowSpan row_span(std::size_t tv, std::size_t i) const {
+    const std::size_t v_lo = tv * tile_;
+    const std::size_t v_hi = std::min(vspan_, (tv + 1) * tile_);
+    const std::size_t shift = skew_ * i;
+    // j = v - skew * i, clipped to [0, m).
+    const std::size_t j_lo = v_lo > shift ? v_lo - shift : 0;
+    const std::size_t j_hi = v_hi > shift ? std::min(m_, v_hi - shift) : 0;
+    return {j_lo, std::max(j_lo, j_hi)};
+  }
+
+  /// Valid cells of the tile (its simulated-work size).
+  std::size_t cell_count(std::size_t tu, std::size_t tv) const {
+    std::size_t c = 0;
+    for (std::size_t i = row_begin(tu); i < row_end(tu); ++i)
+      c += row_span(tv, i).size();
+    return c;
+  }
+
+  /// Visits the tile's cells in dependency order: i ascending, j ascending
+  /// within each row (valid for every contributing set, skewed or not).
+  template <typename Fn>
+  void for_each_cell(std::size_t tu, std::size_t tv, Fn&& fn) const {
+    for (std::size_t i = row_begin(tu); i < row_end(tu); ++i) {
+      const RowSpan s = row_span(tv, i);
+      for (std::size_t j = s.j_begin; j < s.j_end; ++j) fn(i, j);
+    }
+  }
+
+  /// North halo of the tile *below*: the valid cells of this tile's bottom
+  /// row — what a consumer in tile row tu+1 reads via N/NW/NE (and the
+  /// skewed NW reach v-2, which stays inside the full row).
+  template <typename Fn>
+  void for_each_bottom_row_cell(std::size_t tu, std::size_t tv,
+                                Fn&& fn) const {
+    const std::size_t i = row_end(tu) - 1;
+    const RowSpan s = row_span(tv, i);
+    for (std::size_t j = s.j_begin; j < s.j_end; ++j) fn(i, j);
+  }
+
+  /// West halo of the tile to the *east*: the eastmost 1 + skew valid
+  /// cells of every row (the W read, plus the skewed NW reach v-2 from the
+  /// row below's leftmost cell).
+  template <typename Fn>
+  void for_each_east_halo_cell(std::size_t tu, std::size_t tv,
+                               Fn&& fn) const {
+    const std::size_t width = 1 + skew_;
+    for (std::size_t i = row_begin(tu); i < row_end(tu); ++i) {
+      const RowSpan s = row_span(tv, i);
+      const std::size_t w = std::min(width, s.size());
+      for (std::size_t j = s.j_end - w; j < s.j_end; ++j) fn(i, j);
+    }
+  }
+
+  /// Halo cells a block-per-tile kernel stages into shared memory besides
+  /// the tile body: one north row (width + the diagonal overreach) when any
+  /// northern dependency exists, one west column when W does.
+  std::size_t halo_cells(std::size_t tu, std::size_t tv) const {
+    const std::size_t h = row_end(tu) - row_begin(tu);
+    std::size_t max_w = 0;
+    for (std::size_t i = row_begin(tu); i < row_end(tu); ++i)
+      max_w = std::max(max_w, row_span(tv, i).size());
+    std::size_t halo = 0;
+    if (deps_.has_n() || deps_.has_nw() || deps_.has_ne())
+      halo += max_w + 1 + skew_;
+    if (deps_.has_w()) halo += h;
+    return halo;
+  }
+
+  /// Total valid cells across a whole tile front (for kernel pricing).
+  std::size_t front_cells(std::size_t g) const {
+    std::size_t c = 0;
+    for (std::size_t k = 0; k < front_tiles(g); ++k) {
+      const TileCoord t = front_tile(g, k);
+      c += cell_count(t.tu, t.tv);
+    }
+    return c;
+  }
+
+ private:
+  std::size_t n_, m_, tile_;
+  ContributingSet deps_;
+  std::size_t skew_;   ///< 1 when the contributing set has NE, else 0
+  std::size_t vspan_;  ///< skewed column span: m + skew * (n - 1)
+  std::size_t tr_, tc_;
+};
+
+}  // namespace lddp

@@ -10,8 +10,20 @@
 // tune() reproduces that two-pass sweep against simulated time and returns
 // both the chosen parameters and the sampled curves (the raw material of
 // Fig 7, re-plotted by bench_fig7_tswitch).
+//
+// The paper's curves are concave (valley-shaped), which the sweep
+// exploits twice: the dense linear scan stops early once the valley is
+// bracketed (two samples past the running minimum), and an integer
+// golden-section refinement then narrows the bracket around the coarse
+// argmin — so the optimum is located to unit precision with far fewer
+// solves than a fine dense sweep. A third sweep picks the tile side of
+// the tile-granular execution layer (0 = untiled baseline, then powers of
+// two) with the tuned t_switch / t_share fixed.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <map>
 #include <vector>
 
 #include "core/framework.h"
@@ -20,17 +32,95 @@
 
 namespace lddp {
 
-/// Sampled curves and the picked optimum of the two sweeps.
+/// Sampled curves and the picked optimum of the sweeps. Curves are sorted
+/// by parameter value (the golden-section refinement fills in points near
+/// the optimum, so spacing is not uniform).
 struct TuneResult {
   HeteroParams best;
+  long long best_tile = 0;               ///< 0 = untiled is (or ties) best
   std::vector<long long> switch_values;  ///< sampled t_switch (t_share = 0)
   std::vector<double> switch_seconds;    ///< simulated time per sample
   std::vector<long long> share_values;   ///< sampled t_share (best t_switch)
   std::vector<double> share_seconds;
+  std::vector<long long> tile_values;    ///< sampled tile (best params)
+  std::vector<double> tile_seconds;
 };
 
-/// Sweeps t_switch then t_share as in Section V-A. `samples_per_sweep`
-/// points are spread evenly over each parameter's valid range.
+namespace detail {
+
+/// One concave sweep over [0, max_value]: dense scan with early exit once
+/// the valley is bracketed, then integer golden-section refinement of the
+/// bracket. Every evaluation is cached; the sorted (value, seconds) samples
+/// are appended to the output curves. Returns the argmin value.
+template <typename Eval>
+long long concave_sweep(long long max_value, int samples, Eval&& eval,
+                        std::vector<long long>* values,
+                        std::vector<double>* seconds) {
+  std::map<long long, double> cache;
+  auto measure = [&](long long v) {
+    const auto it = cache.find(v);
+    if (it != cache.end()) return it->second;
+    const double t = eval(v);
+    cache.emplace(v, t);
+    return t;
+  };
+
+  // Coarse linear scan; on a valley-shaped curve, two samples measured
+  // after the running minimum bracket the optimum, so stop there.
+  long long best_v = 0;
+  double best_t = measure(0);
+  int past_best = 0;
+  for (int k = 1; k < samples; ++k) {
+    const long long v = max_value * static_cast<long long>(k) /
+                        static_cast<long long>(samples - 1);
+    if (cache.count(v)) continue;
+    const double t = measure(v);
+    if (t < best_t) {
+      best_t = t;
+      best_v = v;
+      past_best = 0;
+    } else if (++past_best >= 2) {
+      break;
+    }
+  }
+
+  // Golden-section refinement inside the bracket [previous sample, next
+  // sample] around the coarse argmin.
+  long long lo = best_v, hi = best_v;
+  {
+    const auto it = cache.find(best_v);
+    if (it != cache.begin()) lo = std::prev(it)->first;
+    if (std::next(it) != cache.end()) hi = std::next(it)->first;
+  }
+  constexpr double kInvPhi = 0.6180339887498949;
+  long long a = lo, b = hi;
+  while (b - a > 2) {
+    long long x1 = b - std::llround(static_cast<double>(b - a) * kInvPhi);
+    long long x2 = a + std::llround(static_cast<double>(b - a) * kInvPhi);
+    x1 = std::clamp(x1, a + 1, b - 1);
+    x2 = std::clamp(x2, a + 1, b - 1);
+    if (x1 > x2) std::swap(x1, x2);
+    if (x1 == x2) (x2 + 1 < b) ? ++x2 : --x1;
+    if (measure(x1) <= measure(x2))
+      b = x2;
+    else
+      a = x1;
+  }
+  for (long long v = a; v <= b; ++v) measure(v);
+
+  for (const auto& [v, t] : cache) {
+    values->push_back(v);
+    seconds->push_back(t);
+  }
+  return (*values)[argmin(*seconds)];
+}
+
+}  // namespace detail
+
+/// Sweeps t_switch, then t_share, then the tile side, as in Section V-A.
+/// `samples_per_sweep` bounds the coarse linear scan of the first two
+/// sweeps; the golden-section refinement locates each optimum to unit
+/// precision regardless.
 template <LddpProblem P>
 TuneResult tune(const P& p, RunConfig cfg, int samples_per_sweep = 17) {
   LDDP_CHECK(samples_per_sweep >= 2);
@@ -41,32 +131,36 @@ TuneResult tune(const P& p, RunConfig cfg, int samples_per_sweep = 17) {
   detail::hetero_param_ranges(canon, p.rows(), p.cols(), &switch_max,
                               &share_max);
 
-  auto sweep = [&](long long max_value, auto make_params,
-                   std::vector<long long>* values,
-                   std::vector<double>* seconds) -> long long {
-    for (int k = 0; k < samples_per_sweep; ++k) {
-      const long long v =
-          max_value * static_cast<long long>(k) /
-          static_cast<long long>(samples_per_sweep - 1);
-      if (!values->empty() && values->back() == v) continue;
-      cfg.hetero = make_params(v);
-      SolveResult<P> r = solve(p, cfg);
-      values->push_back(v);
-      seconds->push_back(r.stats.sim_seconds);
-    }
-    return (*values)[argmin(*seconds)];
+  auto simulate = [&](HeteroParams params, long long tile) {
+    RunConfig c = cfg;
+    c.hetero = params;
+    c.tile = tile;
+    return solve(p, c).stats.sim_seconds;
   };
 
   TuneResult out;
-  const long long best_switch = sweep(
-      switch_max,
-      [](long long v) { return HeteroParams{v, 0}; },
+  const long long best_switch = detail::concave_sweep(
+      switch_max, samples_per_sweep,
+      [&](long long v) { return simulate(HeteroParams{v, 0}, cfg.tile); },
       &out.switch_values, &out.switch_seconds);
-  const long long best_share = sweep(
-      share_max,
-      [best_switch](long long v) { return HeteroParams{best_switch, v}; },
+  const long long best_share = detail::concave_sweep(
+      share_max, samples_per_sweep,
+      [&](long long v) {
+        return simulate(HeteroParams{best_switch, v}, cfg.tile);
+      },
       &out.share_values, &out.share_seconds);
   out.best = HeteroParams{best_switch, best_share};
+
+  // Third sweep: the tile side — 0 (untiled baseline) then powers of two
+  // up to the table. Log-spaced, so no refinement is needed.
+  const long long tile_max =
+      static_cast<long long>(std::min(p.rows(), p.cols()));
+  for (long long tile = 0; tile <= tile_max;
+       tile = (tile == 0 ? 4 : tile * 2)) {
+    out.tile_values.push_back(tile);
+    out.tile_seconds.push_back(simulate(out.best, tile));
+  }
+  out.best_tile = out.tile_values[argmin(out.tile_seconds)];
   return out;
 }
 

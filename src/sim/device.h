@@ -144,6 +144,21 @@ class Device {
                    "kernel");
   }
 
+  /// Launches `body(t)` for tile t in [0, num_tiles) — the block-per-tile
+  /// mapping of the tiled execution layer. The caller prices the launch
+  /// (tiled_kernel_exec_seconds); this records launch overhead + that
+  /// duration, mirroring launch().
+  template <typename Body>
+  OpId launch_tiled(StreamId stream, double exec_seconds,
+                    std::size_t num_tiles, Body&& body,
+                    OpId extra_dep = kNoOp) {
+    if (num_tiles == 0) return last_op(stream);
+    execute_tiles(num_tiles, std::forward<Body>(body));
+    return enqueue(stream, compute_res_,
+                   spec_.launch_overhead_us * 1e-6 + exec_seconds, extra_dep,
+                   "kernel");
+  }
+
   /// Eagerly runs `body(cell)` over [0, num_cells) on the host (via the
   /// pool for large counts) without recording anything — the execution half
   /// of launch(), also used by LaunchGraph when timeline recording is
@@ -158,6 +173,17 @@ class Device {
                                   });
     } else {
       for (std::size_t c = 0; c < num_cells; ++c) body(c);
+    }
+  }
+
+  /// Eagerly runs `body(t)` over [0, num_tiles) coarse-grained items (one
+  /// item per pool task — tiles are big, unlike cells).
+  template <typename Body>
+  void execute_tiles(std::size_t num_tiles, Body&& body) {
+    if (pool_ && num_tiles > 1) {
+      pool_->parallel_for(0, num_tiles, [&body](std::size_t t) { body(t); });
+    } else {
+      for (std::size_t t = 0; t < num_tiles; ++t) body(t);
     }
   }
 

@@ -66,6 +66,21 @@ class LaunchGraph {
                     extra_dep, "kernel");
   }
 
+  /// Device::launch_tiled, graph-aware: a block-per-tile kernel whose
+  /// execution duration the caller priced (tiled_kernel_exec_seconds).
+  template <typename Body>
+  OpId launch_tiled(Device::StreamId stream, double exec_seconds,
+                    std::size_t num_tiles, Body&& body,
+                    OpId extra_dep = kNoOp) {
+    if (!fused_)
+      return dev_->launch_tiled(stream, exec_seconds, num_tiles,
+                                std::forward<Body>(body), extra_dep);
+    if (num_tiles == 0) return last_op(stream);
+    dev_->execute_tiles(num_tiles, std::forward<Body>(body));
+    return add_node(stream, dev_->compute_res_, exec_seconds, extra_dep,
+                    "kernel");
+  }
+
   /// Device::record_h2d, graph-aware.
   OpId record_h2d(Device::StreamId stream, std::size_t bytes, MemoryKind kind,
                   OpId extra_dep = kNoOp) {

@@ -1,0 +1,71 @@
+#include "sim/tile_kernel.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lddp::sim {
+
+double tiled_kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                                 std::size_t num_tiles, std::size_t tile_rows,
+                                 std::size_t tile_cols, std::size_t cells,
+                                 std::size_t staged_bytes) {
+  if (num_tiles == 0 || cells == 0) return 0.0;
+  LDDP_CHECK(tile_rows >= 1 && tile_cols >= 1);
+
+  // Occupancy: one thread per tile column, blocks padded to whole warps.
+  const std::size_t warp = static_cast<std::size_t>(spec.warp_size);
+  const std::size_t block_threads =
+      std::max(warp, (tile_cols + warp - 1) / warp * warp);
+  const std::size_t blocks_per_sm = std::max<std::size_t>(
+      1, static_cast<std::size_t>(spec.max_threads_per_sm) / block_threads);
+  const std::size_t concurrent =
+      std::max<std::size_t>(1, static_cast<std::size_t>(spec.sm_count) *
+                                   blocks_per_sm);
+  const std::size_t waves = (num_tiles + concurrent - 1) / concurrent;
+
+  const double lane_rate = static_cast<double>(spec.sm_count) *
+                           static_cast<double>(spec.cores_per_sm) *
+                           spec.clock_ghz * 1e9;
+  const double throughput =
+      static_cast<double>(cells) * info.work.gpu_cycles_per_cell / lane_rate;
+  // One shared-memory row round per tile row; the block's columns run in
+  // lockstep, so the round costs one cell's cycles at core clock.
+  const double row_step =
+      info.work.gpu_cycles_per_cell / (spec.clock_ghz * 1e9);
+  const double block_path = spec.min_exec_latency_us * 1e-6 +
+                            static_cast<double>(tile_rows) * row_step;
+  const double compute =
+      std::max({throughput, static_cast<double>(waves) * block_path,
+                spec.min_exec_latency_us * 1e-6});
+
+  const double memory = static_cast<double>(staged_bytes) *
+                        std::max(1.0, info.mem_amplification) /
+                        (spec.dram_bandwidth_gbs * spec.dram_efficiency * 1e9);
+
+  return info.extra_us * 1e-6 + std::max(compute, memory);
+}
+
+double tiled_kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
+                            std::size_t num_tiles, std::size_t tile_rows,
+                            std::size_t tile_cols, std::size_t cells,
+                            std::size_t staged_bytes) {
+  if (num_tiles == 0 || cells == 0) return 0.0;
+  return spec.launch_overhead_us * 1e-6 +
+         tiled_kernel_exec_seconds(spec, info, num_tiles, tile_rows,
+                                   tile_cols, cells, staged_bytes);
+}
+
+std::size_t tiled_staged_bytes(const KernelInfo& info, int deps_count,
+                               std::size_t value_bytes, std::size_t cells,
+                               std::size_t halo_cells) {
+  const double saved =
+      static_cast<double>(deps_count) * static_cast<double>(value_bytes);
+  const double per_cell =
+      std::max(static_cast<double>(value_bytes),
+               info.work.bytes_per_cell - saved);
+  return static_cast<std::size_t>(per_cell * static_cast<double>(cells)) +
+         halo_cells * value_bytes;
+}
+
+}  // namespace lddp::sim

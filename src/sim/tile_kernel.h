@@ -1,0 +1,57 @@
+// Analytic timing of a *tiled* (block-per-tile) kernel — the shared-memory
+// staging alternative to the thread-per-cell wavefront kernel of kernel.h.
+//
+// One thread block owns one tile: it stages the tile's halo (north row,
+// west column) and its input slice from global memory into shared memory,
+// sweeps the tile's cell rows with one thread per cell column, and writes
+// the finished tile back. Modeled duration of one tile-front launch:
+//
+//   launch_overhead + extra + max(compute, memory)
+//
+//   compute = max(cells * gpu_cycles / lane_rate,        // saturated device
+//                 waves * block_critical_path,           // few wide tiles
+//                 min_exec_latency)
+//     block_critical_path = min_exec_latency + tile_rows * row_step
+//     row_step            = gpu_cycles_per_cell / clock  // smem-resident row
+//     waves               = ceil(tiles / concurrent blocks by occupancy)
+//
+//   memory  = staged_bytes * mem_amplification / effective DRAM bandwidth
+//
+// The memory term is the tiling win: neighbour reads come from shared
+// memory, so global traffic shrinks from bytes_per_cell per cell to the
+// tile load + store plus its halo (tiled_staged_bytes). The compute term
+// keeps the in-tile row sweep honest: a block serializes its tile_rows
+// shared-memory rounds, so very large tiles lengthen the critical path and
+// very small tile counts leave SMs idle — the concavity the tile tuner
+// sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/kernel.h"
+
+namespace lddp::sim {
+
+/// Execution-only duration of one block-per-tile launch over `num_tiles`
+/// tiles of at most tile_rows x tile_cols cells (`cells` valid in total)
+/// staging `staged_bytes` of global traffic. Pairs with kernel_exec_seconds:
+/// a fused graph node pays this plus the per-node issue cost.
+double tiled_kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                                 std::size_t num_tiles, std::size_t tile_rows,
+                                 std::size_t tile_cols, std::size_t cells,
+                                 std::size_t staged_bytes);
+
+/// Full eager-launch duration: launch_overhead + tiled_kernel_exec_seconds.
+double tiled_kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
+                            std::size_t num_tiles, std::size_t tile_rows,
+                            std::size_t tile_cols, std::size_t cells,
+                            std::size_t staged_bytes);
+
+/// Global-memory traffic of a staged tile launch: per cell, everything of
+/// bytes_per_cell except the deps_count neighbour reads that now hit shared
+/// memory (never less than the value store itself), plus the halo loads.
+std::size_t tiled_staged_bytes(const KernelInfo& info, int deps_count,
+                               std::size_t value_bytes, std::size_t cells,
+                               std::size_t halo_cells);
+
+}  // namespace lddp::sim

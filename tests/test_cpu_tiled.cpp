@@ -13,11 +13,13 @@ namespace lddp {
 namespace {
 
 TEST(CpuTiledTest, SupportPredicate) {
+  // The skewed-tile scheduler removed the NE restriction: every
+  // contributing set is supported.
   EXPECT_TRUE(cpu_tiled_supports(ContributingSet{Dep::kW, Dep::kNW, Dep::kN}));
   EXPECT_TRUE(cpu_tiled_supports(ContributingSet{Dep::kNW}));
   EXPECT_TRUE(cpu_tiled_supports(ContributingSet{Dep::kN}));
-  EXPECT_FALSE(cpu_tiled_supports(ContributingSet{Dep::kNE}));
-  EXPECT_FALSE(
+  EXPECT_TRUE(cpu_tiled_supports(ContributingSet{Dep::kNE}));
+  EXPECT_TRUE(
       cpu_tiled_supports(ContributingSet{Dep::kW, Dep::kN, Dep::kNE}));
 }
 
@@ -37,7 +39,8 @@ TEST(CpuTiledTest, MatchesSerialAcrossTileSizes) {
   }
 }
 
-TEST(CpuTiledTest, WorksForEveryNeFreeContributingSet) {
+TEST(CpuTiledTest, WorksForEveryContributingSet) {
+  // Including NE-bearing sets, which get skewed parallelogram tiles.
   for (int mask = 1; mask <= 15; ++mask) {
     const ContributingSet deps(static_cast<std::uint8_t>(mask));
     const auto p = problems::make_function_problem<std::uint64_t>(
@@ -56,18 +59,7 @@ TEST(CpuTiledTest, WorksForEveryNeFreeContributingSet) {
     RunConfig cfg;
     cfg.mode = Mode::kCpuTiled;
     cfg.cpu_tile = 8;
-    // The canonical form after symmetry adaptation decides support: only
-    // knight-move and the NE-bearing horizontal sets are unsupported.
-    const Pattern pattern = classify(deps);
-    const bool supported =
-        pattern == Pattern::kMirroredInvertedL
-            ? true  // mirrors to {NW}
-            : (pattern == Pattern::kVertical ? true : !deps.has_ne());
-    if (supported) {
-      EXPECT_EQ(solve(p, cfg).table, ref.table) << deps.to_string();
-    } else {
-      EXPECT_THROW(solve(p, cfg), CheckError) << deps.to_string();
-    }
+    EXPECT_EQ(solve(p, cfg).table, ref.table) << deps.to_string();
   }
 }
 
@@ -80,11 +72,17 @@ TEST(CpuTiledTest, VerticalAndMirroredGoThroughAdapters) {
   EXPECT_EQ(solve(p, cfg).table, problems::column_min_reference(costs));
 }
 
-TEST(CpuTiledTest, RejectsKnightMove) {
+TEST(CpuTiledTest, SolvesKnightMove) {
+  // Horizontal case-2 has NE; skewed tiles handle it bit-identically.
   problems::CheckerboardProblem cb(problems::random_cost_board(16, 16, 1));
+  RunConfig serial;
+  serial.mode = Mode::kCpuSerial;
+  const auto ref = solve(cb, serial);
   RunConfig cfg;
   cfg.mode = Mode::kCpuTiled;
-  EXPECT_THROW(solve(cb, cfg), CheckError);  // horizontal case-2 has NE
+  const auto r = solve(cb, cfg);
+  EXPECT_EQ(r.table, ref.table);
+  EXPECT_EQ(r.stats.mode_used, Mode::kCpuTiled);
 }
 
 TEST(CpuTiledTest, RejectsZeroTile) {

@@ -47,6 +47,44 @@ TEST(TunerTest, TunedBeatsExtremes) {
   EXPECT_LE(tuned, r.switch_seconds.back() + 1e-12);   // beats the far end
 }
 
+TEST(TunerTest, GoldenSectionMatchesFineSweep) {
+  // The early-exit + golden-section sweep must land on (the value of) the
+  // same optimum a brute-force sweep over every t_switch finds.
+  problems::LcsProblem p(problems::random_sequence(192, 7),
+                         problems::random_sequence(192, 8));
+  RunConfig cfg;
+  const TuneResult r = tune(p, cfg, 9);
+
+  long long switch_max = 0, share_max = 0;
+  detail::hetero_param_ranges(canonical(classify(p.deps())), p.rows(),
+                              p.cols(), &switch_max, &share_max);
+  cfg.mode = Mode::kHeterogeneous;
+  double fine_min = 0.0;
+  for (long long v = 0; v <= switch_max; ++v) {
+    cfg.hetero = HeteroParams{v, 0};
+    const double t = solve(p, cfg).stats.sim_seconds;
+    if (v == 0 || t < fine_min) fine_min = t;
+  }
+  cfg.hetero = HeteroParams{r.best.t_switch, 0};
+  const double tuned = solve(p, cfg).stats.sim_seconds;
+  EXPECT_LE(tuned, fine_min * 1.01);
+  // Far fewer evaluations than the brute-force sweep.
+  EXPECT_LT(r.switch_values.size(),
+            static_cast<std::size_t>(switch_max) / 2);
+}
+
+TEST(TunerTest, TileSweepPicksNoWorseThanUntiled) {
+  problems::LcsProblem p(problems::random_sequence(256, 9),
+                         problems::random_sequence(256, 10));
+  RunConfig cfg;
+  const TuneResult r = tune(p, cfg, 5);
+  ASSERT_GE(r.tile_values.size(), 2u);
+  EXPECT_EQ(r.tile_values.front(), 0);  // untiled baseline is sampled
+  const std::size_t k = argmin(r.tile_seconds);
+  EXPECT_EQ(r.best_tile, r.tile_values[k]);
+  EXPECT_LE(r.tile_seconds[k], r.tile_seconds.front() + 1e-12);
+}
+
 TEST(TunerTest, RejectsDegenerateSampleCount) {
   problems::LcsProblem p("ab", "cd");
   RunConfig cfg;

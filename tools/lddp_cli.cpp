@@ -40,7 +40,9 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
   --platform P     high | low | phi (default high)
   --t-switch N     low-work fronts per end (default: model heuristic)
   --t-share N      CPU strip width in cells (default: model heuristic)
-  --tile N         tile side for --mode tiled (default 64)
+  --tile N         tile side: --mode tiled (default 64); gpu/hetero run
+                   the tile-granular layer (0 = untiled default, -1 =
+                   model-picked side)
   --seed N         workload seed (default 1)
   --band N         Sakoe-Chiba band for dtw (default 0 = off)
   --devices N      CPU + N copies of the platform's accelerator via the
@@ -128,7 +130,11 @@ int main(int argc, char** argv) try {
   cfg.platform = parse_platform(flags.get("platform", "high"));
   cfg.hetero.t_switch = flags.get_int("t-switch", -1);
   cfg.hetero.t_share = flags.get_int("t-share", -1);
-  cfg.cpu_tile = static_cast<std::size_t>(flags.get_int("tile", 64));
+  if (cfg.mode == Mode::kCpuTiled) {
+    cfg.cpu_tile = static_cast<std::size_t>(flags.get_int("tile", 64));
+  } else {
+    cfg.tile = flags.get_int("tile", 0);
+  }
   cfg.trace_path = flags.get("trace", "");
   const bool tune_first = flags.get_bool("tune");
   g_devices = static_cast<int>(flags.get_int("devices", 1));
