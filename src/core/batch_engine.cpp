@@ -1,0 +1,290 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/platform.h"
+#include "sim/timeline_merge.h"
+
+namespace lddp {
+
+std::string to_string(BatchSched s) {
+  switch (s) {
+    case BatchSched::kFifo:
+      return "fifo";
+    case BatchSched::kSjf:
+      return "sjf";
+    case BatchSched::kWfq:
+      return "wfq";
+  }
+  return "?";
+}
+
+namespace detail {
+
+double estimate_solve_seconds(const sim::PlatformSpec& platform,
+                              const cpu::WorkProfile& work,
+                              std::size_t cells) {
+  const double cpu_rate = cpu::cpu_peak_throughput(platform.cpu, work);
+  return static_cast<double>(cells) / std::max(cpu_rate, 1.0);
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Policy key of a job: lower runs first; ties broken by submission index.
+double sched_key(BatchSched sched, double est, double weight,
+                 std::size_t index) {
+  switch (sched) {
+    case BatchSched::kFifo:
+      return static_cast<double>(index);
+    case BatchSched::kSjf:
+      return est;
+    case BatchSched::kWfq:
+      return est / weight;
+  }
+  return static_cast<double>(index);
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(BatchConfig cfg) : cfg_(std::move(cfg)) {
+  LDDP_CHECK_MSG(cfg_.concurrency >= 1, "batch concurrency must be >= 1");
+  LDDP_CHECK_MSG(cfg_.queue_capacity >= 1, "batch queue must hold >= 1");
+  std::size_t nworkers;
+  if (cfg_.worker_threads < 0) {
+    nworkers = std::min<std::size_t>(
+        cfg_.concurrency,
+        std::max(1u, std::thread::hardware_concurrency()));
+  } else {
+    nworkers = static_cast<std::size_t>(cfg_.worker_threads);
+  }
+  const std::size_t nslots = std::max<std::size_t>(nworkers, 1);
+  pools_.reserve(nslots);
+  for (std::size_t s = 0; s < nslots; ++s) {
+    pools_.push_back(cfg_.threads_per_solve > 1
+                         ? std::make_unique<cpu::ThreadPool>(
+                               cfg_.threads_per_solve)
+                         : nullptr);
+  }
+  workers_.reserve(nworkers);
+  for (std::size_t s = 0; s < nworkers; ++s)
+    workers_.emplace_back([this, s] { worker_loop(s); });
+}
+
+BatchEngine::~BatchEngine() {
+  wait();  // drain so every returned future is fulfilled
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::size_t BatchEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+BatchEngine::Job* BatchEngine::pop_next_locked() {
+  LDDP_DCHECK(!pending_.empty());
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < pending_.size(); ++k) {
+    const Job& a = *pending_[k];
+    const Job& b = *pending_[best];
+    const double ka = sched_key(cfg_.sched, a.est, a.weight, a.index);
+    const double kb = sched_key(cfg_.sched, b.est, b.weight, b.index);
+    if (ka < kb || (ka == kb && a.index < b.index)) best = k;
+  }
+  Job* job = pending_[best];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  return job;
+}
+
+void BatchEngine::run_job(Job& job, cpu::ThreadPool* pool) {
+  // Per-solve quota view over the shared arenas: concurrent solves reuse
+  // buffers across the batch but none can hoard the cache.
+  sim::QuotaBufferPool quota(&buffers_, cfg_.buffer_quota_bytes);
+  job.run(job, pool, &quota);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.done = true;
+    --running_;
+  }
+  cv_done_.notify_all();
+}
+
+void BatchEngine::drain_one_locked(std::unique_lock<std::mutex>& lock) {
+  Job* job = pop_next_locked();
+  ++running_;
+  lock.unlock();
+  run_job(*job, pools_[0].get());
+  lock.lock();
+  cv_space_.notify_all();
+}
+
+bool BatchEngine::admit(std::unique_ptr<Job> job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pending_.size() >= cfg_.queue_capacity) {
+    if (cfg_.admission == BatchAdmission::kReject) return false;
+    if (workers_.empty()) {
+      // No executor threads: the blocked submitter makes room itself.
+      drain_one_locked(lock);
+    } else {
+      cv_space_.wait(lock,
+                     [&] { return pending_.size() < cfg_.queue_capacity; });
+    }
+  }
+  job->index = jobs_.size();
+  pending_.push_back(job.get());
+  jobs_.push_back(std::move(job));
+  lock.unlock();
+  cv_work_.notify_one();
+  return true;
+}
+
+void BatchEngine::worker_loop(std::size_t slot) {
+  for (;;) {
+    Job* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ and nothing left
+      job = pop_next_locked();
+      ++running_;
+    }
+    cv_space_.notify_all();
+    run_job(*job, pools_[slot].get());
+  }
+}
+
+BatchReport BatchEngine::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (workers_.empty()) {
+    while (!pending_.empty()) drain_one_locked(lock);
+  }
+  cv_done_.wait(lock, [&] { return pending_.empty() && running_ == 0; });
+  const std::vector<std::unique_ptr<Job>> jobs = std::move(jobs_);
+  jobs_.clear();
+  lock.unlock();
+  return build_report(jobs);
+}
+
+BatchReport BatchEngine::build_report(
+    const std::vector<std::unique_ptr<Job>>& jobs) const {
+  BatchReport report;
+  report.solves = jobs.size();
+  report.items.resize(jobs.size());
+  if (jobs.empty()) return report;
+
+  // Admission order under the policy — the queue order a clairvoyant
+  // scheduler (all requests arrive at t = 0) would drain in.
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sched_key(cfg_.sched, jobs[a]->est,
+                                      jobs[a]->weight, a) <
+                            sched_key(cfg_.sched, jobs[b]->est,
+                                      jobs[b]->weight, b);
+                   });
+
+  // Replay every recorded schedule onto one shared platform with
+  // `concurrency` in-flight slots: a queued solve is released when the
+  // merge completes an in-flight one.
+  sim::Platform platform(cfg_.platform);
+  sim::TimelineMerger merger(platform.timeline());
+  struct Dispatched {
+    std::size_t job;       // index into jobs
+    double release;
+    sim::OpId release_dep;
+  };
+  std::vector<Dispatched> by_rank;  // merger rank -> dispatch info
+  by_rank.reserve(jobs.size());
+  std::size_t next_in_queue = 0;
+  std::size_t completions = 0;
+
+  auto dispatch = [&](double release, sim::OpId release_dep) {
+    // Solves that recorded nothing (a failed solve) occupy their slot for
+    // zero simulated time: complete them on the spot and release the next
+    // queued request at the same instant.
+    while (next_in_queue < order.size()) {
+      const std::size_t j = order[next_in_queue];
+      BatchItemStats& item = report.items[j];
+      item.dispatch_rank = next_in_queue;
+      item.sim_dispatch = release;
+      ++next_in_queue;
+      if (jobs[j]->recorded.op_count() == 0) {
+        item.sim_start = item.sim_end = release;
+        item.completion_rank = completions++;
+        continue;
+      }
+      const std::size_t rank = merger.add(jobs[j]->recorded, release,
+                                          release_dep);
+      LDDP_DCHECK(rank == by_rank.size());
+      by_rank.push_back(Dispatched{j, release, release_dep});
+      return;
+    }
+  };
+
+  const std::size_t initial =
+      std::min<std::size_t>(cfg_.concurrency, order.size());
+  for (std::size_t s = 0; s < initial && next_in_queue < order.size(); ++s)
+    dispatch(0.0, sim::kNoOp);
+
+  while (merger.busy()) {
+    const std::size_t finished = merger.step();
+    if (finished == sim::TimelineMerger::kNone) continue;
+    const std::size_t j = by_rank[finished].job;
+    BatchItemStats& item = report.items[j];
+    item.sim_start = merger.job_start(finished);
+    item.sim_end = merger.job_end(finished);
+    item.completion_rank = completions++;
+    dispatch(merger.job_end(finished), merger.job_last_op(finished));
+  }
+  LDDP_DCHECK(next_in_queue == order.size());
+  LDDP_DCHECK(completions == jobs.size());
+
+  std::vector<double> latencies;
+  latencies.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    BatchItemStats& item = report.items[j];
+    item.index = j;
+    item.solve = jobs[j]->stats;
+    item.est_seconds = jobs[j]->est;
+    item.weight = jobs[j]->weight;
+    item.failed = jobs[j]->failed;
+    item.sim_latency = item.sim_end;  // every request arrives at t = 0
+    latencies.push_back(item.sim_latency);
+    report.serial_sim_seconds += item.solve.sim_seconds;
+  }
+  report.sim_makespan = platform.elapsed();
+  if (report.sim_makespan > 0.0) {
+    report.solves_per_sec =
+        static_cast<double>(jobs.size()) / report.sim_makespan;
+    report.speedup = report.serial_sim_seconds / report.sim_makespan;
+  }
+  if (report.serial_sim_seconds > 0.0) {
+    report.serial_solves_per_sec =
+        static_cast<double>(jobs.size()) / report.serial_sim_seconds;
+  }
+  report.p50_latency = percentile(latencies, 0.50);
+  report.p99_latency = percentile(latencies, 0.99);
+  if (!cfg_.trace_path.empty())
+    platform.timeline().export_chrome_trace(cfg_.trace_path);
+  return report;
+}
+
+}  // namespace lddp

@@ -1,0 +1,235 @@
+// Batched multi-solve throughput engine — many independent LDDP requests
+// time-sharing one simulated heterogeneous platform.
+//
+// Every solve() call so far has owned the whole platform for its duration;
+// a server-style workload ("millions of users") instead keeps a stream of
+// independent requests in flight so one request's CPU phases overlap
+// another's kernels and DMA (the generalization beyond one-CPU+one-GPU the
+// paper's conclusion invites, and the hybrid-scheduler regime of Teodoro
+// et al.). The BatchEngine provides that regime:
+//
+//  * submit() admits a request through a bounded queue (reject-or-wait
+//    backpressure) and returns a future for its bit-exact SolveResult;
+//  * worker threads execute admitted solves concurrently for real — each
+//    in-flight solve gets its own ThreadPool (strip sessions never share a
+//    master) and a per-solve quota view of the shared BufferPool arenas;
+//  * each solve records its private simulated schedule (the exact op DAG a
+//    solo run would produce), and wait() replays all of them onto one
+//    shared sim::Platform under the configured scheduler policy — FIFO,
+//    shortest-job-first on the cost model's makespan estimate, or
+//    weighted-fair — with `concurrency` simulated in-flight slots.
+//
+// Because the replayed merge is a pure function of the recorded schedules
+// and the admission order (sim/timeline_merge.h), the batch makespan,
+// per-solve latencies and completion order are deterministic: independent
+// of OS scheduling, worker count, and real-thread interleaving. Results
+// are bit-identical to running each solve alone — only simulated timing
+// and ordering change.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/run_config.h"
+#include "cpu/thread_pool.h"
+#include "sim/device_spec.h"
+#include "sim/memory.h"
+#include "sim/timeline.h"
+
+namespace lddp {
+
+/// Order in which queued solves are dispatched into simulated slots (and
+/// picked up by the real worker threads).
+enum class BatchSched {
+  kFifo,  ///< submission order
+  kSjf,   ///< smallest cost-model makespan estimate first
+  kWfq,   ///< weighted fair: smallest estimate/weight first (one-request
+          ///< flows, so the classic virtual finish tag reduces to this)
+};
+
+std::string to_string(BatchSched s);
+
+/// What submit() does when the bounded queue is full.
+enum class BatchAdmission {
+  kWait,    ///< block until a slot frees (backpressure)
+  kReject,  ///< return nullopt immediately (load shedding)
+};
+
+struct BatchConfig {
+  /// The one simulated platform every request in the batch shares. A
+  /// request's own RunConfig::platform is overridden with this — mixing
+  /// hardware models inside one merged schedule would be meaningless.
+  sim::PlatformSpec platform = sim::PlatformSpec::hetero_high();
+  /// Simulated in-flight solve slots: how many admitted solves may share
+  /// the platform at once. 1 reproduces the serial one-solve-at-a-time
+  /// regime exactly.
+  std::size_t concurrency = 4;
+  /// Bound of the pending-request queue (admission control).
+  std::size_t queue_capacity = 64;
+  BatchAdmission admission = BatchAdmission::kWait;
+  BatchSched sched = BatchSched::kFifo;
+  /// Real executor threads. -1 picks min(concurrency, hardware threads);
+  /// 0 runs every solve inline on the thread that calls wait() (or, under
+  /// kWait backpressure, the blocked submit() caller) — fully
+  /// deterministic real execution, used by the unit tests. The simulated
+  /// report is identical either way.
+  long long worker_threads = -1;
+  /// Host threads per in-flight solve (each worker owns a private
+  /// ThreadPool of this size, so strip sessions of concurrent solves never
+  /// contend for a master). <= 1 runs each solve single-threaded.
+  std::size_t threads_per_solve = 1;
+  /// Per-solve cap on bytes borrowed from the shared buffer-pool arenas
+  /// (QuotaBufferPool); over-quota acquisitions fall through to the heap.
+  /// 0 = unlimited.
+  std::size_t buffer_quota_bytes = 0;
+  /// If non-empty, the merged batch schedule is exported here as a
+  /// chrome://tracing JSON file by wait().
+  std::string trace_path;
+};
+
+/// Per-request outcome, in submission order.
+struct BatchItemStats {
+  std::size_t index = 0;       ///< submission order
+  SolveStats solve;            ///< the solo run's stats (sim_seconds is the
+                               ///< request's *alone* makespan)
+  double est_seconds = 0.0;    ///< scheduler's cost-model estimate
+  double weight = 1.0;         ///< WFQ weight given to submit()
+  bool failed = false;         ///< solve threw (exception is on the future)
+  std::size_t dispatch_rank = 0;    ///< order the scheduler released it
+  std::size_t completion_rank = 0;  ///< order it finished in the merge
+  double sim_dispatch = 0.0;   ///< simulated instant its slot opened
+  double sim_start = 0.0;      ///< first op start in the merged schedule
+  double sim_end = 0.0;        ///< last op end in the merged schedule
+  /// Queueing + service time in the batch (all requests arrive at t=0).
+  double sim_latency = 0.0;
+};
+
+/// Deterministic simulated outcome of one batch (everything submitted
+/// since the previous wait()).
+struct BatchReport {
+  std::size_t solves = 0;
+  double sim_makespan = 0.0;        ///< merged-schedule completion time
+  double serial_sim_seconds = 0.0;  ///< sum of solo makespans (baseline)
+  double solves_per_sec = 0.0;      ///< solves / sim_makespan
+  double serial_solves_per_sec = 0.0;
+  double speedup = 0.0;             ///< serial_sim_seconds / sim_makespan
+  double p50_latency = 0.0;         ///< median simulated latency
+  double p99_latency = 0.0;
+  std::vector<BatchItemStats> items;  ///< submission order
+};
+
+namespace detail {
+
+/// Cost-model makespan estimate used by the SJF / WFQ policies: the
+/// platform's peak-throughput service time for `cells` cells. Coarse by
+/// design — admission ordering only needs relative magnitudes.
+double estimate_solve_seconds(const sim::PlatformSpec& platform,
+                              const cpu::WorkProfile& work,
+                              std::size_t cells);
+
+}  // namespace detail
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchConfig cfg = {});
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  const BatchConfig& config() const { return cfg_; }
+
+  /// Admits one solve request. The request's RunConfig is honoured except
+  /// for platform (forced to the engine's), pool / buffer_pool (engine
+  /// managed) and trace/record sinks (engine managed). Returns nullopt if
+  /// the queue is full under BatchAdmission::kReject; otherwise a future
+  /// for the bit-exact SolveResult. Thread-safe.
+  template <LddpProblem P>
+  std::optional<std::future<SolveResult<P>>> submit(P problem,
+                                                    RunConfig rc = {},
+                                                    double weight = 1.0) {
+    LDDP_CHECK_MSG(weight > 0.0, "batch weight must be positive");
+    auto promise = std::make_shared<std::promise<SolveResult<P>>>();
+    std::future<SolveResult<P>> future = promise->get_future();
+    auto job = std::make_unique<Job>();
+    job->weight = weight;
+    job->est = detail::estimate_solve_seconds(
+        cfg_.platform, work_profile_of(problem),
+        problem.rows() * problem.cols());
+    job->run = [problem = std::move(problem), rc, promise,
+                platform = cfg_.platform](Job& j, cpu::ThreadPool* pool,
+                                          sim::BufferPool* buffers) mutable {
+      rc.platform = platform;
+      rc.pool = pool;
+      rc.buffer_pool = buffers;
+      rc.record_timeline = &j.recorded;
+      rc.trace_path.clear();
+      try {
+        SolveResult<P> result = solve(problem, rc);
+        j.stats = result.stats;
+        promise->set_value(std::move(result));
+      } catch (...) {
+        j.failed = true;
+        promise->set_exception(std::current_exception());
+      }
+    };
+    if (!admit(std::move(job))) return std::nullopt;
+    return future;
+  }
+
+  /// Number of requests waiting for a slot right now (diagnostics).
+  std::size_t pending() const;
+
+  /// Drains the queue, joins all in-flight solves, and returns the
+  /// deterministic merged-schedule report for every request submitted
+  /// since the previous wait(). The engine is reusable afterwards.
+  BatchReport wait();
+
+ private:
+  struct Job {
+    std::size_t index = 0;
+    double est = 0.0;
+    double weight = 1.0;
+    std::function<void(Job&, cpu::ThreadPool*, sim::BufferPool*)> run;
+    sim::Timeline recorded;  // the solve's private simulated schedule
+    SolveStats stats;
+    bool failed = false;
+    bool done = false;
+  };
+
+  bool admit(std::unique_ptr<Job> job);
+  Job* pop_next_locked();
+  void run_job(Job& job, cpu::ThreadPool* pool);
+  void worker_loop(std::size_t slot);
+  void drain_one_locked(std::unique_lock<std::mutex>& lock);
+  BatchReport build_report(
+      const std::vector<std::unique_ptr<Job>>& jobs) const;
+
+  BatchConfig cfg_;
+  sim::BufferPool buffers_;  // shared arena cache across all solves
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // workers: queue non-empty / stop
+  std::condition_variable cv_space_;  // submitters: queue has room
+  std::condition_variable cv_done_;   // wait(): everything finished
+  std::vector<std::unique_ptr<Job>> jobs_;  // this batch, submission order
+  std::vector<Job*> pending_;               // admitted, not yet started
+  std::size_t running_ = 0;
+  bool stop_ = false;
+
+  // One private pool per executor slot (index 0 doubles as the inline
+  // slot when worker_threads == 0).
+  std::vector<std::unique_ptr<cpu::ThreadPool>> pools_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lddp

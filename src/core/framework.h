@@ -168,6 +168,8 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
   }
   if (!cfg.trace_path.empty())
     platform.timeline().export_chrome_trace(cfg.trace_path);
+  if (cfg.record_timeline != nullptr)
+    *cfg.record_timeline = platform.timeline();
   return result;
 }
 

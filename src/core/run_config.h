@@ -10,6 +10,7 @@
 
 namespace lddp::sim {
 class BufferPool;
+class Timeline;
 }  // namespace lddp::sim
 
 namespace lddp {
@@ -66,6 +67,11 @@ struct RunConfig {
   /// If non-empty, the simulated schedule is written here as a
   /// chrome://tracing / Perfetto JSON file after the run.
   std::string trace_path;
+  /// If non-null, receives a copy of the run's full recorded timeline
+  /// (every simulated op with resource, duration and dependencies). The
+  /// batch engine uses this to replay per-solve schedules against a shared
+  /// platform. Must outlive the solve() call.
+  sim::Timeline* record_timeline = nullptr;
 };
 
 /// Measured outcome of one solve() call.

@@ -30,6 +30,27 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
+void ThreadPool::acquire_master() {
+  std::unique_lock<std::mutex> lock(master_mu_);
+  if (master_depth_ > 0 && master_owner_ == std::this_thread::get_id()) {
+    ++master_depth_;
+    return;
+  }
+  master_cv_.wait(lock, [&] { return master_depth_ == 0; });
+  master_owner_ = std::this_thread::get_id();
+  master_depth_ = 1;
+}
+
+void ThreadPool::release_master() {
+  std::lock_guard<std::mutex> lock(master_mu_);
+  LDDP_DCHECK(master_depth_ > 0 &&
+              master_owner_ == std::this_thread::get_id());
+  if (--master_depth_ == 0) {
+    master_owner_ = std::thread::id{};
+    master_cv_.notify_one();
+  }
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -125,6 +146,7 @@ void ThreadPool::strip_worker_loop(std::size_t thread_index) {
 
 void ThreadPool::begin_strips() {
   if (workers_.empty()) return;  // single thread: everything runs inline
+  acquire_master();  // held until end_strips — the session owns the pool
   {
     std::lock_guard<std::mutex> lock(mu_);
     LDDP_CHECK_MSG(!strip_mode_, "strip sessions do not nest");
@@ -151,8 +173,11 @@ void ThreadPool::end_strips() {
   // mid-front here — dispatch joins every front before returning).
   while (strip_exited_.load(std::memory_order_seq_cst) != workers_.size())
     std::this_thread::yield();
-  std::lock_guard<std::mutex> lock(mu_);
-  strip_mode_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    strip_mode_ = false;
+  }
+  release_master();
 }
 
 void ThreadPool::strip_dispatch(
@@ -206,15 +231,17 @@ void ThreadPool::parallel_for_chunked(
     body(begin, end);
     return;
   }
+  MasterGuard master(this);
   if (strip_mode_) {
-    // Only the master calls this, and only the master toggles strip_mode_,
-    // so the unlocked read is safe.
+    // Only the owning master reaches this point (mastership is held for a
+    // whole strip session), and only it toggles strip_mode_, so the
+    // unlocked read is safe.
     strip_dispatch(begin, end, body);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    LDDP_CHECK_MSG(pending_ == 0, "nested/concurrent parallel regions are "
+    LDDP_CHECK_MSG(pending_ == 0, "nested parallel regions are "
                                   "not supported");
     region_.begin = begin;
     region_.end = end;

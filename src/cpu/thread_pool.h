@@ -36,9 +36,15 @@ namespace lddp::cpu {
 ///   ThreadPool pool(6);
 ///   pool.parallel_for(0, n, [&](std::size_t i) { ... });
 ///
-/// Thread-safety: a ThreadPool may be used from one "master" thread at a
-/// time; parallel regions do not nest (matching the paper's flat OpenMP
-/// usage). Worker exceptions are captured and rethrown on the master.
+/// Thread-safety: any number of threads may drive the pool; an internal
+/// master arbitration serializes them, so concurrent parallel regions —
+/// and concurrent StripSessions, which hold mastership for their whole
+/// lifetime — execute one after another rather than racing (two solves
+/// sharing default_pool() are safe, merely not parallel with each other;
+/// the batch engine gives each in-flight solve its own pool when real
+/// overlap is wanted). Within one master, regions still do not nest
+/// (matching the paper's flat OpenMP usage). Worker exceptions are
+/// captured and rethrown on the master.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -86,6 +92,19 @@ class ThreadPool {
   void run_chunk(const Region& region, std::size_t thread_index,
                  std::size_t nthreads);
 
+  // --- master arbitration ------------------------------------------------
+  // One thread owns the pool at a time; re-acquisition by the owner (a
+  // parallel region inside its own strip session) just bumps the depth.
+  void acquire_master();
+  void release_master();
+  struct MasterGuard {
+    ThreadPool* pool;
+    explicit MasterGuard(ThreadPool* p) : pool(p) { pool->acquire_master(); }
+    ~MasterGuard() { pool->release_master(); }
+    MasterGuard(const MasterGuard&) = delete;
+    MasterGuard& operator=(const MasterGuard&) = delete;
+  };
+
   // --- strip-session machinery -------------------------------------------
   void begin_strips();
   void end_strips();
@@ -94,6 +113,10 @@ class ThreadPool {
   void strip_worker_loop(std::size_t thread_index);
 
   std::vector<std::thread> workers_;
+  std::mutex master_mu_;
+  std::condition_variable master_cv_;
+  std::thread::id master_owner_{};
+  int master_depth_ = 0;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
@@ -120,7 +143,9 @@ class ThreadPool {
 /// RAII strip session: while alive, every parallel region on the pool
 /// dispatches through the persistent-strip barrier instead of a full
 /// condvar fork/join. Null and single-threaded pools are a no-op; sessions
-/// do not nest.
+/// do not nest on one thread. Construction takes pool mastership (blocking
+/// while another thread holds a session or region on the same pool) and
+/// destruction releases it, so concurrent sessions serialize safely.
 class StripSession {
  public:
   explicit StripSession(ThreadPool* pool) : pool_(pool) {

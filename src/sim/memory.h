@@ -51,7 +51,9 @@ struct MemoryStats {
 ///
 /// Best-fit on size; released arenas go back to the free list instead of
 /// the heap. acquire() always returns zero-filled storage. Thread-safe: a
-/// process-wide pool may serve concurrent solve() calls.
+/// process-wide pool may serve concurrent solve() calls. acquire/release
+/// are virtual so decorators (QuotaBufferPool below) can interpose on the
+/// same RunConfig::buffer_pool plumbing.
 class BufferPool {
  public:
   struct Stats {
@@ -63,12 +65,12 @@ class BufferPool {
   BufferPool() = default;
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
-  ~BufferPool() { trim(); }
+  virtual ~BufferPool() { trim(); }
 
   /// Returns zeroed storage of at least `bytes` (aligned for any scalar
   /// type). `pinned` selects the pinned-host cache — pinned and device
   /// arenas never mix, as on real hardware.
-  void* acquire(std::size_t bytes, bool pinned) {
+  virtual void* acquire(std::size_t bytes, bool pinned) {
     if (bytes == 0) return nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto& cache = pinned ? pinned_free_ : device_free_;
@@ -95,7 +97,7 @@ class BufferPool {
 
   /// Returns an arena from acquire() to the cache. `bytes` must be the
   /// size originally requested.
-  void release(void* p, std::size_t bytes, bool pinned) {
+  virtual void release(void* p, std::size_t bytes, bool pinned) {
     if (p == nullptr) return;
     std::lock_guard<std::mutex> lock(mu_);
     (pinned ? pinned_free_ : device_free_).push_back(Arena{p, bytes});
@@ -130,6 +132,78 @@ class BufferPool {
   std::vector<Arena> device_free_;
   std::vector<Arena> pinned_free_;
   Stats stats_;
+};
+
+/// Per-client quota view over a shared BufferPool (the batch engine gives
+/// each in-flight solve one of these). Up to `quota_bytes` of outstanding
+/// storage is borrowed from the parent pool; acquisitions beyond the quota
+/// fall through to the plain heap, so one oversized solve can neither
+/// hoard the shared arena cache nor starve its peers of reuse. A zero
+/// quota means unlimited (pure pass-through).
+///
+/// Thread-safe like its parent; must not outlive it, and all buffers must
+/// be released before destruction (enforced).
+class QuotaBufferPool final : public BufferPool {
+ public:
+  QuotaBufferPool(BufferPool* parent, std::size_t quota_bytes)
+      : parent_(parent), quota_(quota_bytes) {
+    LDDP_CHECK(parent != nullptr);
+  }
+  ~QuotaBufferPool() override {
+    LDDP_CHECK_MSG(outstanding_ == 0 && direct_.empty(),
+                   "QuotaBufferPool destroyed with live buffers");
+  }
+
+  void* acquire(std::size_t bytes, bool pinned) override {
+    if (bytes == 0) return nullptr;
+    {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      if (quota_ != 0 && outstanding_ + bytes > quota_) {
+        void* p = ::operator new(bytes);
+        std::memset(p, 0, bytes);
+        direct_.push_back(p);
+        ++over_quota_;
+        return p;
+      }
+      outstanding_ += bytes;
+    }
+    return parent_->acquire(bytes, pinned);
+  }
+
+  void release(void* p, std::size_t bytes, bool pinned) override {
+    if (p == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      auto it = std::find(direct_.begin(), direct_.end(), p);
+      if (it != direct_.end()) {
+        *it = direct_.back();
+        direct_.pop_back();
+        ::operator delete(p);
+        return;
+      }
+      LDDP_DCHECK(outstanding_ >= bytes);
+      outstanding_ -= bytes;
+    }
+    parent_->release(p, bytes, pinned);
+  }
+
+  std::size_t outstanding_bytes() const {
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    return outstanding_;
+  }
+  /// Acquisitions that exceeded the quota and bypassed the parent pool.
+  std::size_t over_quota_count() const {
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    return over_quota_;
+  }
+
+ private:
+  BufferPool* parent_;
+  std::size_t quota_;
+  mutable std::mutex quota_mu_;
+  std::size_t outstanding_ = 0;  // bytes currently borrowed from parent_
+  std::size_t over_quota_ = 0;
+  std::vector<void*> direct_;    // live over-quota heap allocations
 };
 
 namespace detail {

@@ -19,7 +19,9 @@ OpId Timeline::record(ResourceId resource, double duration_s,
     if (d == kNoOp) continue;
     LDDP_CHECK_MSG(d < ends_.size(), "dependency on an unrecorded op");
     ready = std::max(ready, ends_[d]);
+    dep_pool_.push_back(d);
   }
+  dep_offsets_.push_back(static_cast<std::uint32_t>(dep_pool_.size()));
   const double end = ready + duration_s;
   resources_[resource].free_at = end;
   resources_[resource].busy += duration_s;
@@ -89,12 +91,26 @@ const char* Timeline::op_label(OpId op) const {
   return labels_[op];
 }
 
+std::span<const OpId> Timeline::op_deps(OpId op) const {
+  LDDP_CHECK(op + 1 < dep_offsets_.size());
+  return std::span<const OpId>(dep_pool_.data() + dep_offsets_[op],
+                               dep_offsets_[op + 1] - dep_offsets_[op]);
+}
+
+Timeline::ResourceId Timeline::find_resource(const std::string& name) const {
+  for (ResourceId r = 0; r < resources_.size(); ++r)
+    if (resources_[r].name == name) return r;
+  return kNoResource;
+}
+
 void Timeline::reset() {
   starts_.clear();
   ends_.clear();
   op_resources_.clear();
   labels_.clear();
   groups_.clear();
+  dep_pool_.clear();
+  dep_offsets_.assign(1, 0);
   current_group_ = kNoGroup;
   makespan_ = 0.0;
   for (auto& res : resources_) {

@@ -74,6 +74,18 @@ class Timeline {
   const std::string& resource_name(ResourceId r) const;
   ResourceId op_resource(OpId op) const;
   const char* op_label(OpId op) const;  ///< never null (may be "")
+  double op_duration(OpId op) const { return end_time(op) - start_time(op); }
+
+  /// The operation's recorded dependencies (kNoOp entries filtered out).
+  /// Retained so a recorded schedule can be *replayed* elsewhere — the
+  /// batch engine re-times per-solve schedules against a shared platform
+  /// timeline while preserving each solve's internal dependency structure.
+  std::span<const OpId> op_deps(OpId op) const;
+
+  /// Id of the resource with this exact name, or kNoResource.
+  static constexpr ResourceId kNoResource =
+      std::numeric_limits<ResourceId>::max();
+  ResourceId find_resource(const std::string& name) const;
 
   /// Clears all operations but keeps registered resources.
   void reset();
@@ -96,6 +108,10 @@ class Timeline {
   std::vector<ResourceId> op_resources_;
   std::vector<const char*> labels_;
   std::vector<GroupId> groups_;
+  // Flattened per-op dependency lists: op k's deps live at
+  // dep_pool_[dep_offsets_[k] .. dep_offsets_[k + 1]).
+  std::vector<OpId> dep_pool_;
+  std::vector<std::uint32_t> dep_offsets_{0};
   GroupId current_group_ = kNoGroup;
   GroupId next_group_ = 0;
   double makespan_ = 0.0;

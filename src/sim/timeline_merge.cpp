@@ -1,0 +1,82 @@
+#include "sim/timeline_merge.h"
+
+#include <algorithm>
+
+namespace lddp::sim {
+
+std::size_t TimelineMerger::add(const Timeline& recorded, double release,
+                                OpId release_dep) {
+  Job job;
+  job.recorded = &recorded;
+  job.release = release;
+  job.release_dep = release_dep;
+  job.shared_ids.assign(recorded.op_count(), kNoOp);
+  job.resource_map.resize(recorded.resource_count());
+  for (Timeline::ResourceId r = 0; r < recorded.resource_count(); ++r) {
+    const Timeline::ResourceId shared_r =
+        shared_->find_resource(recorded.resource_name(r));
+    LDDP_CHECK_MSG(shared_r != Timeline::kNoResource,
+                   "merge: shared timeline lacks resource "
+                       << recorded.resource_name(r));
+    job.resource_map[r] = shared_r;
+  }
+  remaining_ += recorded.op_count();
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+double TimelineMerger::feasible_start(const Job& job) const {
+  const OpId op = static_cast<OpId>(job.next);
+  double t = job.release;
+  t = std::max(t, shared_->resource_free_at(
+                      job.resource_map[job.recorded->op_resource(op)]));
+  for (OpId d : job.recorded->op_deps(op)) {
+    // Recorded order is causally consistent, so every dependency has
+    // already been placed in the shared timeline.
+    LDDP_CHECK_MSG(job.shared_ids[d] != kNoOp,
+                   "merge: recorded op depends on a later op");
+    t = std::max(t, shared_->end_time(job.shared_ids[d]));
+  }
+  return t;
+}
+
+std::size_t TimelineMerger::step() {
+  LDDP_CHECK_MSG(remaining_ > 0, "merge: step() with nothing to schedule");
+  std::size_t pick = kNone;
+  double pick_start = 0.0;
+  for (std::size_t k = 0; k < jobs_.size(); ++k) {
+    const Job& job = jobs_[k];
+    if (job.next >= job.recorded->op_count()) continue;
+    const double s = feasible_start(job);
+    if (pick == kNone || s < pick_start) {
+      pick = k;
+      pick_start = s;
+    }
+  }
+  LDDP_CHECK(pick != kNone);
+
+  Job& job = jobs_[pick];
+  const OpId op = static_cast<OpId>(job.next);
+  // Map the recorded dependencies into the shared timeline and append the
+  // release gate; Timeline::record then reproduces exactly feasible_start.
+  std::vector<OpId> deps;
+  const auto rec_deps = job.recorded->op_deps(op);
+  deps.reserve(rec_deps.size() + 1);
+  for (OpId d : rec_deps) deps.push_back(job.shared_ids[d]);
+  deps.push_back(job.release_dep);
+  const OpId placed = shared_->record(
+      job.resource_map[job.recorded->op_resource(op)],
+      job.recorded->op_duration(op), deps, job.recorded->op_label(op));
+  LDDP_DCHECK(shared_->start_time(placed) == pick_start);
+  job.shared_ids[op] = placed;
+  if (job.next == 0) job.start = shared_->start_time(placed);
+  if (shared_->end_time(placed) >= job.end) {
+    job.end = shared_->end_time(placed);
+    job.last_op = placed;
+  }
+  ++job.next;
+  --remaining_;
+  return job.next == job.recorded->op_count() ? pick : kNone;
+}
+
+}  // namespace lddp::sim

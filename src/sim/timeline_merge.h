@@ -1,0 +1,81 @@
+// Deterministic replay of recorded per-solve schedules onto one shared
+// timeline — the simulation core of the batch engine.
+//
+// Each *job* is a complete solo-run Timeline (every op with its resource,
+// duration and dependency list, as retained by Timeline::op_deps). The
+// merger re-times all admitted jobs against the shared platform's
+// resources: an op starts when its job is released, its own recorded
+// dependencies have finished, and its (shared) resource is free. Ops of one
+// job keep their internal dependency structure — per-solve streams stay
+// FIFO, events never cross jobs — while different jobs' ops interleave on
+// the shared CPU / GPU-compute / DMA engines. That interleaving is the
+// simulated time-sharing: one solve's CPU strips fill another solve's
+// CPU-idle phases, kernels from distinct solves queue on the compute
+// engine like kernels from distinct CUDA streams.
+//
+// Scheduling is greedy earliest-feasible-start with a fixed tie-break
+// (admission rank, then op order), so the merged schedule is a pure
+// function of (recorded timelines, admission order, release times) —
+// independent of any real-thread interleaving. This is what makes batch
+// runs deterministically replayable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/timeline.h"
+
+namespace lddp::sim {
+
+class TimelineMerger {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// `shared` receives the merged ops; it must outlive the merger.
+  explicit TimelineMerger(Timeline& shared) : shared_(&shared) {}
+
+  /// Admits a job. `recorded` must outlive the merge; `release` is the
+  /// simulated instant before which none of its ops may start, and
+  /// `release_dep` (an op already in the shared timeline, ending at
+  /// `release`) encodes that gate as a dependency — kNoOp when the job is
+  /// admitted at time zero. Resources are matched to the shared timeline by
+  /// name (they must all exist there). Returns the job's admission rank.
+  std::size_t add(const Timeline& recorded, double release,
+                  OpId release_dep = kNoOp);
+
+  /// True while any admitted job still has unscheduled ops.
+  bool busy() const { return remaining_ > 0; }
+
+  /// Schedules the one op with the globally-smallest feasible start time
+  /// (ties: lowest admission rank, then op order) into the shared timeline.
+  /// Returns the admission rank of a job that just finished its last op, or
+  /// kNone — the caller uses the completion to release the next queued job.
+  std::size_t step();
+
+  /// Completion time of a finished job (max end over its ops).
+  double job_end(std::size_t rank) const { return jobs_[rank].end; }
+  /// First-op start time of a job with at least one scheduled op.
+  double job_start(std::size_t rank) const { return jobs_[rank].start; }
+  /// The shared-timeline op achieving job_end — a release_dep for add().
+  OpId job_last_op(std::size_t rank) const { return jobs_[rank].last_op; }
+
+ private:
+  struct Job {
+    const Timeline* recorded;
+    double release;
+    OpId release_dep;
+    std::size_t next = 0;              // head: next recorded op to place
+    std::vector<OpId> shared_ids;      // recorded op id -> shared op id
+    std::vector<Timeline::ResourceId> resource_map;
+    double start = 0.0, end = 0.0;
+    OpId last_op = kNoOp;
+  };
+
+  double feasible_start(const Job& job) const;
+
+  Timeline* shared_;
+  std::vector<Job> jobs_;
+  std::size_t remaining_ = 0;  // unscheduled ops across all jobs
+};
+
+}  // namespace lddp::sim

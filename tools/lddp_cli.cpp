@@ -9,7 +9,9 @@
 //   lddp_cli --list
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/batch_engine.h"
 #include "core/framework.h"
 #include "core/framework3.h"
 #include "core/multi.h"
@@ -49,6 +51,11 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
                    multi-device strategy (horizontal problems only)
   --tune           run the Section V-A parameter sweeps first
   --trace FILE     write the simulated schedule as chrome://tracing JSON
+  --batch N        submit the request N times through the batch engine and
+                   report merged-schedule throughput (default 1 = off)
+  --sched S        batch scheduler: fifo | sjf | wfq (default fifo)
+  --concurrency N  simulated in-flight solve slots for --batch (default 4)
+  --batch-mix      rotate modes cpu -> gpu -> hetero across batch requests
   --list           list problems and exit
 )";
 
@@ -69,16 +76,72 @@ sim::PlatformSpec parse_platform(const std::string& s) {
   throw CheckError("unknown --platform '" + s + "'");
 }
 
+BatchSched parse_sched(const std::string& s) {
+  if (s == "fifo") return BatchSched::kFifo;
+  if (s == "sjf") return BatchSched::kSjf;
+  if (s == "wfq") return BatchSched::kWfq;
+  throw CheckError("unknown --sched '" + s + "'");
+}
+
 struct Report {
   SolveStats stats;
   std::string answer;
 };
 
 int g_devices = 1;  // set from --devices before dispatch
+int g_batch = 1;    // --batch: replicate the request through BatchEngine
+BatchConfig g_batch_cfg;
+bool g_batch_mix = false;
+
+/// Submits the request `g_batch` times through the BatchEngine and prints
+/// the merged-schedule throughput report. With --batch-mix the replicas
+/// rotate through cpu/gpu/hetero so CPU-only and accelerator-heavy solves
+/// overlap on the shared platform.
+template <typename P, typename AnswerFn>
+Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
+  BatchConfig bc = g_batch_cfg;
+  bc.platform = cfg.platform;
+  bc.trace_path = cfg.trace_path;
+  BatchEngine engine(bc);
+  std::vector<std::future<SolveResult<P>>> futures;
+  futures.reserve(static_cast<std::size_t>(g_batch));
+  for (int k = 0; k < g_batch; ++k) {
+    RunConfig rk = cfg;
+    if (g_batch_mix) {
+      constexpr Mode kMix[] = {Mode::kCpuParallel, Mode::kGpu,
+                               Mode::kHeterogeneous};
+      rk.mode = kMix[k % 3];
+    }
+    auto f = engine.submit(problem, rk);
+    LDDP_CHECK_MSG(f.has_value(), "batch queue rejected a request");
+    futures.push_back(std::move(*f));
+  }
+  const BatchReport rep = engine.wait();
+  std::printf("batch: %zu solves, sched=%s, concurrency=%zu%s\n",
+              rep.solves, to_string(bc.sched).c_str(), bc.concurrency,
+              g_batch_mix ? ", mixed modes" : "");
+  std::printf("batch sim makespan=%.3f ms | serial %.3f ms | speedup "
+              "%.2fx\n",
+              rep.sim_makespan * 1e3, rep.serial_sim_seconds * 1e3,
+              rep.speedup);
+  std::printf("batch throughput=%.1f solves/s (serial %.1f) | latency "
+              "p50=%.3f ms p99=%.3f ms\n",
+              rep.solves_per_sec, rep.serial_solves_per_sec,
+              rep.p50_latency * 1e3, rep.p99_latency * 1e3);
+  Report r;
+  auto first = futures.front().get();
+  r.stats = first.stats;
+  r.answer = answer(first.table);
+  return r;
+}
 
 template <typename P, typename AnswerFn>
 Report run(const P& problem, RunConfig cfg, bool tune_first,
            AnswerFn&& answer) {
+  if (g_batch > 1) {
+    LDDP_CHECK_MSG(g_devices == 1, "--batch and --devices are exclusive");
+    return run_batch(problem, cfg, answer);
+  }
   if (g_devices > 1) {
     LDDP_CHECK_MSG(canonical(classify(problem.deps())) ==
                        Pattern::kHorizontal,
@@ -139,6 +202,12 @@ int main(int argc, char** argv) try {
   const bool tune_first = flags.get_bool("tune");
   g_devices = static_cast<int>(flags.get_int("devices", 1));
   LDDP_CHECK_MSG(g_devices >= 1, "--devices must be >= 1");
+  g_batch = static_cast<int>(flags.get_int("batch", 1));
+  LDDP_CHECK_MSG(g_batch >= 1, "--batch must be >= 1");
+  g_batch_cfg.sched = parse_sched(flags.get("sched", "fifo"));
+  g_batch_cfg.concurrency =
+      static_cast<std::size_t>(flags.get_int("concurrency", 4));
+  g_batch_mix = flags.get_bool("batch-mix");
   const auto band = static_cast<std::size_t>(flags.get_int("band", 0));
 
   Report r;
