@@ -71,13 +71,16 @@ auto make_problem(const MixCase& c) {
       });
 }
 
-BatchReport run_batch(std::size_t batch, BatchSched sched) {
+BatchReport run_batch(std::size_t batch, BatchSched sched,
+                      const std::vector<MixCase>& mix,
+                      bool pack = true) {
   BatchConfig bc;
   bc.concurrency = std::min<std::size_t>(batch, 8);
   bc.queue_capacity = batch;
   bc.sched = sched;
+  bc.pack_solves = pack;
   BatchEngine engine(bc);
-  for (const MixCase& c : make_mix(batch)) {
+  for (const MixCase& c : mix) {
     RunConfig rc;
     rc.mode = c.mode;
     auto f = engine.submit(make_problem(c), rc, c.weight);
@@ -86,7 +89,61 @@ BatchReport run_batch(std::size_t batch, BatchSched sched) {
   return engine.wait();
 }
 
-void sweep() {
+/// Small-solve mix: accelerator-mode requests whose wavefronts are
+/// dominated by per-launch submission costs (driver overhead, graph-node
+/// issue, pipeline-fill floors) — the regime cross-solve packing targets.
+std::vector<MixCase> make_small_mix(std::size_t n) {
+  constexpr Mode kModes[] = {Mode::kGpu, Mode::kGpu, Mode::kHeterogeneous,
+                             Mode::kGpu};
+  std::vector<MixCase> mix;
+  mix.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    mix.push_back(MixCase{
+        contributing_set_by_index(static_cast<int>(k % kNumContributingSets)),
+        64 + 32 * (k % 3), kModes[k % 4], 1.0});
+  }
+  return mix;
+}
+
+/// Packed-vs-unpacked ablation on the small-solve mix. Returns false if
+/// packing ever loses to the unpacked merge — the CI perf-smoke gate
+/// (rider pricing is clamped at solo cost, so a loss is a scheduler bug,
+/// not a tuning matter).
+bool pack_sweep(lddp::bench::JsonWriter& json) {
+  std::printf("\n=== Cross-solve packing: small-solve mix, fifo, "
+              "concurrency=min(batch,8) ===\n");
+  std::printf("%6s %12s %12s %8s %7s %10s\n", "batch", "packed_ms",
+              "unpacked_ms", "speedup", "packs", "saved_ms");
+  bool never_loses = true;
+  bool target_ok = true;
+  for (std::size_t batch : kBatchSizes) {
+    const std::vector<MixCase> mix = make_small_mix(batch);
+    const BatchReport packed =
+        run_batch(batch, BatchSched::kFifo, mix, /*pack=*/true);
+    const BatchReport unpacked =
+        run_batch(batch, BatchSched::kFifo, mix, /*pack=*/false);
+    // solves/sec ratio == unpacked/packed makespan (same request count).
+    const double speedup =
+        packed.sim_makespan > 0.0
+            ? unpacked.sim_makespan / packed.sim_makespan
+            : 1.0;
+    json.record("pack/packed", batch, packed.sim_makespan * 1e3, 0.0);
+    json.record("pack/unpacked", batch, unpacked.sim_makespan * 1e3, 0.0);
+    json.record("pack/speedup", batch, speedup, 0.0);
+    std::printf("%6zu %12.3f %12.3f %7.2fx %7zu %10.3f\n", batch,
+                packed.sim_makespan * 1e3, unpacked.sim_makespan * 1e3,
+                speedup, packed.packs, packed.pack_saved_seconds * 1e3);
+    if (speedup < 1.0 - 1e-9) never_loses = false;
+    if (batch >= 8 && speedup < 1.3) target_ok = false;
+  }
+  std::printf("pack gate (packed never slower than unpacked): %s\n",
+              never_loses ? "PASS" : "FAIL");
+  std::printf("pack target (>=1.3x solves/sec at batch >= 8): %s\n",
+              target_ok ? "PASS" : "FAIL");
+  return never_loses;
+}
+
+bool sweep() {
   lddp::bench::JsonWriter json("batch_throughput");
   std::printf("\n=== Batch throughput: Table-I mix, Hetero-High, "
               "concurrency=min(batch,8) ===\n");
@@ -97,7 +154,7 @@ void sweep() {
   for (std::size_t batch : kBatchSizes) {
     for (BatchSched sched : kPolicies) {
       const auto wall0 = std::chrono::steady_clock::now();
-      const BatchReport rep = run_batch(batch, sched);
+      const BatchReport rep = run_batch(batch, sched, make_mix(batch));
       const double wall_ms =
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - wall0)
@@ -117,14 +174,17 @@ void sweep() {
       if (batch >= 8 && rep.speedup < 1.5) throughput_ok = false;
     }
   }
+  const bool pack_ok = pack_sweep(json);
   json.save();
   std::printf("throughput gate (>=1.5x solves/sec at batch >= 8): %s\n",
               throughput_ok ? "PASS" : "FAIL");
+  return pack_ok;
 }
 
 void BM_BatchMerge8(benchmark::State& state) {
   for (auto _ : state) {
-    const BatchReport rep = run_batch(8, BatchSched::kFifo);
+    const BatchReport rep =
+        run_batch(8, BatchSched::kFifo, make_mix(8));
     benchmark::DoNotOptimize(rep.sim_makespan);
     state.SetIterationTime(rep.sim_makespan);
   }
@@ -134,8 +194,8 @@ BENCHMARK(BM_BatchMerge8)->Iterations(1)->UseManualTime();
 }  // namespace
 
 int main(int argc, char** argv) {
-  sweep();
+  const bool pack_ok = sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return pack_ok ? 0 : 1;
 }

@@ -72,8 +72,17 @@ BatchEngine::BatchEngine(BatchConfig cfg) : cfg_(std::move(cfg)) {
   }
   const std::size_t nslots = std::max<std::size_t>(nworkers, 1);
   pools_.reserve(nslots);
+  // Packed batches co-schedule every slot's strip sessions on ONE
+  // cooperative pool (threads_per_solve host threads total) instead of
+  // giving each slot a private pool (concurrency x threads_per_solve
+  // threads contending for the same cores).
+  const bool coop =
+      cfg_.pack_solves && cfg_.threads_per_solve > 1 && nslots > 1;
+  if (coop)
+    coop_pool_ = std::make_unique<cpu::ThreadPool>(cfg_.threads_per_solve,
+                                                   /*coop_strips=*/true);
   for (std::size_t s = 0; s < nslots; ++s) {
-    pools_.push_back(cfg_.threads_per_solve > 1
+    pools_.push_back(!coop && cfg_.threads_per_solve > 1
                          ? std::make_unique<cpu::ThreadPool>(
                                cfg_.threads_per_solve)
                          : nullptr);
@@ -130,7 +139,7 @@ void BatchEngine::drain_one_locked(std::unique_lock<std::mutex>& lock) {
   Job* job = pop_next_locked();
   ++running_;
   lock.unlock();
-  run_job(*job, pools_[0].get());
+  run_job(*job, slot_pool(0));
   lock.lock();
   cv_space_.notify_all();
 }
@@ -166,7 +175,7 @@ void BatchEngine::worker_loop(std::size_t slot) {
       ++running_;
     }
     cv_space_.notify_all();
-    run_job(*job, pools_[slot].get());
+    run_job(*job, slot_pool(slot));
   }
 }
 
@@ -206,6 +215,7 @@ BatchReport BatchEngine::build_report(
   // merge completes an in-flight one.
   sim::Platform platform(cfg_.platform);
   sim::TimelineMerger merger(platform.timeline());
+  merger.enable_packing(cfg_.platform.gpu);
   struct Dispatched {
     std::size_t job;       // index into jobs
     double release;
@@ -232,8 +242,9 @@ BatchReport BatchEngine::build_report(
         continue;
       }
       const std::size_t rank = merger.add(jobs[j]->recorded, release,
-                                          release_dep);
+                                          release_dep, jobs[j]->packable);
       LDDP_DCHECK(rank == by_rank.size());
+      (void)rank;
       by_rank.push_back(Dispatched{j, release, release_dep});
       return;
     }
@@ -280,6 +291,12 @@ BatchReport BatchEngine::build_report(
     report.serial_solves_per_sec =
         static_cast<double>(jobs.size()) / report.serial_sim_seconds;
   }
+  report.packs = merger.pack_count();
+  report.packed_ops = merger.packed_ops();
+  report.pack_saved_seconds = merger.pack_saved_seconds();
+  report.tuner_lookups = tuner_cache_.lookups();
+  report.tuner_hits = tuner_cache_.hits();
+  report.tuner_hit_rate = tuner_cache_.hit_rate();
   report.p50_latency = percentile(latencies, 0.50);
   report.p99_latency = percentile(latencies, 0.99);
   if (!cfg_.trace_path.empty())

@@ -40,6 +40,7 @@
 
 #include "core/framework.h"
 #include "core/run_config.h"
+#include "core/tuner.h"
 #include "cpu/thread_pool.h"
 #include "sim/device_spec.h"
 #include "sim/memory.h"
@@ -91,6 +92,24 @@ struct BatchConfig {
   /// (QuotaBufferPool); over-quota acquisitions fall through to the heap.
   /// 0 = unlimited.
   std::size_t buffer_quota_bytes = 0;
+  /// Cross-solve wavefront packing (default on in batch mode): each
+  /// simulated scheduling step, co-ready GPU fronts / DMA descriptors of
+  /// distinct in-flight solves are emitted as one multi-tenant packed
+  /// launch — the window head pays its full submission cost, riders pay
+  /// packed_segment_issue_us instead of their launch/issue/fill overhead —
+  /// and, when threads_per_solve > 1, all executor slots share ONE
+  /// cooperative ThreadPool whose strip sessions time-share the workers at
+  /// front granularity instead of oversubscribing the host with
+  /// concurrency x threads_per_solve threads. Results stay bit-identical;
+  /// only merged simulated timing changes. Individual requests opt out via
+  /// RunConfig::pack_solves = 0.
+  bool pack_solves = true;
+  /// Resolve auto heterogeneous parameters (t_switch / t_share unset,
+  /// tile = -1) through the engine's cross-solve TunerCache: the first
+  /// request of an equivalence class pays one tuning sweep, later ones
+  /// reuse it. Off by default — sweeps multiply solve work, so callers
+  /// opt in (lddp_cli --tune in batch mode does).
+  bool tune_auto = false;
   /// If non-empty, the merged batch schedule is exported here as a
   /// chrome://tracing JSON file by wait().
   std::string trace_path;
@@ -124,6 +143,14 @@ struct BatchReport {
   double speedup = 0.0;             ///< serial_sim_seconds / sim_makespan
   double p50_latency = 0.0;         ///< median simulated latency
   double p99_latency = 0.0;
+  // Cross-solve packing outcome of this batch's merge.
+  std::size_t packs = 0;            ///< multi-tenant launches emitted
+  std::size_t packed_ops = 0;       ///< rider segments re-priced in packs
+  double pack_saved_seconds = 0.0;  ///< submission time amortized away
+  // Cross-solve tuning cache counters (cumulative since engine creation).
+  std::size_t tuner_lookups = 0;
+  std::size_t tuner_hits = 0;
+  double tuner_hit_rate = 0.0;
   std::vector<BatchItemStats> items;  ///< submission order
 };
 
@@ -165,12 +192,25 @@ class BatchEngine {
     job->est = detail::estimate_solve_seconds(
         cfg_.platform, work_profile_of(problem),
         problem.rows() * problem.cols());
+    job->packable =
+        rc.pack_solves == -1 ? cfg_.pack_solves : rc.pack_solves != 0;
     job->run = [problem = std::move(problem), rc, promise,
-                platform = cfg_.platform](Job& j, cpu::ThreadPool* pool,
-                                          sim::BufferPool* buffers) mutable {
+                platform = cfg_.platform, tune_auto = cfg_.tune_auto,
+                tuner = &tuner_cache_](Job& j, cpu::ThreadPool* pool,
+                                       sim::BufferPool* buffers) mutable {
       rc.platform = platform;
       rc.pool = pool;
       rc.buffer_pool = buffers;
+      // Cross-solve tuning cache: auto-parameter heterogeneous requests
+      // reuse one sweep per equivalence class (first contact pays it).
+      if (tune_auto &&
+          detail::resolve_auto(rc.mode, problem.rows() * problem.cols()) ==
+              Mode::kHeterogeneous &&
+          rc.hetero.t_switch < 0 && rc.hetero.t_share < 0) {
+        const TunerCache::Entry tuned = tuner->lookup_or_tune(problem, rc);
+        rc.hetero = tuned.params;
+        if (rc.tile == -1) rc.tile = tuned.tile;
+      }
       rc.record_timeline = &j.recorded;
       rc.trace_path.clear();
       try {
@@ -199,6 +239,7 @@ class BatchEngine {
     std::size_t index = 0;
     double est = 0.0;
     double weight = 1.0;
+    bool packable = true;  // eligible for cross-solve packing in the merge
     std::function<void(Job&, cpu::ThreadPool*, sim::BufferPool*)> run;
     sim::Timeline recorded;  // the solve's private simulated schedule
     SolveStats stats;
@@ -216,6 +257,7 @@ class BatchEngine {
 
   BatchConfig cfg_;
   sim::BufferPool buffers_;  // shared arena cache across all solves
+  TunerCache tuner_cache_;   // shared auto-parameter sweeps across solves
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // workers: queue non-empty / stop
@@ -227,9 +269,17 @@ class BatchEngine {
   bool stop_ = false;
 
   // One private pool per executor slot (index 0 doubles as the inline
-  // slot when worker_threads == 0).
+  // slot when worker_threads == 0). With pack_solves, slots instead share
+  // coop_pool_ — one cooperative pool of threads_per_solve workers whose
+  // strip sessions time-share at front granularity (no host
+  // oversubscription).
   std::vector<std::unique_ptr<cpu::ThreadPool>> pools_;
+  std::unique_ptr<cpu::ThreadPool> coop_pool_;
   std::vector<std::thread> workers_;
+
+  cpu::ThreadPool* slot_pool(std::size_t slot) {
+    return coop_pool_ ? coop_pool_.get() : pools_[slot].get();
+  }
 };
 
 }  // namespace lddp

@@ -64,6 +64,15 @@ struct RunConfig {
   /// issue cost) instead of paying full launch overhead per operation.
   /// Results are bit-identical; only the simulated timing changes.
   bool fused_launches = true;
+  /// Cross-solve packing eligibility when this request runs through the
+  /// BatchEngine: the batch merger may fuse this solve's co-ready GPU
+  /// fronts / DMA descriptors with those of co-resident solves into one
+  /// multi-tenant packed launch (and co-schedule its CPU strips on the
+  /// shared cooperative pool). -1 defers to BatchConfig::pack_solves
+  /// (default on in batch mode), 0 opts this request out, 1 opts it in.
+  /// Solo solve() ignores the flag — there is nothing to pack with.
+  /// Results are bit-identical; only the merged simulated timing changes.
+  int pack_solves = -1;
   /// If non-empty, the simulated schedule is written here as a
   /// chrome://tracing / Perfetto JSON file after the run.
   std::string trace_path;

@@ -80,13 +80,19 @@ Grid<typename P::Value> solve_gpu_tiled(const P& p, sim::Platform& platform,
     if (fw.cells == 0) continue;
     const double exec = sim::tiled_kernel_exec_seconds(
         gpu.spec(), info, fw.tiles, tile, tile, fw.cells, fw.staged_bytes);
+    const double packed = sim::tiled_kernel_packed_exec_seconds(
+        gpu.spec(), info, fw.tiles, tile, tile, fw.cells, fw.staged_bytes);
     V* out = dtable.device_ptr();
-    graph.launch_tiled(stream, exec, nt, [&, g, out](std::size_t k) {
-      const TileScheduler::TileCoord t = sched.front_tile(g, k);
-      sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
-        out[i * m + j] = detail::compute_cell(p, deps, bound, i, j, m, read);
-      });
-    });
+    graph.launch_tiled(
+        stream, exec, nt,
+        [&, g, out](std::size_t k) {
+          const TileScheduler::TileCoord t = sched.front_tile(g, k);
+          sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
+            out[i * m + j] =
+                detail::compute_cell(p, deps, bound, i, j, m, read);
+          });
+        },
+        sim::kNoOp, packed);
   }
   graph.replay();
 

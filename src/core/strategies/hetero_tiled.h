@@ -199,6 +199,9 @@ Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
         const double exec = sim::tiled_kernel_exec_seconds(
             gpu.spec(), info, fw.tiles, sched.tile(), sched.tile(), fw.cells,
             fw.staged_bytes);
+        const double packed = sim::tiled_kernel_packed_exec_seconds(
+            gpu.spec(), info, fw.tiles, sched.tile(), sched.tile(), fw.cells,
+            fw.staged_bytes);
         // The kernel additionally waits for the halos of the last two
         // fronts (the N/NW reads that cross the strip boundary).
         graph.stream_wait(compute_stream, h2d_m2);
@@ -213,7 +216,7 @@ Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
                         detail::compute_cell(p, deps, bound, i, j, m, dread);
                   });
             },
-            h2d_m1);
+            h2d_m1, packed);
       }
     }
     h2d_m2 = h2d_m1;

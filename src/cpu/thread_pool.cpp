@@ -22,7 +22,8 @@ constexpr int kStripSpinIters = 4096;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, bool coop_strips)
+    : coop_strips_(coop_strips) {
   LDDP_CHECK_MSG(num_threads >= 1, "pool needs at least one thread");
   workers_.reserve(num_threads - 1);
   for (std::size_t w = 0; w + 1 < num_threads; ++w) {
@@ -36,7 +37,9 @@ void ThreadPool::acquire_master() {
     ++master_depth_;
     return;
   }
+  master_waiters_.fetch_add(1, std::memory_order_seq_cst);
   master_cv_.wait(lock, [&] { return master_depth_ == 0; });
+  master_waiters_.fetch_sub(1, std::memory_order_seq_cst);
   master_owner_ = std::this_thread::get_id();
   master_depth_ = 1;
 }
@@ -223,6 +226,19 @@ void ThreadPool::strip_dispatch(
   if (err) std::rethrow_exception(err);
 }
 
+void ThreadPool::maybe_yield_strips() {
+  // The caller owns the session at master depth 1: closing and reopening
+  // it releases mastership for exactly the gap between the two calls, and
+  // acquire_master inside begin_strips then queues behind the waiters
+  // that prompted the yield. Semantically a no-op — the session state is
+  // rebuilt from scratch — so front bodies never observe the bounce.
+  if (!coop_strips_ ||
+      master_waiters_.load(std::memory_order_seq_cst) == 0)
+    return;
+  end_strips();
+  begin_strips();
+}
+
 void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body) {
@@ -231,14 +247,28 @@ void ThreadPool::parallel_for_chunked(
     body(begin, end);
     return;
   }
-  MasterGuard master(this);
-  if (strip_mode_) {
-    // Only the owning master reaches this point (mastership is held for a
-    // whole strip session), and only it toggles strip_mode_, so the
-    // unlocked read is safe.
-    strip_dispatch(begin, end, body);
-    return;
+  bool in_strips = false;
+  {
+    MasterGuard master(this);
+    if (strip_mode_) {
+      // Only the owning master reaches this point (mastership is held for
+      // a whole strip session), and only it toggles strip_mode_, so the
+      // unlocked read is safe.
+      strip_dispatch(begin, end, body);
+      in_strips = true;
+    } else {
+      fork_join(begin, end, body);
+    }
   }
+  // Past the region's MasterGuard (depth back to the session's 1): the
+  // between-fronts point where a cooperative session hands the workers to
+  // a co-resident driver.
+  if (in_strips) maybe_yield_strips();
+}
+
+void ThreadPool::fork_join(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     LDDP_CHECK_MSG(pending_ == 0, "nested parallel regions are "

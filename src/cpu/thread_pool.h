@@ -47,7 +47,14 @@ namespace lddp::cpu {
 /// captured and rethrown on the master.
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  /// `coop_strips` enables *cooperative strip sessions*: a strip session
+  /// still owns the pool, but between fronts it checks for other threads
+  /// blocked on mastership and, if any, bounces its session (end + begin)
+  /// so a co-resident driver gets the workers for its own front. This lets
+  /// N concurrent solves time-share ONE pool at front granularity instead
+  /// of either serializing whole solves or oversubscribing the host with
+  /// N private pools — the batch engine's packed CPU co-scheduling.
+  explicit ThreadPool(std::size_t num_threads, bool coop_strips = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -91,6 +98,10 @@ class ThreadPool {
   void worker_loop(std::size_t worker_index);
   void run_chunk(const Region& region, std::size_t thread_index,
                  std::size_t nthreads);
+  /// Condvar fork/join region (the non-strip path of parallel_for_chunked);
+  /// caller holds mastership.
+  void fork_join(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& body);
 
   // --- master arbitration ------------------------------------------------
   // One thread owns the pool at a time; re-acquisition by the owner (a
@@ -108,15 +119,22 @@ class ThreadPool {
   // --- strip-session machinery -------------------------------------------
   void begin_strips();
   void end_strips();
+  /// Between-front yield of a cooperative strip session: when another
+  /// thread waits for mastership, close and reopen the session so the
+  /// waiter's region (or whole session) runs first. Called by the session
+  /// owner at master depth 1 (no region active).
+  void maybe_yield_strips();
   void strip_dispatch(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t, std::size_t)>& body);
   void strip_worker_loop(std::size_t thread_index);
 
   std::vector<std::thread> workers_;
+  bool coop_strips_ = false;
   std::mutex master_mu_;
   std::condition_variable master_cv_;
   std::thread::id master_owner_{};
   int master_depth_ = 0;
+  std::atomic<int> master_waiters_{0};  // threads blocked in acquire_master
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -15,6 +15,7 @@
 // on the shared Timeline and provides the reproduced timing numbers.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <utility>
@@ -88,9 +89,8 @@ class Device {
     std::memcpy(dst_device, src_host, count * sizeof(T));
     stats_.h2d_bytes += count * sizeof(T);
     ++stats_.h2d_copies;
-    return enqueue(stream, h2d_res_,
-                   transfer_seconds(spec_, count * sizeof(T), kind),
-                   extra_dep, "h2d");
+    return enqueue_copy(stream, h2d_res_, count * sizeof(T), kind, extra_dep,
+                        "h2d");
   }
 
   /// Async device-to-host copy on `stream`.
@@ -104,9 +104,8 @@ class Device {
     std::memcpy(dst_host, src_device, count * sizeof(T));
     stats_.d2h_bytes += count * sizeof(T);
     ++stats_.d2h_copies;
-    return enqueue(stream, d2h_res_,
-                   transfer_seconds(spec_, count * sizeof(T), kind),
-                   extra_dep, "d2h");
+    return enqueue_copy(stream, d2h_res_, count * sizeof(T), kind, extra_dep,
+                        "d2h");
   }
 
   /// Records the cost of a host-to-device transfer whose real data movement
@@ -117,8 +116,7 @@ class Device {
     if (bytes == 0) return last_op(stream);
     stats_.h2d_bytes += bytes;
     ++stats_.h2d_copies;
-    return enqueue(stream, h2d_res_, transfer_seconds(spec_, bytes, kind),
-                   extra_dep, "h2d");
+    return enqueue_copy(stream, h2d_res_, bytes, kind, extra_dep, "h2d");
   }
 
   /// Device-to-host counterpart of record_h2d.
@@ -127,8 +125,7 @@ class Device {
     if (bytes == 0) return last_op(stream);
     stats_.d2h_bytes += bytes;
     ++stats_.d2h_copies;
-    return enqueue(stream, d2h_res_, transfer_seconds(spec_, bytes, kind),
-                   extra_dep, "d2h");
+    return enqueue_copy(stream, d2h_res_, bytes, kind, extra_dep, "d2h");
   }
 
   /// Launches `body(cell)` for cell in [0, num_cells) — thread-per-cell, the
@@ -139,24 +136,34 @@ class Device {
               Body&& body, OpId extra_dep = kNoOp) {
     if (num_cells == 0) return last_op(stream);
     execute_cells(num_cells, body);
-    return enqueue(stream, compute_res_,
-                   kernel_seconds(spec_, info, num_cells), extra_dep,
-                   "kernel");
+    const double seconds = kernel_seconds(spec_, info, num_cells);
+    const OpId op =
+        enqueue(stream, compute_res_, seconds, extra_dep, "kernel");
+    tl_->annotate_pack(
+        op, seconds - kernel_packed_exec_seconds(spec_, info, num_cells));
+    return op;
   }
 
   /// Launches `body(t)` for tile t in [0, num_tiles) — the block-per-tile
   /// mapping of the tiled execution layer. The caller prices the launch
   /// (tiled_kernel_exec_seconds); this records launch overhead + that
-  /// duration, mirroring launch().
+  /// duration, mirroring launch(). `packed_exec_seconds`, when >= 0, is the
+  /// floor-free pricing (tiled_kernel_packed_exec_seconds) used to annotate
+  /// the amortizable share for the cross-solve packer.
   template <typename Body>
   OpId launch_tiled(StreamId stream, double exec_seconds,
                     std::size_t num_tiles, Body&& body,
-                    OpId extra_dep = kNoOp) {
+                    OpId extra_dep = kNoOp,
+                    double packed_exec_seconds = -1.0) {
     if (num_tiles == 0) return last_op(stream);
     execute_tiles(num_tiles, std::forward<Body>(body));
-    return enqueue(stream, compute_res_,
-                   spec_.launch_overhead_us * 1e-6 + exec_seconds, extra_dep,
-                   "kernel");
+    const double seconds = spec_.launch_overhead_us * 1e-6 + exec_seconds;
+    const OpId op =
+        enqueue(stream, compute_res_, seconds, extra_dep, "kernel");
+    const double packed =
+        packed_exec_seconds >= 0.0 ? packed_exec_seconds : exec_seconds;
+    tl_->annotate_pack(op, seconds - std::min(packed, seconds));
+    return op;
   }
 
   /// Eagerly runs `body(cell)` over [0, num_cells) on the host (via the
@@ -237,6 +244,19 @@ class Device {
   void set_last_op(StreamId stream, OpId op) {
     LDDP_CHECK(stream < streams_.size());
     streams_[stream].last = op;
+  }
+
+  /// enqueue() for a priced copy: records transfer_seconds and annotates
+  /// the per-copy submission latency (everything above wire time) as
+  /// amortizable by a cross-solve pack of DMA descriptors.
+  OpId enqueue_copy(StreamId stream, Timeline::ResourceId res,
+                    std::size_t bytes, MemoryKind kind, OpId extra_dep,
+                    const char* label) {
+    const double seconds = transfer_seconds(spec_, bytes, kind);
+    const OpId op = enqueue(stream, res, seconds, extra_dep, label);
+    tl_->annotate_pack(op,
+                       seconds - transfer_exec_seconds(spec_, bytes, kind));
+    return op;
   }
 
   OpId enqueue(StreamId stream, Timeline::ResourceId res, double seconds,

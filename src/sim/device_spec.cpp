@@ -12,6 +12,7 @@ GpuSpec GpuSpec::tesla_k20() {
   g.launch_overhead_us = 4.0;
   g.min_exec_latency_us = 1.5;
   g.graph_node_issue_us = 0.4;
+  g.packed_segment_issue_us = 0.6;
   g.dram_bandwidth_gbs = 208.0;
   g.dram_efficiency = 0.70;
   g.mapped_access_overhead_us = 0.25;
@@ -33,6 +34,7 @@ GpuSpec GpuSpec::gt650m() {
   g.launch_overhead_us = 6.0;   // mobile part, slower driver path
   g.min_exec_latency_us = 2.0;
   g.graph_node_issue_us = 0.6;
+  g.packed_segment_issue_us = 0.9;
   g.dram_bandwidth_gbs = 28.8;  // DDR3 variant
   g.dram_efficiency = 0.65;
   g.mapped_access_overhead_us = 0.35;
@@ -55,6 +57,7 @@ GpuSpec GpuSpec::xeon_phi_5110p() {
   g.launch_overhead_us = 9.0;   // offload-region entry, slower than CUDA
   g.min_exec_latency_us = 2.5;
   g.graph_node_issue_us = 0.9;  // batched offload still crosses PCIe
+  g.packed_segment_issue_us = 1.3;
   g.dram_bandwidth_gbs = 320.0;
   g.dram_efficiency = 0.50;  // achieved GDDR5 bandwidth is ~half of peak
   g.mapped_access_overhead_us = 0.30;

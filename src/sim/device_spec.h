@@ -39,6 +39,14 @@ struct GpuSpec {
   /// launch_overhead_us. One full launch_overhead_us is still paid per
   /// graph submission.
   double graph_node_issue_us = 0.5;
+  /// Per-segment issue cost inside a *multi-tenant packed launch*: when the
+  /// batch engine fuses ready fronts of several co-resident solves into one
+  /// submission, the head segment pays its own full submission cost and
+  /// every rider pays only this — the front-end reads another grid-segment
+  /// descriptor from the already-open command buffer. Slightly above
+  /// graph_node_issue_us because the rider's kernel arguments are foreign
+  /// to the pre-built graph and must be patched in.
+  double packed_segment_issue_us = 0.8;
 
   // --- memory ------------------------------------------------------------
   double dram_bandwidth_gbs = 100.0;  ///< global-memory peak bandwidth

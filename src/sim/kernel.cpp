@@ -47,6 +47,46 @@ double kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
   return info.extra_us * 1e-6 + std::max(compute, memory);
 }
 
+double kernel_packed_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                                  std::size_t num_cells) {
+  if (num_cells == 0) return 0.0;
+  LDDP_CHECK(info.block_size > 0);
+  const std::size_t blocks =
+      (num_cells + static_cast<std::size_t>(info.block_size) - 1) /
+      static_cast<std::size_t>(info.block_size);
+  const double padded_cells =
+      static_cast<double>(blocks) * static_cast<double>(info.block_size);
+  const double lane_rate = static_cast<double>(spec.sm_count) *
+                           static_cast<double>(spec.cores_per_sm) *
+                           spec.clock_ghz * 1e9;
+  // No min_exec_latency floor: the carrying launch has already filled the
+  // pipeline, so a rider segment costs only its throughput time.
+  const double compute =
+      padded_cells * info.work.gpu_cycles_per_cell / lane_rate;
+  const double traffic = static_cast<double>(num_cells) *
+                         info.work.bytes_per_cell *
+                         std::max(1.0, info.mem_amplification);
+  const double memory =
+      traffic / (spec.dram_bandwidth_gbs * spec.dram_efficiency * 1e9);
+  return info.extra_us * 1e-6 + std::max(compute, memory);
+}
+
+double PackedKernel::add_segment(double recorded_s, double amortizable_s) {
+  LDDP_CHECK_MSG(recorded_s >= 0.0 && amortizable_s >= 0.0,
+                 "negative packed-segment pricing input");
+  double priced = recorded_s;
+  if (segments_ > 0) {
+    const double issue = spec_->packed_segment_issue_us * 1e-6;
+    const double irreducible =
+        recorded_s - std::min(amortizable_s, recorded_s);
+    priced = std::min(recorded_s, irreducible + issue);
+  }
+  ++segments_;
+  saved_ += recorded_s - priced;
+  total_ += priced;
+  return priced;
+}
+
 double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
                       std::size_t num_cells) {
   if (num_cells == 0) return 0.0;

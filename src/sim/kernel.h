@@ -50,6 +50,44 @@ double kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
 double kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
                            std::size_t num_cells);
 
+/// Floor-free execution seconds: the throughput cost of the kernel's real
+/// work (compute vs memory, extra_us) *without* the min_exec_latency
+/// pipeline-fill floor. This is the irreducible cost of the kernel when it
+/// rides as one grid segment inside another tenant's already-filled packed
+/// launch; kernel_seconds minus this is the amortizable submission cost
+/// (driver overhead + fill padding) a cross-solve packer can elide.
+double kernel_packed_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
+                                  std::size_t num_cells);
+
+/// Multi-tenant packed launch: co-ready fronts of several in-flight solves
+/// submitted as one device command. Segments are appended in pack order.
+/// The head pays its full recorded cost — it *is* the launch that carries
+/// the pack (one launch overhead, or one graph-node issue when it already
+/// rides a fused graph). Each follower replaces its amortizable submission
+/// cost (Timeline::op_pack_overhead) with packed_segment_issue_us, clamped
+/// so riding in a pack never prices worse than launching alone.
+class PackedKernel {
+ public:
+  explicit PackedKernel(const GpuSpec& spec) : spec_(&spec) {}
+
+  /// Prices the next segment. `recorded_s` is the op's solo duration,
+  /// `amortizable_s` the annotated share of it that a pack can elide.
+  /// Returns the seconds the segment occupies inside the pack.
+  double add_segment(double recorded_s, double amortizable_s);
+
+  std::size_t segments() const { return segments_; }
+  /// Submission seconds amortized away relative to solo pricing so far.
+  double saved_seconds() const { return saved_; }
+  /// Total priced duration of the pack so far.
+  double total_seconds() const { return total_; }
+
+ private:
+  const GpuSpec* spec_;
+  std::size_t segments_ = 0;
+  double saved_ = 0.0;
+  double total_ = 0.0;
+};
+
 /// Throughput (cells/s) of the saturated device for this kernel — used by
 /// workload-division heuristics to pick an initial t_share.
 double gpu_peak_throughput(const GpuSpec& spec, const KernelInfo& info);

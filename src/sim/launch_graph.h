@@ -22,6 +22,7 @@
 //    fusing off, exactly like a real CUDA graph cannot span host syncs.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -63,22 +64,29 @@ class LaunchGraph {
     dev_->execute_cells(num_cells, std::forward<Body>(body));
     return add_node(stream, dev_->compute_res_,
                     kernel_exec_seconds(dev_->spec_, info, num_cells),
+                    kernel_packed_exec_seconds(dev_->spec_, info, num_cells),
                     extra_dep, "kernel");
   }
 
   /// Device::launch_tiled, graph-aware: a block-per-tile kernel whose
-  /// execution duration the caller priced (tiled_kernel_exec_seconds).
+  /// execution duration the caller priced (tiled_kernel_exec_seconds;
+  /// `packed_exec_seconds` is the floor-free pricing from
+  /// tiled_kernel_packed_exec_seconds, or -1 for "same as exec").
   template <typename Body>
   OpId launch_tiled(Device::StreamId stream, double exec_seconds,
                     std::size_t num_tiles, Body&& body,
-                    OpId extra_dep = kNoOp) {
+                    OpId extra_dep = kNoOp,
+                    double packed_exec_seconds = -1.0) {
     if (!fused_)
       return dev_->launch_tiled(stream, exec_seconds, num_tiles,
-                                std::forward<Body>(body), extra_dep);
+                                std::forward<Body>(body), extra_dep,
+                                packed_exec_seconds);
     if (num_tiles == 0) return last_op(stream);
     dev_->execute_tiles(num_tiles, std::forward<Body>(body));
-    return add_node(stream, dev_->compute_res_, exec_seconds, extra_dep,
-                    "kernel");
+    const double packed =
+        packed_exec_seconds >= 0.0 ? packed_exec_seconds : exec_seconds;
+    return add_node(stream, dev_->compute_res_, exec_seconds, packed,
+                    extra_dep, "kernel");
   }
 
   /// Device::record_h2d, graph-aware.
@@ -88,9 +96,8 @@ class LaunchGraph {
     if (bytes == 0) return last_op(stream);
     dev_->stats_.h2d_bytes += bytes;
     ++dev_->stats_.h2d_copies;
-    return add_node(stream, dev_->h2d_res_,
-                    transfer_exec_seconds(dev_->spec_, bytes, kind),
-                    extra_dep, "h2d");
+    const double wire = transfer_exec_seconds(dev_->spec_, bytes, kind);
+    return add_node(stream, dev_->h2d_res_, wire, wire, extra_dep, "h2d");
   }
 
   /// Device::record_d2h, graph-aware.
@@ -100,9 +107,8 @@ class LaunchGraph {
     if (bytes == 0) return last_op(stream);
     dev_->stats_.d2h_bytes += bytes;
     ++dev_->stats_.d2h_copies;
-    return add_node(stream, dev_->d2h_res_,
-                    transfer_exec_seconds(dev_->spec_, bytes, kind),
-                    extra_dep, "d2h");
+    const double wire = transfer_exec_seconds(dev_->spec_, bytes, kind);
+    return add_node(stream, dev_->d2h_res_, wire, wire, extra_dep, "d2h");
   }
 
   /// Device::stream_wait, graph-aware: the next node on `stream` also waits
@@ -155,6 +161,11 @@ class LaunchGraph {
         first = false;
       }
       const OpId op = dev_->record_raw(node.res, seconds, deps, node.label);
+      // Everything above the floor-free execution time — node issue, the
+      // submission's launch overhead, pipeline-fill padding — can be
+      // amortized when the node rides in a cross-solve pack.
+      tl.annotate_pack(op, seconds - std::min(node.packed_exec_seconds,
+                                              seconds));
       dev_->set_last_op(node.stream, op);
       resolved_.push_back(op);
     }
@@ -169,13 +180,15 @@ class LaunchGraph {
     Device::StreamId stream;
     Timeline::ResourceId res;
     double exec_seconds;
+    double packed_exec_seconds;  ///< floor-free cost as a pack segment
     const char* label;
     std::vector<OpId> deps;  ///< node handles and/or pre-replay OpIds
   };
 
   OpId add_node(Device::StreamId stream, Timeline::ResourceId res,
-                double exec_seconds, OpId extra_dep, const char* label) {
-    Node node{stream, res, exec_seconds, label, {}};
+                double exec_seconds, double packed_exec_seconds,
+                OpId extra_dep, const char* label) {
+    Node node{stream, res, exec_seconds, packed_exec_seconds, label, {}};
     if (extra_dep != kNoOp) node.deps.push_back(extra_dep);
     auto& waits = stream_waits(stream);
     node.deps.insert(node.deps.end(), waits.begin(), waits.end());

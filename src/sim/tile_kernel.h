@@ -41,6 +41,20 @@ double tiled_kernel_exec_seconds(const GpuSpec& spec, const KernelInfo& info,
                                  std::size_t tile_cols, std::size_t cells,
                                  std::size_t staged_bytes);
 
+/// Floor-free variant of tiled_kernel_exec_seconds — the irreducible cost
+/// of the tile front when it rides as a segment inside another tenant's
+/// packed launch: the carrier has already filled the pipeline, so the
+/// standalone min_exec_latency floor and the first wave's fill latency are
+/// amortizable; later waves' serialized block critical paths are real work
+/// and stay. Pairs with kernel_packed_exec_seconds.
+double tiled_kernel_packed_exec_seconds(const GpuSpec& spec,
+                                        const KernelInfo& info,
+                                        std::size_t num_tiles,
+                                        std::size_t tile_rows,
+                                        std::size_t tile_cols,
+                                        std::size_t cells,
+                                        std::size_t staged_bytes);
+
 /// Full eager-launch duration: launch_overhead + tiled_kernel_exec_seconds.
 double tiled_kernel_seconds(const GpuSpec& spec, const KernelInfo& info,
                             std::size_t num_tiles, std::size_t tile_rows,

@@ -30,8 +30,20 @@ OpId Timeline::record(ResourceId resource, double duration_s,
   op_resources_.push_back(resource);
   labels_.push_back(label != nullptr ? label : "");
   groups_.push_back(current_group_);
+  pack_overheads_.push_back(0.0);
   makespan_ = std::max(makespan_, end);
   return static_cast<OpId>(ends_.size() - 1);
+}
+
+void Timeline::annotate_pack(OpId op, double seconds) {
+  LDDP_CHECK(op < pack_overheads_.size());
+  LDDP_CHECK_MSG(seconds >= 0.0, "negative pack overhead");
+  pack_overheads_[op] += seconds;
+}
+
+double Timeline::op_pack_overhead(OpId op) const {
+  LDDP_CHECK(op < pack_overheads_.size());
+  return pack_overheads_[op];
 }
 
 OpId Timeline::record(ResourceId resource, double duration_s, OpId dep1,
@@ -111,6 +123,7 @@ void Timeline::reset() {
   groups_.clear();
   dep_pool_.clear();
   dep_offsets_.assign(1, 0);
+  pack_overheads_.clear();
   current_group_ = kNoGroup;
   makespan_ = 0.0;
   for (auto& res : resources_) {

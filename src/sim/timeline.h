@@ -82,6 +82,16 @@ class Timeline {
   /// timeline while preserving each solve's internal dependency structure.
   std::span<const OpId> op_deps(OpId op) const;
 
+  /// Marks `seconds` of the op's recorded duration as *amortizable
+  /// submission cost* — driver launch overhead, graph-node issue,
+  /// pipeline-fill padding of a tiny kernel, or per-copy submission
+  /// latency. The solo schedule is unchanged; a cross-solve packer
+  /// (sim/timeline_merge.h) uses the annotation to re-price the op when it
+  /// rides in another tenant's launch. Annotating twice accumulates.
+  void annotate_pack(OpId op, double seconds);
+  /// Amortizable submission seconds of the op (0 for ordinary ops).
+  double op_pack_overhead(OpId op) const;
+
   /// Id of the resource with this exact name, or kNoResource.
   static constexpr ResourceId kNoResource =
       std::numeric_limits<ResourceId>::max();
@@ -112,6 +122,7 @@ class Timeline {
   // dep_pool_[dep_offsets_[k] .. dep_offsets_[k + 1]).
   std::vector<OpId> dep_pool_;
   std::vector<std::uint32_t> dep_offsets_{0};
+  std::vector<double> pack_overheads_;  // amortizable seconds per op
   GroupId current_group_ = kNoGroup;
   GroupId next_group_ = 0;
   double makespan_ = 0.0;

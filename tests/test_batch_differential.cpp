@@ -37,7 +37,8 @@ struct Case {
     return "deps=" + deps.to_string() + " " + std::to_string(rows) + "x" +
            std::to_string(cols) + " mode=" + to_string(cfg.mode) +
            " tile=" + std::to_string(cfg.tile) +
-           " fused=" + std::to_string(cfg.fused_launches);
+           " fused=" + std::to_string(cfg.fused_launches) +
+           " pack=" + std::to_string(cfg.pack_solves);
   }
 };
 
@@ -69,6 +70,8 @@ Case draw_case(Rng& rng, std::size_t k) {
   const int tile = static_cast<int>(rng.uniform_int(0, 2));
   c.cfg.tile = tile == 0 ? 0 : tile == 1 ? -1 : 8;
   c.cfg.fused_launches = rng.uniform_int(0, 1) == 1;
+  // Per-request packing stance: defer to the engine, opt out, or opt in.
+  c.cfg.pack_solves = static_cast<int>(rng.uniform_int(0, 2)) - 1;
   if (rng.uniform_int(0, 1)) {
     c.cfg.hetero.t_switch = rng.uniform_int(0, 100);
     c.cfg.hetero.t_share = rng.uniform_int(0, 100);
@@ -96,11 +99,14 @@ auto make_problem(const Case& c) {
 /// wait() rounds) and checks every table against the solo serial scan.
 void run_level(std::size_t concurrency, std::size_t cases,
                BatchSched sched, const sim::PlatformSpec& platform,
-               std::size_t threads_per_solve, std::uint64_t seed_stream) {
+               std::size_t threads_per_solve, std::uint64_t seed_stream,
+               bool pack_solves = true) {
   const std::uint64_t seed = master_seed();
-  std::printf("LDDP_STRESS_SEED=%llu (stream %llu, concurrency %zu)\n",
+  std::printf("LDDP_STRESS_SEED=%llu (stream %llu, concurrency %zu, "
+              "pack %d)\n",
               static_cast<unsigned long long>(seed),
-              static_cast<unsigned long long>(seed_stream), concurrency);
+              static_cast<unsigned long long>(seed_stream), concurrency,
+              pack_solves ? 1 : 0);
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + seed_stream);
 
   BatchConfig bc;
@@ -110,6 +116,7 @@ void run_level(std::size_t concurrency, std::size_t cases,
   bc.threads_per_solve = threads_per_solve;
   bc.queue_capacity = 8;  // smaller than a round: exercises backpressure
   bc.sched = sched;
+  bc.pack_solves = pack_solves;
   BatchEngine engine(bc);
 
   constexpr std::size_t kRound = 24;
@@ -158,7 +165,8 @@ TEST(BatchDifferential, Concurrency1) {
 }
 
 TEST(BatchDifferential, Concurrency4) {
-  // threads_per_solve 2: concurrent strip sessions on private pools.
+  // threads_per_solve 2 with packing on: every slot's strip sessions
+  // time-share the one cooperative pool.
   run_level(4, 72, BatchSched::kSjf, sim::PlatformSpec::hetero_low(),
             /*threads_per_solve=*/2, /*seed_stream=*/2);
 }
@@ -166,6 +174,25 @@ TEST(BatchDifferential, Concurrency4) {
 TEST(BatchDifferential, Concurrency16) {
   run_level(16, 72, BatchSched::kWfq, sim::PlatformSpec::hetero_phi(),
             /*threads_per_solve=*/1, /*seed_stream=*/3);
+}
+
+TEST(BatchDifferential, Concurrency1Unpacked) {
+  run_level(1, 48, BatchSched::kFifo, sim::PlatformSpec::hetero_high(),
+            /*threads_per_solve=*/1, /*seed_stream=*/4,
+            /*pack_solves=*/false);
+}
+
+TEST(BatchDifferential, Concurrency4Unpacked) {
+  // Packing off restores the per-slot private pools.
+  run_level(4, 48, BatchSched::kSjf, sim::PlatformSpec::hetero_high(),
+            /*threads_per_solve=*/2, /*seed_stream=*/5,
+            /*pack_solves=*/false);
+}
+
+TEST(BatchDifferential, Concurrency16Unpacked) {
+  run_level(16, 48, BatchSched::kWfq, sim::PlatformSpec::hetero_low(),
+            /*threads_per_solve=*/1, /*seed_stream=*/6,
+            /*pack_solves=*/false);
 }
 
 }  // namespace

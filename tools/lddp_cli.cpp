@@ -49,13 +49,22 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
   --band N         Sakoe-Chiba band for dtw (default 0 = off)
   --devices N      CPU + N copies of the platform's accelerator via the
                    multi-device strategy (horizontal problems only)
-  --tune           run the Section V-A parameter sweeps first
   --trace FILE     write the simulated schedule as chrome://tracing JSON
   --batch N        submit the request N times through the batch engine and
                    report merged-schedule throughput (default 1 = off)
   --sched S        batch scheduler: fifo | sjf | wfq (default fifo)
   --concurrency N  simulated in-flight solve slots for --batch (default 4)
-  --batch-mix      rotate modes cpu -> gpu -> hetero across batch requests
+  --batch-mix [SPEC]
+                   rotate request configs across the batch. Bare flag keeps
+                   the default cpu -> gpu -> hetero rotation; SPEC is a
+                   comma list of per-request overrides MODE[:tile=N], e.g.
+                   --batch-mix gpu:tile=8,hetero:tile=-1,cpu
+  --pack on|off    cross-solve packing for --batch: fuse co-ready GPU
+                   fronts of in-flight solves into shared packed launches
+                   and co-schedule their CPU strips on one cooperative
+                   pool (default on; results are bit-identical)
+  --tune           run the Section V-A parameter sweeps first; with
+                   --batch, tunes through the shared cross-solve cache
   --list           list problems and exit
 )";
 
@@ -91,12 +100,57 @@ struct Report {
 int g_devices = 1;  // set from --devices before dispatch
 int g_batch = 1;    // --batch: replicate the request through BatchEngine
 BatchConfig g_batch_cfg;
-bool g_batch_mix = false;
+
+/// One --batch-mix entry: per-request mode plus optional tile override.
+struct MixEntry {
+  Mode mode = Mode::kAuto;
+  bool has_tile = false;
+  long long tile = 0;
+};
+std::vector<MixEntry> g_batch_mix;  // empty = no mixing
+
+/// Parses a --batch-mix value: a comma list of MODE[:tile=N] specs. The
+/// bare flag (empty value) keeps the legacy cpu -> gpu -> hetero rotation.
+std::vector<MixEntry> parse_batch_mix(const std::string& spec) {
+  std::vector<MixEntry> mix;
+  if (spec.empty()) {
+    for (Mode m : {Mode::kCpuParallel, Mode::kGpu, Mode::kHeterogeneous})
+      mix.push_back(MixEntry{m, false, 0});
+    return mix;
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    MixEntry entry;
+    const std::size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      const std::string opt = item.substr(colon + 1);
+      item.erase(colon);
+      LDDP_CHECK_MSG(opt.rfind("tile=", 0) == 0,
+                     "--batch-mix: unknown option '" << opt
+                         << "' (expected tile=N)");
+      try {
+        entry.tile = std::stoll(opt.substr(5));
+      } catch (const std::logic_error&) {
+        throw CheckError("--batch-mix: bad tile in '" + opt + "'");
+      }
+      entry.has_tile = true;
+    }
+    LDDP_CHECK_MSG(!item.empty(), "--batch-mix: empty mode entry");
+    entry.mode = parse_mode(item);
+    mix.push_back(entry);
+    if (comma == std::string::npos) break;
+  }
+  return mix;
+}
 
 /// Submits the request `g_batch` times through the BatchEngine and prints
 /// the merged-schedule throughput report. With --batch-mix the replicas
-/// rotate through cpu/gpu/hetero so CPU-only and accelerator-heavy solves
-/// overlap on the shared platform.
+/// rotate through the per-request specs so CPU-only and accelerator-heavy
+/// solves overlap on the shared platform.
 template <typename P, typename AnswerFn>
 Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
   BatchConfig bc = g_batch_cfg;
@@ -107,19 +161,21 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
   futures.reserve(static_cast<std::size_t>(g_batch));
   for (int k = 0; k < g_batch; ++k) {
     RunConfig rk = cfg;
-    if (g_batch_mix) {
-      constexpr Mode kMix[] = {Mode::kCpuParallel, Mode::kGpu,
-                               Mode::kHeterogeneous};
-      rk.mode = kMix[k % 3];
+    if (!g_batch_mix.empty()) {
+      const MixEntry& e = g_batch_mix[static_cast<std::size_t>(k) %
+                                      g_batch_mix.size()];
+      rk.mode = e.mode;
+      if (e.has_tile) rk.tile = e.tile;
     }
     auto f = engine.submit(problem, rk);
     LDDP_CHECK_MSG(f.has_value(), "batch queue rejected a request");
     futures.push_back(std::move(*f));
   }
   const BatchReport rep = engine.wait();
-  std::printf("batch: %zu solves, sched=%s, concurrency=%zu%s\n",
+  std::printf("batch: %zu solves, sched=%s, concurrency=%zu, pack=%s%s\n",
               rep.solves, to_string(bc.sched).c_str(), bc.concurrency,
-              g_batch_mix ? ", mixed modes" : "");
+              bc.pack_solves ? "on" : "off",
+              g_batch_mix.empty() ? "" : ", mixed modes");
   std::printf("batch sim makespan=%.3f ms | serial %.3f ms | speedup "
               "%.2fx\n",
               rep.sim_makespan * 1e3, rep.serial_sim_seconds * 1e3,
@@ -128,6 +184,14 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
               "p50=%.3f ms p99=%.3f ms\n",
               rep.solves_per_sec, rep.serial_solves_per_sec,
               rep.p50_latency * 1e3, rep.p99_latency * 1e3);
+  std::printf("batch packing: %zu packs fused %zu rider op(s), saved "
+              "%.3f ms\n",
+              rep.packs, rep.packed_ops, rep.pack_saved_seconds * 1e3);
+  if (rep.tuner_lookups > 0) {
+    std::printf("batch tuner cache: %zu/%zu hits (%.0f%%)\n",
+                rep.tuner_hits, rep.tuner_lookups,
+                rep.tuner_hit_rate * 100.0);
+  }
   Report r;
   auto first = futures.front().get();
   r.stats = first.stats;
@@ -207,7 +271,20 @@ int main(int argc, char** argv) try {
   g_batch_cfg.sched = parse_sched(flags.get("sched", "fifo"));
   g_batch_cfg.concurrency =
       static_cast<std::size_t>(flags.get_int("concurrency", 4));
-  g_batch_mix = flags.get_bool("batch-mix");
+  if (flags.has("batch-mix"))
+    g_batch_mix = parse_batch_mix(flags.get("batch-mix", ""));
+  {
+    const std::string pack = flags.get("pack", "");
+    if (!pack.empty()) {
+      LDDP_CHECK_MSG(pack == "on" || pack == "off",
+                     "--pack must be on or off, got '" << pack << "'");
+      g_batch_cfg.pack_solves = pack == "on";
+    }
+  }
+  // With --batch, --tune opts the engine's cross-solve tuning cache in
+  // instead of running a solo pre-sweep: each auto-parameter request
+  // tunes once per (problem, shape, mode) class and later ones reuse it.
+  g_batch_cfg.tune_auto = tune_first && g_batch > 1;
   const auto band = static_cast<std::size_t>(flags.get_int("band", 0));
 
   Report r;
