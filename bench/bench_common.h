@@ -19,15 +19,36 @@
 #include "core/tuner.h"
 #include "util/csv.h"
 
+#ifndef LDDP_GIT_SHA
+#define LDDP_GIT_SHA "unknown"
+#endif
+#ifndef LDDP_CXX_FLAGS
+#define LDDP_CXX_FLAGS "unknown"
+#endif
+
 namespace lddp::bench {
 
 /// Machine-readable results sink: collects one record per measured
 /// configuration and writes `BENCH_<name>.json` on save() — a flat array
 /// downstream tooling (plots, regression gates) can consume without
-/// parsing google-benchmark console output.
+/// parsing google-benchmark console output. Every file carries a
+/// `build` stanza (compiler, flags, git SHA, batch-kernel default) so
+/// wall-clock numbers from different toolchains are never compared
+/// blindly.
 class JsonWriter {
  public:
   explicit JsonWriter(std::string name) : name_(std::move(name)) {}
+
+  /// Minimal JSON string escaping for compiler/flag strings.
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
 
   /// `label` identifies the configuration (platform/mode/variant); `size`
   /// is the table side; times are in milliseconds of simulated platform
@@ -50,8 +71,14 @@ class JsonWriter {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    std::fprintf(f,
+                 "  \"build\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
+                 "\"git_sha\": \"%s\", \"batch_kernels_default\": %s},\n",
+                 json_escape(__VERSION__).c_str(),
+                 json_escape(LDDP_CXX_FLAGS).c_str(), LDDP_GIT_SHA,
+                 RunConfig{}.batch_kernels ? "true" : "false");
+    std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       std::fprintf(f,

@@ -280,6 +280,7 @@ BatchReport BatchEngine::build_report(
     item.sim_latency = item.sim_end;  // every request arrives at t = 0
     latencies.push_back(item.sim_latency);
     report.serial_sim_seconds += item.solve.sim_seconds;
+    if (jobs[j]->batch_kernels) ++report.batch_kernel_solves;
   }
   report.sim_makespan = platform.elapsed();
   if (report.sim_makespan > 0.0) {

@@ -147,6 +147,11 @@ struct BatchReport {
   std::size_t packs = 0;            ///< multi-tenant launches emitted
   std::size_t packed_ops = 0;       ///< rider segments re-priced in packs
   double pack_saved_seconds = 0.0;  ///< submission time amortized away
+  /// Requests in this batch that ran with RunConfig::batch_kernels on
+  /// (vectorized batch-front cell kernels). Affects real wall-clock and,
+  /// through the calibrated vector-throughput term, the simulated CPU
+  /// speed — never results.
+  std::size_t batch_kernel_solves = 0;
   // Cross-solve tuning cache counters (cumulative since engine creation).
   std::size_t tuner_lookups = 0;
   std::size_t tuner_hits = 0;
@@ -194,6 +199,7 @@ class BatchEngine {
         problem.rows() * problem.cols());
     job->packable =
         rc.pack_solves == -1 ? cfg_.pack_solves : rc.pack_solves != 0;
+    job->batch_kernels = rc.batch_kernels;
     job->run = [problem = std::move(problem), rc, promise,
                 platform = cfg_.platform, tune_auto = cfg_.tune_auto,
                 tuner = &tuner_cache_](Job& j, cpu::ThreadPool* pool,
@@ -240,6 +246,7 @@ class BatchEngine {
     double est = 0.0;
     double weight = 1.0;
     bool packable = true;  // eligible for cross-solve packing in the merge
+    bool batch_kernels = true;  // request ran with batch-front cell kernels
     std::function<void(Job&, cpu::ThreadPool*, sim::BufferPool*)> run;
     sim::Timeline recorded;  // the solve's private simulated schedule
     SolveStats stats;

@@ -67,15 +67,16 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
   sim::Platform platform(cfg.platform, cfg.pool, cfg.buffer_pool);
   const Mode mode = resolve_auto(cfg.mode, p.rows() * p.cols());
   const bool fused = cfg.fused_launches;
+  const bool batch = cfg.batch_kernels;
   SolveResult<P> result;
   switch (mode) {
     case Mode::kCpuSerial:
-      result.table = solve_cpu_serial(p, &platform, &result.stats);
+      result.table = solve_cpu_serial(p, &platform, &result.stats, batch);
       break;
 
     case Mode::kCpuTiled:
       result.table = solve_cpu_tiled(p, platform, cfg.cpu_tile,
-                                     &result.stats);
+                                     &result.stats, batch);
       break;
 
     case Mode::kCpuParallel:
@@ -83,19 +84,21 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
         case Pattern::kAntiDiagonal:
           result.table = solve_cpu_parallel(
               p, AntiDiagonalLayout(p.rows(), p.cols()), platform,
-              &result.stats, detail::kDiagonalCpuAmplification);
+              &result.stats, detail::kDiagonalCpuAmplification, batch);
           break;
         case Pattern::kHorizontal:
           result.table = solve_cpu_parallel(
-              p, RowMajorLayout(p.rows(), p.cols()), platform, &result.stats);
+              p, RowMajorLayout(p.rows(), p.cols()), platform,
+              &result.stats, /*mem_amplification=*/1.0, batch);
           break;
         case Pattern::kKnightMove:
           result.table = solve_cpu_parallel(
               p, KnightMoveLayout(p.rows(), p.cols()), platform,
-              &result.stats, detail::kDiagonalCpuAmplification);
+              &result.stats, detail::kDiagonalCpuAmplification, batch);
           break;
         case Pattern::kInvertedL:
-          result.table = solve_cpu_invertedl(p, platform, &result.stats);
+          result.table = solve_cpu_invertedl(p, platform, &result.stats,
+                                             batch);
           break;
         default:
           LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
@@ -105,26 +108,26 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
     case Mode::kGpu:
       if (const std::size_t tile = resolve_tile(p, cfg); tile > 0) {
         result.table =
-            solve_gpu_tiled(p, platform, tile, &result.stats, fused);
+            solve_gpu_tiled(p, platform, tile, &result.stats, fused, batch);
         break;
       }
       switch (pattern) {
         case Pattern::kAntiDiagonal:
           result.table =
               solve_gpu(p, AntiDiagonalLayout(p.rows(), p.cols()), platform,
-                        &result.stats, fused);
+                        &result.stats, fused, batch);
           break;
         case Pattern::kHorizontal:
           result.table = solve_gpu(p, RowMajorLayout(p.rows(), p.cols()),
-                                   platform, &result.stats, fused);
+                                   platform, &result.stats, fused, batch);
           break;
         case Pattern::kKnightMove:
           result.table = solve_gpu(p, KnightMoveLayout(p.rows(), p.cols()),
-                                   platform, &result.stats, fused);
+                                   platform, &result.stats, fused, batch);
           break;
         case Pattern::kInvertedL:
           result.table = solve_gpu_invertedl(p, platform, &result.stats,
-                                             fused);
+                                             fused, batch);
           break;
         default:
           LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
@@ -134,29 +137,29 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
     case Mode::kHeterogeneous:
       if (const std::size_t tile = resolve_tile(p, cfg); tile > 0) {
         result.table = solve_hetero_tiled(p, platform, cfg.hetero, tile,
-                                          &result.stats, fused);
+                                          &result.stats, fused, batch);
         break;
       }
       switch (pattern) {
         case Pattern::kAntiDiagonal:
           result.table =
               solve_hetero_antidiagonal(p, platform, cfg.hetero,
-                                        &result.stats, fused);
+                                        &result.stats, fused, batch);
           break;
         case Pattern::kHorizontal:
           result.table =
               solve_hetero_horizontal(p, platform, cfg.hetero, &result.stats,
-                                      fused);
+                                      fused, batch);
           break;
         case Pattern::kKnightMove:
           result.table =
               solve_hetero_knightmove(p, platform, cfg.hetero, &result.stats,
-                                      fused);
+                                      fused, batch);
           break;
         case Pattern::kInvertedL:
           result.table =
               solve_hetero_invertedl(p, platform, cfg.hetero, &result.stats,
-                                     fused);
+                                     fused, batch);
           break;
         default:
           LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");

@@ -1,0 +1,398 @@
+// Batch-front runner: splits a front (or any sub-range of one) into affine
+// interior runs, packs each run's neighbour values into dense spans, and
+// hands them to the problem's `compute_front` hook — falling back to the
+// per-cell scalar path for edges, short runs, and shapes the problem does
+// not implement. Used by every execution layer (CPU strips, parallel_for
+// chunks, tile interiors, simulated-GPU kernels); results are always
+// bit-identical to the scalar path.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/front_span.h"
+#include "core/strategies/common.h"
+#include "tables/layout.h"
+#include "util/check.h"
+
+namespace lddp::detail {
+
+/// Runs shorter than this go scalar: the span setup (interior trim, stride
+/// probes, possible gather) costs more than it saves on a handful of lanes.
+inline constexpr std::size_t kMinBatchRun = 8;
+
+/// One affine segment of a front's enumeration: front positions
+/// [pos, pos + len) are cells (i0 + k*di, j0 + k*dj) for k in [0, len).
+struct FrontRun {
+  std::size_t pos = 0;
+  std::size_t len = 0;
+  std::size_t i0 = 0, j0 = 0;
+  std::ptrdiff_t di = 0, dj = 0;
+};
+
+// --- Per-layout enumeration geometry -----------------------------------
+// Every layout's within-front order is piecewise affine with at most two
+// segments (the inverted-L shell: column part, then row part).
+
+inline std::size_t front_runs(const RowMajorLayout& L, std::size_t f,
+                              FrontRun* r) {
+  r[0] = {0, L.cols(), f, 0, 0, 1};
+  return 1;
+}
+
+inline std::size_t front_runs(const ColumnMajorLayout& L, std::size_t f,
+                              FrontRun* r) {
+  r[0] = {0, L.rows(), 0, f, 1, 0};
+  return 1;
+}
+
+inline std::size_t front_runs(const AntiDiagonalLayout& L, std::size_t d,
+                              FrontRun* r) {
+  const std::size_t i0 = L.i_min(d);
+  r[0] = {0, L.front_size(d), i0, d - i0, 1, -1};
+  return 1;
+}
+
+inline std::size_t front_runs(const KnightMoveLayout& L, std::size_t t,
+                              FrontRun* r) {
+  const std::size_t fs = L.front_size(t);
+  if (fs == 0) return 0;
+  const std::size_t i0 = L.i_max(t);  // enumerated by j ascending = i desc
+  r[0] = {0, fs, i0, t - 2 * i0, -1, 2};
+  return 1;
+}
+
+inline std::size_t front_runs(const ShellLayout& L, std::size_t k,
+                              FrontRun* r) {
+  std::size_t nr = 0;
+  const std::size_t col_n = L.column_part_size(k);
+  if (col_n > 0) r[nr++] = {0, col_n, L.rows() - 1, k, -1, 0};
+  r[nr++] = {col_n, L.cols() - k, k, k, 0, 1};
+  return nr;
+}
+
+inline std::size_t front_runs(const MirrorShellLayout& L, std::size_t k,
+                              FrontRun* r) {
+  std::size_t nr = 0;
+  const std::size_t col_n = L.column_part_size(k);
+  const std::size_t jm = L.cols() - 1 - k;
+  if (col_n > 0) r[nr++] = {0, col_n, L.rows() - 1, jm, -1, 0};
+  r[nr++] = {col_n, L.cols() - k, k, jm, 0, -1};
+  return nr;
+}
+
+// --- Batch eligibility per layout --------------------------------------
+// A run may only batch when every dependency of an interior cell lives in
+// an *earlier* front of this layout, so the packed neighbour values are
+// final before the front executes. The framework's pattern dispatch always
+// satisfies this, but the strategies are templates a caller can
+// instantiate with any layout; the guard keeps odd combinations correct
+// (they simply stay scalar, which handles same-front deps by executing
+// positions in order).
+
+inline bool layout_batchable(const RowMajorLayout&, ContributingSet deps) {
+  return !deps.has_w();  // W is the same row = the same front
+}
+inline bool layout_batchable(const ColumnMajorLayout&, ContributingSet deps) {
+  return !deps.has_n() && !deps.has_ne();  // same column = same front
+}
+inline bool layout_batchable(const AntiDiagonalLayout&, ContributingSet deps) {
+  return !deps.has_ne();  // (i-1, j+1) sits on the same anti-diagonal
+}
+inline bool layout_batchable(const KnightMoveLayout&, ContributingSet) {
+  return true;  // all four representative cells precede front t
+}
+inline bool layout_batchable(const ShellLayout&, ContributingSet deps) {
+  // W on the row part and N on the column part stay inside shell k.
+  return !deps.has_w() && !deps.has_n() && !deps.has_ne();
+}
+inline bool layout_batchable(const MirrorShellLayout&, ContributingSet deps) {
+  // Mirrored: NE is the only dependency guaranteed to leave the shell.
+  return !deps.has_w() && !deps.has_nw() && !deps.has_n();
+}
+
+// --- Interior trimming --------------------------------------------------
+
+inline std::int64_t ceil_div_pos(std::int64_t x, std::int64_t y) {  // y > 0
+  return x >= 0 ? (x + y - 1) / y : -((-x) / y);
+}
+inline std::int64_t floor_div_pos(std::int64_t x, std::int64_t y) {  // y > 0
+  return x >= 0 ? x / y : -((-x + y - 1) / y);
+}
+
+/// Intersects [a, b) with { k : s + k*d >= lo_req }.
+inline void clamp_lane_ge(std::int64_t s, std::int64_t d, std::int64_t lo_req,
+                          std::int64_t& a, std::int64_t& b) {
+  if (d == 0) {
+    if (s < lo_req) b = a;
+  } else if (d > 0) {
+    a = std::max(a, ceil_div_pos(lo_req - s, d));
+  } else {
+    b = std::min(b, floor_div_pos(s - lo_req, -d) + 1);
+  }
+}
+
+/// Intersects [a, b) with { k : s + k*d <= up_req }.
+inline void clamp_lane_le(std::int64_t s, std::int64_t d, std::int64_t up_req,
+                          std::int64_t& a, std::int64_t& b) {
+  if (d == 0) {
+    if (s > up_req) b = a;
+  } else if (d > 0) {
+    b = std::min(b, floor_div_pos(up_req - s, d) + 1);
+  } else {
+    a = std::max(a, ceil_div_pos(s - up_req, -d));
+  }
+}
+
+/// Lane sub-range [a, b) of a run whose cells are interior: i >= 1,
+/// j >= 1, and j + 1 < cols when the contributing set includes NE. The
+/// constraints are monotone in the lane index, so the result is one
+/// contiguous range.
+inline void interior_lanes(const FrontRun& r, ContributingSet deps,
+                           std::size_t cols, std::size_t& a_out,
+                           std::size_t& b_out) {
+  std::int64_t a = 0, b = static_cast<std::int64_t>(r.len);
+  clamp_lane_ge(static_cast<std::int64_t>(r.i0), r.di, 1, a, b);
+  clamp_lane_ge(static_cast<std::int64_t>(r.j0), r.dj, 1, a, b);
+  if (deps.has_ne())
+    clamp_lane_le(static_cast<std::int64_t>(r.j0), r.dj,
+                  static_cast<std::int64_t>(cols) - 2, a, b);
+  if (b < a) b = a;
+  a_out = static_cast<std::size_t>(std::clamp<std::int64_t>(a, 0, r.len));
+  b_out = static_cast<std::size_t>(std::clamp<std::int64_t>(b, 0, r.len));
+}
+
+// --- Span assembly ------------------------------------------------------
+
+/// Per-thread gather/scatter scratch (workers of the pool batch
+/// concurrently over disjoint chunks of one front).
+template <typename V>
+inline V* batch_scratch(std::size_t slot, std::size_t len) {
+  thread_local std::vector<V> bufs[5];
+  auto& b = bufs[slot];
+  if (b.size() < len) b.resize(len);
+  return b.data();
+}
+
+/// Executes cells [lo, hi) (positions within front f) over storage
+/// addressed by `addr(i, j) -> V*`. When `batch` is set, the problem has
+/// the hook, and the layout admits batching, interior runs go through
+/// compute_front with packed spans; everything else — edges, short runs,
+/// shapes the hook rejects — runs the scalar per-cell reference loop.
+/// `addr` must be affine in (i, j) over each run and its neighbours
+/// (true for the row-major host table and for every wavefront-major
+/// device layout); strides are derived by probing and the run end is
+/// checked in debug builds.
+template <LddpProblem P, typename Layout, typename AddrFn>
+void run_front_range(const P& p, ContributingSet deps,
+                     typename P::Value bound, const Layout& layout,
+                     std::size_t f, std::size_t lo, std::size_t hi,
+                     AddrFn addr, bool batch) {
+  using V = typename P::Value;
+  const std::size_t cols = layout.cols();
+  auto read = [&addr](std::size_t i, std::size_t j) { return *addr(i, j); };
+  auto scalar = [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const CellIndex cell = layout.cell(f, c);
+      *addr(cell.i, cell.j) =
+          compute_cell(p, deps, bound, cell.i, cell.j, cols, read);
+    }
+  };
+  if constexpr (BatchFrontProblem<P>) {
+    if (batch && layout_batchable(layout, deps)) {
+      FrontRun runs[2];
+      const std::size_t nr = front_runs(layout, f, runs);
+      std::size_t done = lo;
+      for (std::size_t r = 0; r < nr && done < hi; ++r) {
+        const FrontRun& run = runs[r];
+        const std::size_t r_end = run.pos + run.len;
+        if (r_end <= done) continue;
+        std::size_t ia, ib;
+        interior_lanes(run, deps, cols, ia, ib);
+        // Clip the interior lanes to the requested [lo, hi) positions.
+        const std::size_t ka =
+            std::max(run.pos + ia, done) - run.pos;
+        const std::size_t kb =
+            (std::min(run.pos + ib, hi) > run.pos + ka)
+                ? std::min(run.pos + ib, hi) - run.pos
+                : ka;
+        if (kb - ka < kMinBatchRun) {
+          const std::size_t stop = std::min(r_end, hi);
+          scalar(done, stop);
+          done = stop;
+          continue;
+        }
+        FrontSpan<V> s;
+        s.i0 = static_cast<std::size_t>(
+            static_cast<std::int64_t>(run.i0) +
+            static_cast<std::int64_t>(ka) * run.di);
+        s.j0 = static_cast<std::size_t>(
+            static_cast<std::int64_t>(run.j0) +
+            static_cast<std::int64_t>(ka) * run.dj);
+        s.di = run.di;
+        s.dj = run.dj;
+        s.len = kb - ka;
+        V* const out0 = addr(s.i0, s.j0);
+        const std::ptrdiff_t sout =
+            addr(static_cast<std::size_t>(
+                     static_cast<std::int64_t>(s.i0) + s.di),
+                 static_cast<std::size_t>(
+                     static_cast<std::int64_t>(s.j0) + s.dj)) -
+            out0;
+        LDDP_DCHECK(addr(static_cast<std::size_t>(
+                             static_cast<std::int64_t>(s.i0) +
+                             static_cast<std::int64_t>(s.len - 1) * s.di),
+                         static_cast<std::size_t>(
+                             static_cast<std::int64_t>(s.j0) +
+                             static_cast<std::int64_t>(s.len - 1) * s.dj)) ==
+                    out0 + static_cast<std::ptrdiff_t>(s.len - 1) * sout);
+        // Pack each needed neighbour: direct pointer when unit-stride,
+        // strided gather into per-thread scratch otherwise.
+        auto pack = [&](std::ptrdiff_t oi, std::ptrdiff_t oj,
+                        std::size_t slot) -> const V* {
+          const V* const base =
+              addr(static_cast<std::size_t>(
+                       static_cast<std::int64_t>(s.i0) + oi),
+                   static_cast<std::size_t>(
+                       static_cast<std::int64_t>(s.j0) + oj));
+          if (s.len < 2) return base;
+          const std::ptrdiff_t stride =
+              addr(static_cast<std::size_t>(
+                       static_cast<std::int64_t>(s.i0) + s.di + oi),
+                   static_cast<std::size_t>(
+                       static_cast<std::int64_t>(s.j0) + s.dj + oj)) -
+              base;
+          if (stride == 1) return base;
+          V* const buf = batch_scratch<V>(slot, s.len);
+          for (std::size_t k = 0; k < s.len; ++k)
+            buf[k] = base[static_cast<std::ptrdiff_t>(k) * stride];
+          return buf;
+        };
+        if (deps.has_w()) s.w = pack(0, -1, 0);
+        if (deps.has_nw()) s.nw = pack(-1, -1, 1);
+        if (deps.has_n()) s.n = pack(-1, 0, 2);
+        if (deps.has_ne()) s.ne = pack(-1, 1, 3);
+        V* scatter_buf = nullptr;
+        if (sout == 1) {
+          s.out = out0;
+        } else {
+          scatter_buf = batch_scratch<V>(4, s.len);
+          s.out = scatter_buf;
+        }
+        if (p.compute_front(s)) {
+          if (scatter_buf != nullptr)
+            for (std::size_t k = 0; k < s.len; ++k)
+              out0[static_cast<std::ptrdiff_t>(k) * sout] = scatter_buf[k];
+          scalar(done, run.pos + ka);  // leading edge cells
+          done = run.pos + kb;
+        }
+        const std::size_t stop = std::min(r_end, hi);
+        scalar(done, stop);  // trailing edge (or the whole run on reject)
+        done = stop;
+      }
+      scalar(done, hi);
+      return;
+    }
+  }
+  scalar(lo, hi);
+}
+
+// --- Row sweeps (serial scan, tile interiors, horizontal strips) --------
+
+/// Scalar row sweep (i fixed, j in [j0, j1)) over row-major storage with
+/// the strip-loop micro-optimizations: the previous row's pointer serves
+/// NW/N/NE directly and the just-computed cell is carried forward as the
+/// next cell's W neighbour instead of being re-read through the table.
+/// `prev_row` is null on the top row. Bit-identical to the generic
+/// compute_cell loop.
+template <LddpProblem P>
+void run_row_scalar(const P& p, ContributingSet deps,
+                    typename P::Value bound, std::size_t i, std::size_t j0,
+                    std::size_t j1, std::size_t cols,
+                    const typename P::Value* prev_row,
+                    typename P::Value* row) {
+  using V = typename P::Value;
+  const bool use_w = deps.has_w(), use_nw = deps.has_nw(),
+             use_n = deps.has_n(), use_ne = deps.has_ne();
+  V wcarry = use_w && j0 > 0 ? row[j0 - 1] : bound;
+  for (std::size_t j = j0; j < j1; ++j) {
+    Neighbors<V> nb{bound, bound, bound, bound};
+    if (use_w && j > 0) nb.w = wcarry;
+    if (prev_row != nullptr) {
+      if (use_nw && j > 0) nb.nw = prev_row[j - 1];
+      if (use_n) nb.n = prev_row[j];
+      if (use_ne && j + 1 < cols) nb.ne = prev_row[j + 1];
+    }
+    const V v = p.compute(i, j, nb);
+    row[j] = v;
+    wcarry = v;
+  }
+}
+
+/// Row sweep with the batch hook where it applies: interior cells of a
+/// W-free problem go through compute_front with direct row pointers (no
+/// gather — rows are unit-stride in row-major storage), edges and
+/// W-dependent problems (sequential within the row) use run_row_scalar.
+template <LddpProblem P>
+void run_row(const P& p, ContributingSet deps, typename P::Value bound,
+             std::size_t i, std::size_t j0, std::size_t j1, std::size_t cols,
+             const typename P::Value* prev_row, typename P::Value* row,
+             bool batch) {
+  using V = typename P::Value;
+  if constexpr (BatchFrontProblem<P>) {
+    if (batch && !deps.has_w() && prev_row != nullptr && i >= 1) {
+      const std::size_t a = std::max<std::size_t>(j0, 1);
+      const std::size_t b =
+          deps.has_ne() ? std::min(j1, cols > 0 ? cols - 1 : 0) : j1;
+      if (b > a && b - a >= kMinBatchRun) {
+        FrontSpan<V> s;
+        s.i0 = i;
+        s.j0 = a;
+        s.di = 0;
+        s.dj = 1;
+        s.len = b - a;
+        if (deps.has_nw()) s.nw = prev_row + a - 1;
+        if (deps.has_n()) s.n = prev_row + a;
+        if (deps.has_ne()) s.ne = prev_row + a + 1;
+        s.out = row + a;
+        if (p.compute_front(s)) {
+          run_row_scalar(p, deps, bound, i, j0, a, cols, prev_row, row);
+          run_row_scalar(p, deps, bound, i, b, j1, cols, prev_row, row);
+          return;
+        }
+      }
+    }
+  }
+  run_row_scalar(p, deps, bound, i, j0, j1, cols, prev_row, row);
+}
+
+/// True when this problem/layout pair takes the batch path under the given
+/// RunConfig::batch_kernels setting.
+template <LddpProblem P, typename Layout>
+bool use_batch_front(const P&, const Layout& layout, ContributingSet deps,
+                     bool batch) {
+  if constexpr (BatchFrontProblem<P>) {
+    return batch && layout_batchable(layout, deps);
+  } else {
+    (void)layout;
+    (void)deps;
+    return false;
+  }
+}
+
+/// True when row sweeps (serial scan, tile interiors) take the batch path:
+/// a W dependency is sequential within the row, so only W-free problems
+/// with the hook vectorize rows.
+template <LddpProblem P>
+bool use_batch_rows(const P&, ContributingSet deps, bool batch) {
+  if constexpr (BatchFrontProblem<P>) {
+    return batch && !deps.has_w();
+  } else {
+    (void)deps;
+    return false;
+  }
+}
+
+}  // namespace lddp::detail

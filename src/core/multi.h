@@ -212,9 +212,7 @@ Grid<typename P::Value> solve_multi_horizontal(const P& p,
   for (std::size_t k = 0; k < num_dev; ++k) {
     const std::size_t lo = begin[k + 1], hi = begin[k + 2];
     if (lo >= hi) continue;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = lo; j < hi; ++j)
-        table.at(i, j) = dtables[k].device_ptr()[layout.flat(i, j)];
+    detail::unpack_table(dtables[k].device_ptr(), layout, table, lo, hi);
     const std::size_t bytes =
         std::min(n * (hi - lo) * sizeof(V), result_bytes_of(p));
     fin = platform.cpu_sync(

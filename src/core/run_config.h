@@ -64,6 +64,14 @@ struct RunConfig {
   /// issue cost) instead of paying full launch overhead per operation.
   /// Results are bit-identical; only the simulated timing changes.
   bool fused_launches = true;
+  /// Execute fronts through the problems' batch-front (SIMD) hook where
+  /// one exists: interior runs of each front are computed in one
+  /// vectorized call over packed neighbour spans instead of one scalar
+  /// `compute` per cell, and the CPU cost model gains the calibrated
+  /// vector-throughput term. Results are bit-identical to the scalar
+  /// path (which `false` restores exactly); only real wall-clock — and,
+  /// via the cost model, the simulated CPU speed — changes.
+  bool batch_kernels = true;
   /// Cross-solve packing eligibility when this request runs through the
   /// BatchEngine: the batch merger may fuse this solve's co-ready GPU
   /// fronts / DMA descriptors with those of co-resident solves into one

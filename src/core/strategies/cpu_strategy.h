@@ -8,27 +8,36 @@
 //   problem's pattern, block-per-thread within each front (Section IV-A).
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 
 namespace lddp {
 
 /// Serial reference. Records a single serial-priced op on the platform's
-/// CPU timeline if `platform` is given; execution always happens.
+/// CPU timeline if `platform` is given; execution always happens. Rows
+/// sweep with the W-carry scalar loop; W-free problems with the batch
+/// hook vectorize each row's interior (a W dependency is sequential
+/// within the row, so those problems stay scalar here).
 template <LddpProblem P>
 Grid<typename P::Value> solve_cpu_serial(const P& p, sim::Platform* platform,
-                                         SolveStats* stats) {
+                                         SolveStats* stats,
+                                         bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
   Grid<V> table(n, m);
-  detail::GridReader<V> read{&table};
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j)
-      table.at(i, j) = detail::compute_cell(p, deps, bound, i, j, m, read);
+  V* const data = table.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const V* prev = i > 0 ? data + (i - 1) * m : nullptr;
+    detail::run_row(p, deps, bound, i, 0, m, m, prev, data + i * m, batch);
+  }
   if (platform) {
-    platform->cpu_charge(n * m, work_profile_of(p), /*parallel=*/false);
+    const bool use_batch =
+        batch && has_batch_front_v<P> && !deps.has_w();
+    platform->cpu_charge(n * m, detail::cpu_work_for(p, use_batch),
+                         /*parallel=*/false);
   }
   if (stats) {
     stats->mode_used = Mode::kCpuSerial;
@@ -49,15 +58,20 @@ template <LddpProblem P, typename Layout>
 Grid<typename P::Value> solve_cpu_parallel(const P& p, const Layout& layout,
                                            sim::Platform& platform,
                                            SolveStats* stats,
-                                           double mem_amplification = 1.0) {
+                                           double mem_amplification = 1.0,
+                                           bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   Grid<V> table(n, m);
   detail::GridReader<V> read{&table};
+  auto addr = [&table](std::size_t i, std::size_t j) {
+    return &table.at(i, j);
+  };
   // Workers stay resident in the strip barrier across fronts (real
   // execution only); the simulated pricing below remains the paper's
   // fork/join-per-front OpenMP baseline.
@@ -69,14 +83,24 @@ Grid<typename P::Value> solve_cpu_parallel(const P& p, const Layout& layout,
     // run on the issuing thread.
     opts.parallel = cpu::parallel_beats_serial(
         platform.spec().cpu, work, layout.front_size(f), mem_amplification);
-    platform.cpu_front(
-        layout.front_size(f), work,
-        [&](std::size_t c) {
-          const CellIndex cell = layout.cell(f, c);
-          table.at(cell.i, cell.j) =
-              detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
-        },
-        opts);
+    if (use_batch) {
+      platform.cpu_front(
+          layout.front_size(f), work,
+          [&](std::size_t lo, std::size_t hi) {
+            detail::run_front_range(p, deps, bound, layout, f, lo, hi, addr,
+                                    /*batch=*/true);
+          },
+          opts);
+    } else {
+      platform.cpu_front(
+          layout.front_size(f), work,
+          [&](std::size_t c) {
+            const CellIndex cell = layout.cell(f, c);
+            table.at(cell.i, cell.j) =
+                detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
+          },
+          opts);
+    }
   }
   if (stats) {
     stats->mode_used = Mode::kCpuParallel;

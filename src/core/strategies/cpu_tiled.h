@@ -17,6 +17,7 @@
 // cache penalty; bench_ablation_tiling quantifies both effects.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/tile_scheduler.h"
 
@@ -28,26 +29,32 @@ inline bool cpu_tiled_supports(ContributingSet) { return true; }
 
 template <LddpProblem P>
 Grid<typename P::Value> solve_cpu_tiled(const P& p, sim::Platform& platform,
-                                        std::size_t tile, SolveStats* stats) {
+                                        std::size_t tile, SolveStats* stats,
+                                        bool batch = true) {
   using V = typename P::Value;
   LDDP_CHECK_MSG(tile >= 1, "tile size must be positive");
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
+  const bool use_batch = detail::use_batch_rows(p, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const TileScheduler sched(n, m, tile, deps);
 
   Grid<V> table(n, m);
-  detail::GridReader<V> read{&table};
+  V* const data = table.data();
   for (std::size_t g = 0; g < sched.num_fronts(); ++g) {
     platform.cpu_tiled_front(
         sched.front_tiles(g), tile * tile, work, [&, g](std::size_t k) {
           const TileScheduler::TileCoord t = sched.front_tile(g, k);
-          sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
-            table.at(i, j) =
-                detail::compute_cell(p, deps, bound, i, j, m, read);
-          });
+          for (std::size_t i = sched.row_begin(t.tu); i < sched.row_end(t.tu);
+               ++i) {
+            const TileScheduler::RowSpan sp = sched.row_span(t.tv, i);
+            if (sp.size() == 0) continue;
+            const V* prev = i > 0 ? data + (i - 1) * m : nullptr;
+            detail::run_row(p, deps, bound, i, sp.j_begin, sp.j_end, m, prev,
+                            data + i * m, batch);
+          }
         });
   }
 

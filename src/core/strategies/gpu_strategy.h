@@ -8,6 +8,7 @@
 // one download of the finished table.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "sim/launch_graph.h"
 #include "sim/memory.h"
@@ -17,7 +18,7 @@ namespace lddp {
 template <LddpProblem P, typename Layout>
 Grid<typename P::Value> solve_gpu(const P& p, const Layout& layout,
                                   sim::Platform& platform, SolveStats* stats,
-                                  bool fused = true) {
+                                  bool fused = true, bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -26,7 +27,10 @@ Grid<typename P::Value> solve_gpu(const P& p, const Layout& layout,
   sim::Device& gpu = platform.gpu();
   const auto stream = gpu.default_stream();
 
-  sim::DeviceBuffer<V> dtable = gpu.template alloc<V>(layout.size());
+  // Every cell of every front is computed before any neighbour read, so
+  // the device table can skip its zero-fill.
+  sim::DeviceBuffer<V> dtable =
+      gpu.template alloc<V>(layout.size(), /*zeroed=*/false);
   detail::DeviceReader<V, Layout> read{dtable.device_ptr(), &layout};
   const sim::KernelInfo info = detail::kernel_info_for(p, "gpu.front");
 
@@ -38,23 +42,38 @@ Grid<typename P::Value> solve_gpu(const P& p, const Layout& layout,
   // Inputs (sequences / cost grid / image) go up once, pageable.
   graph.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
 
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
   for (std::size_t f = 0; f < layout.num_fronts(); ++f) {
     const std::size_t base = layout.front_offset(f);
     V* out = dtable.device_ptr();
-    graph.launch(stream, info, layout.front_size(f), [&, base, out](std::size_t c) {
-      const CellIndex cell = layout.cell(f, c);
-      out[base + c] =
-          detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
-    });
+    if (use_batch) {
+      // Ranged body: the batch runner packs each chunk's interior into
+      // dense spans for compute_front. Same cells, same kernel pricing.
+      graph.launch(stream, info, layout.front_size(f),
+                   [&, out](std::size_t lo, std::size_t hi) {
+                     detail::run_front_range(
+                         p, deps, bound, layout, f, lo, hi,
+                         [out, &layout](std::size_t i, std::size_t j) {
+                           return out + layout.flat(i, j);
+                         },
+                         /*batch=*/true);
+                   });
+    } else {
+      graph.launch(stream, info, layout.front_size(f),
+                   [&, base, out](std::size_t c) {
+        const CellIndex cell = layout.cell(f, c);
+        out[base + c] =
+            detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
+      });
+    }
   }
   graph.replay();
 
   // Assemble the full host-side table for the caller; the priced download
-  // is what a production consumer would fetch (result_bytes_of).
-  Grid<V> table(n, m);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j)
-      table.at(i, j) = dtable.device_ptr()[layout.flat(i, j)];
+  // is what a production consumer would fetch (result_bytes_of). The unpack
+  // writes every cell, so the grid can skip its zero-fill.
+  Grid<V> table = Grid<V>::uninitialized(n, m);
+  detail::unpack_table(dtable.device_ptr(), layout, table, 0, m);
   const sim::OpId done = gpu.record_d2h(stream, result_bytes_of(p),
                                         sim::MemoryKind::kPageable);
   platform.cpu_sync(done);

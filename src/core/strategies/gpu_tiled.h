@@ -11,6 +11,7 @@
 // dependency is computed before its consumer).
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/tile_scheduler.h"
 #include "sim/launch_graph.h"
@@ -53,7 +54,7 @@ TileFrontWork tile_front_work(const TileScheduler& sched,
 template <LddpProblem P>
 Grid<typename P::Value> solve_gpu_tiled(const P& p, sim::Platform& platform,
                                         std::size_t tile, SolveStats* stats,
-                                        bool fused = true) {
+                                        bool fused = true, bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -67,8 +68,10 @@ Grid<typename P::Value> solve_gpu_tiled(const P& p, sim::Platform& platform,
   // The device table stays row-major: a tile row is a contiguous segment,
   // so the staged tile loads/stores coalesce without a bespoke layout.
   const RowMajorLayout layout(n, m);
-  sim::DeviceBuffer<V> dtable = gpu.template alloc<V>(layout.size());
-  detail::DeviceReader<V, RowMajorLayout> read{dtable.device_ptr(), &layout};
+  // The tile fronts compute every cell before any neighbour read, so the
+  // device table can skip its zero-fill.
+  sim::DeviceBuffer<V> dtable =
+      gpu.template alloc<V>(layout.size(), /*zeroed=*/false);
 
   sim::LaunchGraph graph(gpu, fused);
   graph.record_h2d(stream, input_bytes_of(p), sim::MemoryKind::kPageable);
@@ -87,19 +90,21 @@ Grid<typename P::Value> solve_gpu_tiled(const P& p, sim::Platform& platform,
         stream, exec, nt,
         [&, g, out](std::size_t k) {
           const TileScheduler::TileCoord t = sched.front_tile(g, k);
-          sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
-            out[i * m + j] =
-                detail::compute_cell(p, deps, bound, i, j, m, read);
-          });
+          for (std::size_t i = sched.row_begin(t.tu); i < sched.row_end(t.tu);
+               ++i) {
+            const TileScheduler::RowSpan sp = sched.row_span(t.tv, i);
+            if (sp.size() == 0) continue;
+            const V* prev = i > 0 ? out + (i - 1) * m : nullptr;
+            detail::run_row(p, deps, bound, i, sp.j_begin, sp.j_end, m, prev,
+                            out + i * m, batch);
+          }
         },
         sim::kNoOp, packed);
   }
   graph.replay();
 
-  Grid<V> table(n, m);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j)
-      table.at(i, j) = dtable.device_ptr()[layout.flat(i, j)];
+  Grid<V> table = Grid<V>::uninitialized(n, m);  // unpack writes every cell
+  detail::unpack_table(dtable.device_ptr(), layout, table, 0, m);
   const sim::OpId done = gpu.record_d2h(stream, result_bytes_of(p),
                                         sim::MemoryKind::kPageable);
   platform.cpu_sync(done);

@@ -13,6 +13,7 @@
 //            a bulk download of the GPU's part of the two preceding fronts.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
 #include "sim/launch_graph.h"
@@ -24,14 +25,16 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
                                                   sim::Platform& platform,
                                                   const HeteroParams& user,
                                                   SolveStats* stats,
-                                                  bool fused = true) {
+                                                  bool fused = true,
+                                                  bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
   const AntiDiagonalLayout layout(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const std::size_t num_fronts = layout.num_fronts();
 
   sim::Device& gpu = platform.gpu();
@@ -75,6 +78,9 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
     return std::min(s - lo, layout.front_size(d));
   };
 
+  auto haddr = [&table](std::size_t i, std::size_t j) {
+    return &table.at(i, j);
+  };
   auto run_cpu = [&](std::size_t d, std::size_t count, sim::OpId dep) {
     sim::Platform::CpuFrontOpts opts;
     opts.streamed = true;  // persistent framework threads, not fork/join
@@ -82,6 +88,15 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
     opts.parallel = cpu::parallel_beats_serial(
         platform.spec().cpu, work, count, opts.mem_amplification, true);
     opts.dep1 = dep;
+    if (use_batch) {
+      return platform.cpu_front(
+          count, work,
+          [&, d](std::size_t lo, std::size_t hi) {
+            detail::run_front_range(p, deps, bound, layout, d, lo, hi, haddr,
+                                    /*batch=*/true);
+          },
+          opts);
+    }
     return platform.cpu_front(
         count, work,
         [&, d](std::size_t c) {
@@ -150,14 +165,28 @@ Grid<typename P::Value> solve_hetero_antidiagonal(const P& p,
       graph.stream_wait(compute_stream, h2d_m2);
       const std::size_t base = layout.front_offset(d);
       V* out = dtable.device_ptr();
-      last_gpu = graph.launch(
-          compute_stream, info, fs - c,
-          [&, d, c, base, out](std::size_t k) {
-            const CellIndex cell = layout.cell(d, c + k);
-            out[base + c + k] = detail::compute_cell(p, deps, bound, cell.i,
-                                                     cell.j, m, dread);
-          },
-          h2d_m1);
+      if (use_batch) {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, d, c, out](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, d, c + lo, c + hi,
+                  [out, &layout](std::size_t i, std::size_t j) {
+                    return out + layout.flat(i, j);
+                  },
+                  /*batch=*/true);
+            },
+            h2d_m1);
+      } else {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, d, c, base, out](std::size_t k) {
+              const CellIndex cell = layout.cell(d, c + k);
+              out[base + c + k] = detail::compute_cell(p, deps, bound, cell.i,
+                                                       cell.j, m, dread);
+            },
+            h2d_m1);
+      }
     }
     h2d_m2 = h2d_m1;
     h2d_m1 = h2d_op;

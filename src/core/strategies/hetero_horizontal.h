@@ -15,6 +15,7 @@
 //     serialize against each other's previous row.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
 #include "sim/launch_graph.h"
@@ -26,14 +27,16 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
                                                 sim::Platform& platform,
                                                 const HeteroParams& user,
                                                 SolveStats* stats,
-                                                bool fused = true) {
+                                                bool fused = true,
+                                                bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
   const RowMajorLayout layout(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
 
   sim::Device& gpu = platform.gpu();
   sim::KernelInfo info = detail::kernel_info_for(p, "hetero.h");
@@ -106,13 +109,27 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
       opts.streamed = true;
       opts.extra_seconds = cpu_extra_seconds;
       opts.dep1 = dep;
-      cpu_op = platform.cpu_front(
-          std::min(s, m), work,
-          [&, i](std::size_t j) {
-            table.at(i, j) =
-                detail::compute_cell(p, deps, bound, i, j, m, hread);
-          },
-          opts);
+      if (use_batch) {
+        cpu_op = platform.cpu_front(
+            std::min(s, m), work,
+            [&, i](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, i, lo, hi,
+                  [&table](std::size_t ii, std::size_t jj) {
+                    return &table.at(ii, jj);
+                  },
+                  /*batch=*/true);
+            },
+            opts);
+      } else {
+        cpu_op = platform.cpu_front(
+            std::min(s, m), work,
+            [&, i](std::size_t j) {
+              table.at(i, j) =
+                  detail::compute_cell(p, deps, bound, i, j, m, hread);
+            },
+            opts);
+      }
       last_cpu = cpu_op;
     }
 
@@ -132,13 +149,27 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
       const sim::OpId dep = two_way ? cpu_m1 : (cpu_to_gpu ? h2d_m1 : sim::kNoOp);
       const std::size_t base = layout.front_offset(i) + s;
       V* out = dtable.device_ptr();
-      gpu_op = graph.launch(
-          compute_stream, info, m - s,
-          [&, i, base, out](std::size_t k) {
-            out[base + k] =
-                detail::compute_cell(p, deps, bound, i, s + k, m, dread);
-          },
-          dep);
+      if (use_batch) {
+        gpu_op = graph.launch(
+            compute_stream, info, m - s,
+            [&, i, out](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, i, s + lo, s + hi,
+                  [out, &layout](std::size_t ii, std::size_t jj) {
+                    return out + layout.flat(ii, jj);
+                  },
+                  /*batch=*/true);
+            },
+            dep);
+      } else {
+        gpu_op = graph.launch(
+            compute_stream, info, m - s,
+            [&, i, base, out](std::size_t k) {
+              out[base + k] =
+                  detail::compute_cell(p, deps, bound, i, s + k, m, dread);
+            },
+            dep);
+      }
       last_gpu = gpu_op;
     }
 
@@ -163,12 +194,8 @@ Grid<typename P::Value> solve_hetero_horizontal(const P& p,
 
   // Final download of the GPU strip.
   {
-    std::size_t bytes = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t j = s; j < m; ++j) {
-        table.at(i, j) = dtable.device_ptr()[layout.flat(i, j)];
-        bytes += sizeof(V);
-      }
+    detail::unpack_table(dtable.device_ptr(), layout, table, s, m);
+    const std::size_t bytes = n * (m - s) * sizeof(V);
     const sim::OpId fin =
         gpu.record_d2h(d2h_stream, std::min(bytes, result_bytes_of(p)),
                        sim::MemoryKind::kPageable, last_gpu);

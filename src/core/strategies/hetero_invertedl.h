@@ -16,6 +16,7 @@
 // low-work tail — run entirely on the CPU.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
 #include "sim/coalescing.h"
@@ -60,18 +61,23 @@ inline double mixed_amplification(std::size_t col_cells,
 template <LddpProblem P>
 Grid<typename P::Value> solve_cpu_invertedl(const P& p,
                                             sim::Platform& platform,
-                                            SolveStats* stats) {
+                                            SolveStats* stats,
+                                            bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
   const ShellLayout layout(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const double col_amp = detail::invl_cpu_column_amplification<V>();
 
   Grid<V> table(n, m);
   detail::GridReader<V> read{&table};
+  auto haddr = [&table](std::size_t i, std::size_t j) {
+    return &table.at(i, j);
+  };
   cpu::StripSession strips(platform.pool());
   for (std::size_t k = 0; k < layout.num_fronts(); ++k) {
     const std::size_t fs = layout.front_size(k);
@@ -81,14 +87,24 @@ Grid<typename P::Value> solve_cpu_invertedl(const P& p,
         detail::mixed_amplification(col_n, fs - col_n, col_amp);
     opts.parallel = cpu::parallel_beats_serial(platform.spec().cpu, work, fs,
                                                opts.mem_amplification);
-    platform.cpu_front(
-        fs, work,
-        [&, k](std::size_t c) {
-          const CellIndex cell = layout.cell(k, c);
-          table.at(cell.i, cell.j) =
-              detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
-        },
-        opts);
+    if (use_batch) {
+      platform.cpu_front(
+          fs, work,
+          [&, k](std::size_t lo, std::size_t hi) {
+            detail::run_front_range(p, deps, bound, layout, k, lo, hi, haddr,
+                                    /*batch=*/true);
+          },
+          opts);
+    } else {
+      platform.cpu_front(
+          fs, work,
+          [&, k](std::size_t c) {
+            const CellIndex cell = layout.cell(k, c);
+            table.at(cell.i, cell.j) =
+                detail::compute_cell(p, deps, bound, cell.i, cell.j, m, read);
+          },
+          opts);
+    }
   }
   if (stats) {
     stats->mode_used = Mode::kCpuParallel;
@@ -107,7 +123,8 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_gpu_invertedl(const P& p,
                                             sim::Platform& platform,
                                             SolveStats* stats,
-                                            bool fused = true) {
+                                            bool fused = true,
+                                            bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
@@ -115,6 +132,7 @@ Grid<typename P::Value> solve_gpu_invertedl(const P& p,
   const V bound = p.boundary();
   const ShellLayout layout(n, m);
   const RowMajorLayout storage(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
   sim::Device& gpu = platform.gpu();
   const double col_amp =
       detail::invl_gpu_column_amplification<V>(gpu.spec(), m);
@@ -134,18 +152,28 @@ Grid<typename P::Value> solve_gpu_invertedl(const P& p,
     info.mem_amplification =
         detail::mixed_amplification(col_n, fs - col_n, col_amp);
     V* out = dtable.device_ptr();
-    graph.launch(stream, info, fs, [&, k, out](std::size_t c) {
-      const CellIndex cell = layout.cell(k, c);
-      out[storage.flat(cell.i, cell.j)] =
-          detail::compute_cell(p, deps, bound, cell.i, cell.j, m, dread);
-    });
+    if (use_batch) {
+      graph.launch(stream, info, fs,
+                   [&, k, out](std::size_t lo, std::size_t hi) {
+                     detail::run_front_range(
+                         p, deps, bound, layout, k, lo, hi,
+                         [out, &storage](std::size_t i, std::size_t j) {
+                           return out + storage.flat(i, j);
+                         },
+                         /*batch=*/true);
+                   });
+    } else {
+      graph.launch(stream, info, fs, [&, k, out](std::size_t c) {
+        const CellIndex cell = layout.cell(k, c);
+        out[storage.flat(cell.i, cell.j)] =
+            detail::compute_cell(p, deps, bound, cell.i, cell.j, m, dread);
+      });
+    }
   }
   graph.replay();
 
   Grid<V> table(n, m);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < m; ++j)
-      table.at(i, j) = dtable.device_ptr()[storage.flat(i, j)];
+  detail::unpack_table(dtable.device_ptr(), storage, table, 0, m);
   const sim::OpId done = gpu.record_d2h(stream, result_bytes_of(p),
                                         sim::MemoryKind::kPageable);
   platform.cpu_sync(done);
@@ -167,14 +195,16 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
                                                sim::Platform& platform,
                                                const HeteroParams& user,
                                                SolveStats* stats,
-                                               bool fused = true) {
+                                               bool fused = true,
+                                               bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
   const ShellLayout layout(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const RowMajorLayout storage(n, m);
   const std::size_t num_shells = layout.num_fronts();
 
@@ -238,14 +268,28 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
           detail::mixed_amplification(col_n, cpu_rows, cpu_col_amp);
       opts.parallel = cpu::parallel_beats_serial(
           platform.spec().cpu, work, c, opts.mem_amplification, true);
-      cpu_op = platform.cpu_front(
-          c, work,
-          [&, k](std::size_t q) {
-            const CellIndex cell = layout.cell(k, q);
-            table.at(cell.i, cell.j) =
-                detail::compute_cell(p, deps, bound, cell.i, cell.j, m, hread);
-          },
-          opts);
+      if (use_batch) {
+        cpu_op = platform.cpu_front(
+            c, work,
+            [&, k](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, k, lo, hi,
+                  [&table](std::size_t i, std::size_t j) {
+                    return &table.at(i, j);
+                  },
+                  /*batch=*/true);
+            },
+            opts);
+      } else {
+        cpu_op = platform.cpu_front(
+            c, work,
+            [&, k](std::size_t q) {
+              const CellIndex cell = layout.cell(k, q);
+              table.at(cell.i, cell.j) = detail::compute_cell(
+                  p, deps, bound, cell.i, cell.j, m, hread);
+            },
+            opts);
+      }
       last_cpu = cpu_op;
     }
 
@@ -273,14 +317,28 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
       info.mem_amplification = detail::mixed_amplification(
           gpu_col, fs - c - gpu_col, gpu_col_amp);
       V* out = dtable.device_ptr();
-      last_gpu = graph.launch(
-          compute_stream, info, fs - c,
-          [&, k, c, out](std::size_t q) {
-            const CellIndex cell = layout.cell(k, c + q);
-            out[storage.flat(cell.i, cell.j)] = detail::compute_cell(
-                p, deps, bound, cell.i, cell.j, m, dread);
-          },
-          h2d_m1);
+      if (use_batch) {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, k, c, out](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, k, c + lo, c + hi,
+                  [out, &storage](std::size_t i, std::size_t j) {
+                    return out + storage.flat(i, j);
+                  },
+                  /*batch=*/true);
+            },
+            h2d_m1);
+      } else {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, k, c, out](std::size_t q) {
+              const CellIndex cell = layout.cell(k, c + q);
+              out[storage.flat(cell.i, cell.j)] = detail::compute_cell(
+                  p, deps, bound, cell.i, cell.j, m, dread);
+            },
+            h2d_m1);
+      }
     }
     h2d_m1 = h2d_op;
   }
@@ -317,14 +375,28 @@ Grid<typename P::Value> solve_hetero_invertedl(const P& p,
     opts.parallel = cpu::parallel_beats_serial(
         platform.spec().cpu, work, fs, opts.mem_amplification, true);
     opts.dep1 = entry_d2h;
-    last_cpu = platform.cpu_front(
-        fs, work,
-        [&, k](std::size_t q) {
-          const CellIndex cell = layout.cell(k, q);
-          table.at(cell.i, cell.j) =
-              detail::compute_cell(p, deps, bound, cell.i, cell.j, m, hread);
-        },
-        opts);
+    if (use_batch) {
+      last_cpu = platform.cpu_front(
+          fs, work,
+          [&, k](std::size_t lo, std::size_t hi) {
+            detail::run_front_range(
+                p, deps, bound, layout, k, lo, hi,
+                [&table](std::size_t i, std::size_t j) {
+                  return &table.at(i, j);
+                },
+                /*batch=*/true);
+          },
+          opts);
+    } else {
+      last_cpu = platform.cpu_front(
+          fs, work,
+          [&, k](std::size_t q) {
+            const CellIndex cell = layout.cell(k, q);
+            table.at(cell.i, cell.j) =
+                detail::compute_cell(p, deps, bound, cell.i, cell.j, m, hread);
+          },
+          opts);
+    }
     entry_d2h = sim::kNoOp;
   }
 

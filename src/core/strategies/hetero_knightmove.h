@@ -13,6 +13,7 @@
 // dependencies, and a small mapped-access surcharge on both units.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/strategies/heuristics.h"
 #include "sim/launch_graph.h"
@@ -24,14 +25,16 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
                                                 sim::Platform& platform,
                                                 const HeteroParams& user,
                                                 SolveStats* stats,
-                                                bool fused = true) {
+                                                bool fused = true,
+                                                bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
   const KnightMoveLayout layout(n, m);
+  const bool use_batch = detail::use_batch_front(p, layout, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const std::size_t num_fronts = layout.num_fronts();
 
   sim::Device& gpu = platform.gpu();
@@ -99,6 +102,19 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
         platform.spec().cpu, work, count, opts.mem_amplification, true);
     opts.extra_seconds = extra;
     opts.dep1 = dep;
+    if (use_batch) {
+      return platform.cpu_front(
+          count, work,
+          [&, t](std::size_t lo, std::size_t hi) {
+            detail::run_front_range(
+                p, deps, bound, layout, t, lo, hi,
+                [&table](std::size_t i, std::size_t j) {
+                  return &table.at(i, j);
+                },
+                /*batch=*/true);
+          },
+          opts);
+    }
     return platform.cpu_front(
         count, work,
         [&, t](std::size_t c) {
@@ -180,14 +196,28 @@ Grid<typename P::Value> solve_hetero_knightmove(const P& p,
       const std::size_t base = layout.front_offset(t);
       V* out = dtable.device_ptr();
       graph.stream_wait(compute_stream, entry_h2d);
-      last_gpu = graph.launch(
-          compute_stream, info, fs - c,
-          [&, t, c, base, out](std::size_t k) {
-            const CellIndex cell = layout.cell(t, c + k);
-            out[base + c + k] = detail::compute_cell(p, deps, bound, cell.i,
-                                                     cell.j, m, dread);
-          },
-          cpu_prev);
+      if (use_batch) {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, t, c, out](std::size_t lo, std::size_t hi) {
+              detail::run_front_range(
+                  p, deps, bound, layout, t, c + lo, c + hi,
+                  [out, &layout](std::size_t i, std::size_t j) {
+                    return out + layout.flat(i, j);
+                  },
+                  /*batch=*/true);
+            },
+            cpu_prev);
+      } else {
+        last_gpu = graph.launch(
+            compute_stream, info, fs - c,
+            [&, t, c, base, out](std::size_t k) {
+              const CellIndex cell = layout.cell(t, c + k);
+              out[base + c + k] = detail::compute_cell(p, deps, bound, cell.i,
+                                                       cell.j, m, dread);
+            },
+            cpu_prev);
+      }
       entry_h2d = sim::kNoOp;  // only the first kernel waits on the bulk
     }
 

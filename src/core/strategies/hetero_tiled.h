@@ -25,6 +25,7 @@
 //            fronts.
 #pragma once
 
+#include "core/front_runner.h"
 #include "core/strategies/common.h"
 #include "core/strategies/gpu_tiled.h"
 #include "core/strategies/heuristics.h"
@@ -38,13 +39,15 @@ template <LddpProblem P>
 Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
                                            const HeteroParams& user,
                                            std::size_t tile, SolveStats* stats,
-                                           bool fused = true) {
+                                           bool fused = true,
+                                           bool batch = true) {
   using V = typename P::Value;
   Stopwatch wall;
   const std::size_t n = p.rows(), m = p.cols();
   const ContributingSet deps = p.deps();
   const V bound = p.boundary();
-  const cpu::WorkProfile work = work_profile_of(p);
+  const bool use_batch = detail::use_batch_rows(p, deps, batch);
+  const cpu::WorkProfile work = detail::cpu_work_for(p, use_batch);
   const TileScheduler sched(n, m, tile, deps);
   const std::size_t num_fronts = sched.num_fronts();
 
@@ -61,8 +64,6 @@ Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
   Grid<V> table(n, m);
   const RowMajorLayout layout(n, m);
   sim::DeviceBuffer<V> dtable = gpu.template alloc<V>(layout.size());
-  detail::GridReader<V> hread{&table};
-  detail::DeviceReader<V, RowMajorLayout> dread{dtable.device_ptr(), &layout};
 
   const auto compute_stream = gpu.default_stream();
   const auto h2d_stream = gpu.create_stream();
@@ -105,10 +106,15 @@ Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
         count, cells / count, work,
         [&, g](std::size_t k) {
           const TileScheduler::TileCoord t = sched.front_tile(g, k);
-          sched.for_each_cell(t.tu, t.tv, [&](std::size_t i, std::size_t j) {
-            table.at(i, j) =
-                detail::compute_cell(p, deps, bound, i, j, m, hread);
-          });
+          V* const data = table.data();
+          for (std::size_t i = sched.row_begin(t.tu); i < sched.row_end(t.tu);
+               ++i) {
+            const TileScheduler::RowSpan sp = sched.row_span(t.tv, i);
+            if (sp.size() == 0) continue;
+            const V* prev = i > 0 ? data + (i - 1) * m : nullptr;
+            detail::run_row(p, deps, bound, i, sp.j_begin, sp.j_end, m, prev,
+                            data + i * m, batch);
+          }
         },
         dep);
   };
@@ -210,11 +216,14 @@ Grid<typename P::Value> solve_hetero_tiled(const P& p, sim::Platform& platform,
             compute_stream, exec, nt - c,
             [&, g, c, out](std::size_t k) {
               const TileScheduler::TileCoord t = sched.front_tile(g, c + k);
-              sched.for_each_cell(
-                  t.tu, t.tv, [&](std::size_t i, std::size_t j) {
-                    out[i * m + j] =
-                        detail::compute_cell(p, deps, bound, i, j, m, dread);
-                  });
+              for (std::size_t i = sched.row_begin(t.tu);
+                   i < sched.row_end(t.tu); ++i) {
+                const TileScheduler::RowSpan sp = sched.row_span(t.tv, i);
+                if (sp.size() == 0) continue;
+                const V* prev = i > 0 ? out + (i - 1) * m : nullptr;
+                detail::run_row(p, deps, bound, i, sp.j_begin, sp.j_end, m,
+                                prev, out + i * m, batch);
+              }
             },
             h2d_m1, packed);
       }

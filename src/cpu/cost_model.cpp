@@ -26,6 +26,12 @@ CpuSpec CpuSpec::i7_3632qm() {
   return s;
 }
 
+/// Effective cycles per cell after the batch-kernel speedup: the vector
+/// term accelerates compute only, never the DRAM-bandwidth bound.
+static double effective_cpu_cycles(const WorkProfile& work) {
+  return work.cpu_cycles_per_cell / std::max(1.0, work.vector_speedup);
+}
+
 double cpu_peak_throughput(const CpuSpec& spec, const WorkProfile& work,
                            double mem_amplification) {
   LDDP_CHECK(spec.cores >= 1 && spec.clock_ghz > 0);
@@ -35,7 +41,7 @@ double cpu_peak_throughput(const CpuSpec& spec, const WorkProfile& work,
       static_cast<double>(spec.cores) *
       (spec.logical_threads > spec.cores ? 1.0 + spec.smt_boost : 1.0);
   const double compute =
-      effective_cores * spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+      effective_cores * spec.clock_ghz * 1e9 / effective_cpu_cycles(work);
   const double memory = spec.mem_bandwidth_gbs * 1e9 /
                         (work.bytes_per_cell * mem_amplification);
   return std::min(compute, memory);
@@ -46,7 +52,8 @@ double cpu_front_seconds(const CpuSpec& spec, const WorkProfile& work,
                          double mem_amplification, bool streamed) {
   if (cells == 0) return 0.0;
   LDDP_CHECK(mem_amplification >= 1.0);
-  const double per_core_rate = spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+  const double per_core_rate =
+      spec.clock_ghz * 1e9 / effective_cpu_cycles(work);
   const double memory = static_cast<double>(cells) * work.bytes_per_cell *
                         mem_amplification /
                         (spec.mem_bandwidth_gbs * 1e9);
@@ -84,7 +91,8 @@ double cpu_tiled_front_seconds(const CpuSpec& spec, const WorkProfile& work,
                                std::size_t num_tiles,
                                std::size_t tile_cells) {
   if (num_tiles == 0 || tile_cells == 0) return 0.0;
-  const double per_core_rate = spec.clock_ghz * 1e9 / work.cpu_cycles_per_cell;
+  const double per_core_rate =
+      spec.clock_ghz * 1e9 / effective_cpu_cycles(work);
   const double threads_used = static_cast<double>(std::min<std::size_t>(
       num_tiles, static_cast<std::size_t>(spec.logical_threads)));
   const double smt = spec.logical_threads > spec.cores

@@ -62,6 +62,12 @@ struct WorkProfile {
   /// Bytes of memory traffic per cell (reads of contributing cells plus
   /// the store), before layout-amplification effects.
   double bytes_per_cell = 20.0;
+  /// Throughput multiplier of the batch-front (SIMD) kernel over the
+  /// scalar path, applied to the CPU *compute* term only (the memory
+  /// term is vector-agnostic). 1.0 = scalar; strategies set the
+  /// calibrated value (cpu::calibrated_vector_speedup) when the batch
+  /// path is active so tuner sweeps see the real CPU speed.
+  double vector_speedup = 1.0;
 };
 
 /// Simulated seconds for the CPU to process `cells` cells of one wavefront

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <limits>
 
+#include "core/front_span.h"
 #include "core/problem.h"
 #include "tables/grid.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace lddp::problems {
 
@@ -46,6 +48,30 @@ class CheckerboardProblem {
     if (nb.nw < best) best = nb.nw;
     if (nb.ne < best) best = nb.ne;
     return best + c;
+  }
+
+  /// Batch-front hook for row spans (lane k is cell (i0, j0+k)): the
+  /// whole {NW, N, NE} min and the cost add vectorize 4 lanes at a time;
+  /// the per-cell cost row is contiguous. Signed int32 min/add are exact,
+  /// so lanes are bit-identical to the scalar recurrence.
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 0 || s.dj != 1) return false;
+    const std::int32_t* const c = &costs_.at(s.i0, s.j0);
+    std::size_t k = 0;
+    for (; k + 4 <= s.len; k += 4) {
+      const simd::I32x4 nw = simd::I32x4::load(s.nw + k);
+      const simd::I32x4 n = simd::I32x4::load(s.n + k);
+      const simd::I32x4 ne = simd::I32x4::load(s.ne + k);
+      const simd::I32x4 best = simd::min(simd::min(n, nw), ne);
+      simd::add(best, simd::I32x4::load(c + k)).store(s.out + k);
+    }
+    for (; k < s.len; ++k) {
+      Value best = s.n[k];
+      if (s.nw[k] < best) best = s.nw[k];
+      if (s.ne[k] < best) best = s.ne[k];
+      s.out[k] = best + c[k];
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 44.0, 28.0}; }

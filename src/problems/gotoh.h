@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/front_span.h"
 #include "core/problem.h"
 #include "tables/grid.h"
 #include "util/check.h"
@@ -90,6 +91,29 @@ class GotohProblem {
     c.y = std::max(std::max(nb.n.m, nb.n.x) + s_.gap_open,
                    nb.n.y + s_.gap_extend);
     return c;
+  }
+
+  /// Batch-front hook for anti-diagonal spans: a branchless lane loop
+  /// over the three packed GotohCell spans (the 12-byte struct value rules
+  /// out lane-parallel SIMD, but the hoisted edge handling and dense
+  /// sequential reads still beat the per-cell path).
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 1 || s.dj != -1) return false;
+    const char* const pa = a_.data() + (s.i0 - 1);
+    const char* const pb = b_.data() + (s.j0 - 1);
+    for (std::size_t k = 0; k < s.len; ++k) {
+      const std::int32_t sub =
+          pa[k] == pb[-static_cast<std::ptrdiff_t>(k)] ? s_.match
+                                                       : s_.mismatch;
+      GotohCell c;
+      c.m = s.nw[k].best() + sub;
+      c.x = std::max(std::max(s.w[k].m, s.w[k].y) + s_.gap_open,
+                     s.w[k].x + s_.gap_extend);
+      c.y = std::max(std::max(s.n[k].m, s.n[k].x) + s_.gap_open,
+                     s.n[k].y + s_.gap_extend);
+      s.out[k] = c;
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{26.0, 90.0, 56.0}; }

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "core/front_span.h"
 #include "core/problem.h"
+#include "util/simd.h"
 
 namespace lddp::problems {
 
@@ -32,6 +34,32 @@ class LcsProblem {
     if (i == 0 || j == 0) return 0;
     if (a_[i - 1] == b_[j - 1]) return nb.nw + 1;
     return nb.w > nb.n ? nb.w : nb.n;
+  }
+
+  /// Batch-front hook for anti-diagonal spans (see LevenshteinProblem):
+  /// packed byte compare for the match test, max for the mismatch case.
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 1 || s.dj != -1) return false;
+    const char* const pa = a_.data() + (s.i0 - 1);
+    const char* const pb = b_.data() + (s.j0 - 1);
+    const simd::I32x4 one = simd::I32x4::broadcast(1);
+    std::size_t k = 0;
+    for (; k + 4 <= s.len; k += 4) {
+      const simd::I32x4 w = simd::I32x4::load(s.w + k);
+      const simd::I32x4 nw = simd::I32x4::load(s.nw + k);
+      const simd::I32x4 n = simd::I32x4::load(s.n + k);
+      const simd::I32x4 eq =
+          simd::byte_eq_mask(simd::load4(pa + k), simd::load4_reversed(pb - k));
+      simd::blend(eq, simd::add(nw, one), simd::max(w, n)).store(s.out + k);
+    }
+    for (; k < s.len; ++k) {
+      if (pa[k] == pb[-static_cast<std::ptrdiff_t>(k)]) {
+        s.out[k] = s.nw[k] + 1;
+      } else {
+        s.out[k] = s.w[k] > s.n[k] ? s.w[k] : s.n[k];
+      }
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 48.0, 20.0}; }

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "core/front_span.h"
 #include "core/problem.h"
+#include "util/simd.h"
 
 namespace lddp::problems {
 
@@ -39,6 +41,39 @@ class LevenshteinProblem {
     const Value sub = nb.nw + 1;
     Value best = del < ins ? del : ins;
     return sub < best ? sub : best;
+  }
+
+  /// Batch-front hook for anti-diagonal spans (lane k is cell
+  /// (i0+k, j0-k)): 4 lanes per step, the character compare done as a
+  /// packed byte compare (a ascending, b descending along the diagonal).
+  /// min/+1 are reassociation-free on int32, so every lane produces
+  /// exactly the scalar `compute` value. Other span shapes (the W
+  /// dependency is sequential along rows) fall back to scalar.
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 1 || s.dj != -1) return false;
+    const char* const pa = a_.data() + (s.i0 - 1);
+    const char* const pb = b_.data() + (s.j0 - 1);
+    const simd::I32x4 one = simd::I32x4::broadcast(1);
+    std::size_t k = 0;
+    for (; k + 4 <= s.len; k += 4) {
+      const simd::I32x4 w = simd::I32x4::load(s.w + k);
+      const simd::I32x4 nw = simd::I32x4::load(s.nw + k);
+      const simd::I32x4 n = simd::I32x4::load(s.n + k);
+      const simd::I32x4 eq =
+          simd::byte_eq_mask(simd::load4(pa + k), simd::load4_reversed(pb - k));
+      const simd::I32x4 sub =
+          simd::add(simd::min(simd::min(w, n), nw), one);
+      simd::blend(eq, nw, sub).store(s.out + k);
+    }
+    for (; k < s.len; ++k) {
+      if (pa[k] == pb[-static_cast<std::ptrdiff_t>(k)]) {
+        s.out[k] = s.nw[k];
+      } else {
+        const Value best = std::min(std::min(s.w[k], s.n[k]), s.nw[k]);
+        s.out[k] = best + 1;
+      }
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "core/front_span.h"
 #include "core/problem.h"
 #include "tables/grid.h"
 #include "util/rng.h"
@@ -33,6 +34,23 @@ class MaxSquareProblem {
     if (!bits_.at(i, j)) return 0;
     if (i == 0 || j == 0) return 1;
     return 1 + std::min(nb.w, std::min(nb.nw, nb.n));
+  }
+
+  /// Batch-front hook for anti-diagonal spans: a branchless lane loop
+  /// over the packed neighbour spans (the bit grid is strided along the
+  /// diagonal, so the win is the hoisted interior/boundary split and the
+  /// dense min over three unit-stride spans, not SIMD).
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 1 || s.dj != -1) return false;
+    const std::uint8_t* const bit = &bits_.at(s.i0, s.j0);
+    const std::ptrdiff_t stride =
+        static_cast<std::ptrdiff_t>(bits_.cols()) - 1;
+    for (std::size_t k = 0; k < s.len; ++k) {
+      const Value mn = std::min(s.w[k], std::min(s.nw[k], s.n[k]));
+      s.out[k] =
+          bit[static_cast<std::ptrdiff_t>(k) * stride] != 0 ? mn + 1 : 0;
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 17.0}; }

@@ -10,9 +10,11 @@
 #include <limits>
 #include <vector>
 
+#include "core/front_span.h"
 #include "core/problem.h"
 #include "problems/image.h"
 #include "tables/grid.h"
+#include "util/simd.h"
 
 namespace lddp::problems {
 
@@ -61,6 +63,29 @@ class SeamCarveProblem {
     if (nb.nw < best) best = nb.nw;
     if (nb.ne < best) best = nb.ne;
     return best + e;
+  }
+
+  /// Batch-front hook for row spans — identical structure to
+  /// CheckerboardProblem (the two problems share the {NW, N, NE} min-plus
+  /// recurrence over a contiguous per-cell cost row).
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 0 || s.dj != 1) return false;
+    const std::int32_t* const e = &energy_.at(s.i0, s.j0);
+    std::size_t k = 0;
+    for (; k + 4 <= s.len; k += 4) {
+      const simd::I32x4 nw = simd::I32x4::load(s.nw + k);
+      const simd::I32x4 n = simd::I32x4::load(s.n + k);
+      const simd::I32x4 ne = simd::I32x4::load(s.ne + k);
+      const simd::I32x4 best = simd::min(simd::min(n, nw), ne);
+      simd::add(best, simd::I32x4::load(e + k)).store(s.out + k);
+    }
+    for (; k < s.len; ++k) {
+      Value best = s.n[k];
+      if (s.nw[k] < best) best = s.nw[k];
+      if (s.ne[k] < best) best = s.ne[k];
+      s.out[k] = best + e[k];
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{12.0, 44.0, 24.0}; }

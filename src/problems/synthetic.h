@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <utility>
 
+#include "core/front_span.h"
 #include "core/problem.h"
 #include "tables/grid.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace lddp::problems {
 
@@ -34,6 +36,22 @@ class MaxNwProblem {
                 const Neighbors<Value>& nb) const {
     const Value v = input_.at(i, j);
     return (v > nb.nw ? v : nb.nw) + c_;
+  }
+
+  /// Batch-front hook for any affine span shape (the int64 value and the
+  /// strided input walk make a generic branchless lane loop the right
+  /// form): lane k reads input (i0 + k*di, j0 + k*dj) via one pointer
+  /// stride and the packed NW span.
+  bool compute_front(const FrontSpan<Value>& s) const {
+    const std::int32_t* const in = &input_.at(s.i0, s.j0);
+    const std::ptrdiff_t stride =
+        s.di * static_cast<std::ptrdiff_t>(input_.cols()) + s.dj;
+    for (std::size_t k = 0; k < s.len; ++k) {
+      const Value v = in[static_cast<std::ptrdiff_t>(k) * stride];
+      const Value nw = s.nw[k];
+      s.out[k] = (v > nw ? v : nw) + c_;
+    }
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 24.0}; }
@@ -67,6 +85,21 @@ class MinNwNProblem {
                 const Neighbors<Value>& nb) const {
     if (i == 0) return static_cast<Value>(j % 17);  // deterministic base row
     return (nb.nw < nb.n ? nb.nw : nb.n) + c_;
+  }
+
+  /// Batch-front hook for row spans: min(NW, N) + c, four lanes per step.
+  bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.di != 0 || s.dj != 1) return false;
+    const simd::I32x4 cc = simd::I32x4::broadcast(c_);
+    std::size_t k = 0;
+    for (; k + 4 <= s.len; k += 4) {
+      const simd::I32x4 nw = simd::I32x4::load(s.nw + k);
+      const simd::I32x4 n = simd::I32x4::load(s.n + k);
+      simd::add(simd::min(nw, n), cc).store(s.out + k);
+    }
+    for (; k < s.len; ++k)
+      s.out[k] = (s.nw[k] < s.n[k] ? s.nw[k] : s.n[k]) + c_;
+    return true;
   }
 
   cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 20.0}; }

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cstring>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -65,9 +66,12 @@ class Device {
   }
   std::size_t stream_count() const { return streams_.size(); }
 
+  /// `zeroed = false` skips the allocation's zero-fill (cudaMalloc
+  /// semantics); only for strategies that write every element before any
+  /// read — the fill is real wall-clock at large table sizes.
   template <typename T>
-  DeviceBuffer<T> alloc(std::size_t count) {
-    return DeviceBuffer<T>(count, &stats_, buffers_);
+  DeviceBuffer<T> alloc(std::size_t count, bool zeroed = true) {
+    return DeviceBuffer<T>(count, &stats_, buffers_, zeroed);
   }
 
   template <typename T>
@@ -166,13 +170,25 @@ class Device {
     return op;
   }
 
-  /// Eagerly runs `body(cell)` over [0, num_cells) on the host (via the
-  /// pool for large counts) without recording anything — the execution half
-  /// of launch(), also used by LaunchGraph when timeline recording is
-  /// deferred to replay.
+  /// Eagerly runs `body` over [0, num_cells) on the host (via the pool for
+  /// large counts) without recording anything — the execution half of
+  /// launch(), also used by LaunchGraph when timeline recording is
+  /// deferred to replay. `body` is either per-cell — `body(c)` — or
+  /// ranged — `body(lo, hi)` over contiguous sub-ranges (the batch-front
+  /// kernels). The timing model sees only the cell count, so the
+  /// simulated schedule is identical for both forms.
   template <typename Body>
   void execute_cells(std::size_t num_cells, Body&& body) {
-    if (pool_ && num_cells >= kParallelExecThreshold) {
+    if constexpr (std::is_invocable_v<Body&, std::size_t, std::size_t>) {
+      if (pool_ && num_cells >= kParallelExecThreshold) {
+        pool_->parallel_for_chunked(0, num_cells,
+                                    [&body](std::size_t lo, std::size_t hi) {
+                                      body(lo, hi);
+                                    });
+      } else {
+        body(0, num_cells);
+      }
+    } else if (pool_ && num_cells >= kParallelExecThreshold) {
       pool_->parallel_for_chunked(0, num_cells,
                                   [&body](std::size_t lo, std::size_t hi) {
                                     for (std::size_t c = lo; c < hi; ++c)

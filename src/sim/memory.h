@@ -12,8 +12,10 @@
 //
 // A BufferPool lets repeated solve() calls (tuner sweeps, benches,
 // multi-run services) reuse device/pinned arenas instead of re-allocating.
-// Reused storage is zeroed, so pooled buffers keep the fresh-allocation
-// semantics of cudaMalloc-then-memset that the strategies rely on.
+// Reused storage is zeroed by default, so pooled buffers keep the
+// fresh-allocation semantics of cudaMalloc-then-memset that the strategies
+// rely on; allocations may opt out (`zeroed = false`) when every element
+// is written before it is read.
 #pragma once
 
 #include <algorithm>
@@ -67,10 +69,13 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
   virtual ~BufferPool() { trim(); }
 
-  /// Returns zeroed storage of at least `bytes` (aligned for any scalar
-  /// type). `pinned` selects the pinned-host cache — pinned and device
-  /// arenas never mix, as on real hardware.
-  virtual void* acquire(std::size_t bytes, bool pinned) {
+  /// Returns storage of at least `bytes` (aligned for any scalar type),
+  /// zero-filled unless the caller opts out. `pinned` selects the
+  /// pinned-host cache — pinned and device arenas never mix, as on real
+  /// hardware. `zeroed = false` skips the fill (cudaMalloc semantics) and
+  /// is only for clients that overwrite every element before reading it:
+  /// at tens of MB the memset costs as much as real work.
+  virtual void* acquire(std::size_t bytes, bool pinned, bool zeroed = true) {
     if (bytes == 0) return nullptr;
     std::lock_guard<std::mutex> lock(mu_);
     auto& cache = pinned ? pinned_free_ : device_free_;
@@ -84,13 +89,13 @@ class BufferPool {
       void* p = cache[best].data;
       cache[best] = cache.back();
       cache.pop_back();
-      std::memset(p, 0, bytes);
+      if (zeroed) std::memset(p, 0, bytes);
       ++stats_.hits;
       stats_.bytes_reused += bytes;
       return p;
     }
     void* p = ::operator new(bytes);
-    std::memset(p, 0, bytes);
+    if (zeroed) std::memset(p, 0, bytes);
     ++stats_.misses;
     return p;
   }
@@ -154,20 +159,20 @@ class QuotaBufferPool final : public BufferPool {
                    "QuotaBufferPool destroyed with live buffers");
   }
 
-  void* acquire(std::size_t bytes, bool pinned) override {
+  void* acquire(std::size_t bytes, bool pinned, bool zeroed = true) override {
     if (bytes == 0) return nullptr;
     {
       std::lock_guard<std::mutex> lock(quota_mu_);
       if (quota_ != 0 && outstanding_ + bytes > quota_) {
         void* p = ::operator new(bytes);
-        std::memset(p, 0, bytes);
+        if (zeroed) std::memset(p, 0, bytes);
         direct_.push_back(p);
         ++over_quota_;
         return p;
       }
       outstanding_ += bytes;
     }
-    return parent_->acquire(bytes, pinned);
+    return parent_->acquire(bytes, pinned, zeroed);
   }
 
   void release(void* p, std::size_t bytes, bool pinned) override {
@@ -217,13 +222,20 @@ struct PooledStorage {
   std::size_t size = 0;
   BufferPool* pool = nullptr;
 
-  void acquire(std::size_t count, BufferPool* from, bool pinned) {
+  void acquire(std::size_t count, BufferPool* from, bool pinned,
+               bool zeroed = true) {
     if (count == 0) return;
     if constexpr (std::is_trivially_copyable_v<T>) {
       if (from != nullptr) {
-        data = static_cast<T*>(from->acquire(count * sizeof(T), pinned));
+        data =
+            static_cast<T*>(from->acquire(count * sizeof(T), pinned, zeroed));
         size = count;
         pool = from;
+        return;
+      }
+      if (!zeroed) {
+        data = new T[count];  // default-init: trivial T stays unwritten
+        size = count;
         return;
       }
     }
@@ -262,9 +274,9 @@ class DeviceBuffer {
  public:
   DeviceBuffer() = default;
   DeviceBuffer(std::size_t count, MemoryStats* stats,
-               BufferPool* pool = nullptr)
+               BufferPool* pool = nullptr, bool zeroed = true)
       : stats_(stats) {
-    storage_.acquire(count, pool, /*pinned=*/false);
+    storage_.acquire(count, pool, /*pinned=*/false, zeroed);
     if (stats_) {
       stats_->device_bytes_allocated += bytes();
       stats_->device_bytes_peak =

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -69,13 +70,25 @@ class Platform {
     OpId dep2 = kNoOp;
   };
 
-  /// Executes `body(i)` for i in [0, cells) on the host and records the
-  /// modeled CPU duration. Returns the op id (an "event").
+  /// Executes `body` over [0, cells) on the host and records the modeled
+  /// CPU duration. Returns the op id (an "event"). `body` is either
+  /// per-cell — `body(i)` — or ranged — `body(lo, hi)` over contiguous
+  /// sub-ranges (the batch-front kernels; ranges map 1:1 onto the pool's
+  /// parallel_for chunks). Pricing is identical for both forms.
   template <typename Body>
   OpId cpu_front(std::size_t cells, const cpu::WorkProfile& work, Body&& body,
                  const CpuFrontOpts& opts = {}) {
     if (cells == 0) return kNoOp;
-    if (pool_ && opts.parallel && cells >= kParallelExecThreshold) {
+    if constexpr (std::is_invocable_v<Body&, std::size_t, std::size_t>) {
+      if (pool_ && opts.parallel && cells >= kParallelExecThreshold) {
+        pool_->parallel_for_chunked(0, cells,
+                                    [&body](std::size_t lo, std::size_t hi) {
+                                      body(lo, hi);
+                                    });
+      } else {
+        body(0, cells);
+      }
+    } else if (pool_ && opts.parallel && cells >= kParallelExecThreshold) {
       pool_->parallel_for_chunked(0, cells,
                                   [&body](std::size_t lo, std::size_t hi) {
                                     for (std::size_t i = lo; i < hi; ++i)

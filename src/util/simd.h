@@ -1,0 +1,137 @@
+// Minimal fixed-width SIMD wrapper for the batch-front kernels.
+//
+// Targets the x86-64 SSE2 baseline (always present on x86-64); elsewhere
+// every operation degrades to a 4-lane scalar loop, so code written
+// against I32x4 stays portable. Only reassociation-free integer ops are
+// wrapped — add / min / max / compare / blend — so each lane computes
+// exactly what the scalar recurrence computes and results stay
+// bit-identical to the per-cell path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define LDDP_SIMD_SSE2 1
+#else
+#define LDDP_SIMD_SSE2 0
+#endif
+
+namespace lddp::simd {
+
+#if LDDP_SIMD_SSE2
+
+struct I32x4 {
+  __m128i v;
+  static constexpr std::size_t kLanes = 4;
+
+  static I32x4 load(const std::int32_t* p) {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  static I32x4 broadcast(std::int32_t x) { return {_mm_set1_epi32(x)}; }
+  void store(std::int32_t* p) const {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+};
+
+inline I32x4 add(I32x4 a, I32x4 b) { return {_mm_add_epi32(a.v, b.v)}; }
+// SSE2 lacks pminsd/pmaxsd (SSE4.1); select on the signed compare instead.
+inline I32x4 min(I32x4 a, I32x4 b) {
+  const __m128i lt = _mm_cmplt_epi32(a.v, b.v);
+  return {_mm_or_si128(_mm_and_si128(lt, a.v), _mm_andnot_si128(lt, b.v))};
+}
+inline I32x4 max(I32x4 a, I32x4 b) {
+  const __m128i gt = _mm_cmpgt_epi32(a.v, b.v);
+  return {_mm_or_si128(_mm_and_si128(gt, a.v), _mm_andnot_si128(gt, b.v))};
+}
+inline I32x4 cmpeq(I32x4 a, I32x4 b) { return {_mm_cmpeq_epi32(a.v, b.v)}; }
+/// Per-lane select: mask lanes must be all-ones or all-zeros (a compare
+/// result). Returns mask ? a : b.
+inline I32x4 blend(I32x4 mask, I32x4 a, I32x4 b) {
+  return {_mm_or_si128(_mm_and_si128(mask.v, a.v),
+                       _mm_andnot_si128(mask.v, b.v))};
+}
+
+/// Lane mask of byte equality between two packed 4-char words: lane k is
+/// all-ones iff byte k of `a4` equals byte k of `b4` (byte 0 = lane 0).
+/// Used by the sequence kernels to vectorize a[i-1] == b[j-1].
+inline I32x4 byte_eq_mask(std::uint32_t a4, std::uint32_t b4) {
+  const __m128i a = _mm_cvtsi32_si128(static_cast<int>(a4));
+  const __m128i b = _mm_cvtsi32_si128(static_cast<int>(b4));
+  const __m128i eq = _mm_cmpeq_epi8(a, b);
+  const __m128i lo = _mm_unpacklo_epi8(eq, eq);
+  return {_mm_unpacklo_epi16(lo, lo)};
+}
+
+#else  // scalar fallback
+
+struct I32x4 {
+  std::int32_t v[4];
+  static constexpr std::size_t kLanes = 4;
+
+  static I32x4 load(const std::int32_t* p) {
+    I32x4 r;
+    std::memcpy(r.v, p, sizeof r.v);
+    return r;
+  }
+  static I32x4 broadcast(std::int32_t x) { return {{x, x, x, x}}; }
+  void store(std::int32_t* p) const { std::memcpy(p, v, sizeof v); }
+};
+
+inline I32x4 add(I32x4 a, I32x4 b) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) r.v[k] = a.v[k] + b.v[k];
+  return r;
+}
+inline I32x4 min(I32x4 a, I32x4 b) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) r.v[k] = a.v[k] < b.v[k] ? a.v[k] : b.v[k];
+  return r;
+}
+inline I32x4 max(I32x4 a, I32x4 b) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) r.v[k] = a.v[k] > b.v[k] ? a.v[k] : b.v[k];
+  return r;
+}
+inline I32x4 cmpeq(I32x4 a, I32x4 b) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) r.v[k] = a.v[k] == b.v[k] ? -1 : 0;
+  return r;
+}
+inline I32x4 blend(I32x4 mask, I32x4 a, I32x4 b) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) r.v[k] = mask.v[k] ? a.v[k] : b.v[k];
+  return r;
+}
+inline I32x4 byte_eq_mask(std::uint32_t a4, std::uint32_t b4) {
+  I32x4 r;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint32_t ac = (a4 >> (8 * k)) & 0xffu;
+    const std::uint32_t bc = (b4 >> (8 * k)) & 0xffu;
+    r.v[k] = ac == bc ? -1 : 0;
+  }
+  return r;
+}
+
+#endif  // LDDP_SIMD_SSE2
+
+/// Packs 4 consecutive chars ascending from `p` (byte 0 = p[0]).
+inline std::uint32_t load4(const char* p) {
+  std::uint32_t x;
+  std::memcpy(&x, p, 4);
+  return x;
+}
+
+/// Packs 4 chars at descending addresses from `p` (byte 0 = p[0], byte 1 =
+/// p[-1], ...) — the access pattern of the second sequence along an
+/// anti-diagonal.
+inline std::uint32_t load4_reversed(const char* p) {
+  std::uint32_t x;
+  std::memcpy(&x, p - 3, 4);
+  return (x >> 24) | ((x >> 8) & 0x0000ff00u) | ((x << 8) & 0x00ff0000u) |
+         (x << 24);
+}
+
+}  // namespace lddp::simd

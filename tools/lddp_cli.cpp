@@ -59,6 +59,11 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
                    the default cpu -> gpu -> hetero rotation; SPEC is a
                    comma list of per-request overrides MODE[:tile=N], e.g.
                    --batch-mix gpu:tile=8,hetero:tile=-1,cpu
+  --batch-kernels on|off
+                   vectorized batch-front cell kernels: compute interior
+                   runs of each front in one SIMD call over packed
+                   neighbour spans (default on; results are bit-identical,
+                   off restores the scalar per-cell path exactly)
   --pack on|off    cross-solve packing for --batch: fuse co-ready GPU
                    fronts of in-flight solves into shared packed launches
                    and co-schedule their CPU strips on one cooperative
@@ -263,6 +268,14 @@ int main(int argc, char** argv) try {
     cfg.tile = flags.get_int("tile", 0);
   }
   cfg.trace_path = flags.get("trace", "");
+  {
+    const std::string bk = flags.get("batch-kernels", "");
+    if (!bk.empty()) {
+      LDDP_CHECK_MSG(bk == "on" || bk == "off",
+                     "--batch-kernels must be on or off, got '" << bk << "'");
+      cfg.batch_kernels = bk == "on";
+    }
+  }
   const bool tune_first = flags.get_bool("tune");
   g_devices = static_cast<int>(flags.get_int("devices", 1));
   LDDP_CHECK_MSG(g_devices >= 1, "--devices must be >= 1");
