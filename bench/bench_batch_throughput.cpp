@@ -7,14 +7,19 @@
 // serial one-at-a-time baseline in BENCH_batch_throughput.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/batch_engine.h"
+#include "core/lane_kernels.h"
 #include "core/pattern.h"
+#include "problems/lcs.h"
+#include "problems/levenshtein.h"
 #include "problems/synthetic.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -73,12 +78,13 @@ auto make_problem(const MixCase& c) {
 
 BatchReport run_batch(std::size_t batch, BatchSched sched,
                       const std::vector<MixCase>& mix,
-                      bool pack = true) {
+                      bool pack = true, long long lane_pack = -1) {
   BatchConfig bc;
   bc.concurrency = std::min<std::size_t>(batch, 8);
   bc.queue_capacity = batch;
   bc.sched = sched;
   bc.pack_solves = pack;
+  bc.lane_pack = lane_pack;
   BatchEngine engine(bc);
   for (const MixCase& c : mix) {
     RunConfig rc;
@@ -143,6 +149,148 @@ bool pack_sweep(lddp::bench::JsonWriter& json) {
   return never_loses;
 }
 
+std::string rand_str(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string s(n, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + rng.uniform_int(0, 3));
+  return s;
+}
+
+/// Submits `probs` as one batch of serial-CPU requests and returns the
+/// best-of-3 wall time of submit+drain. `lane_pack` -1 enables inter-solve
+/// lane packing at the ISA-preferred width, 0 is the per-solve PR-5
+/// batch-kernel baseline.
+template <typename P>
+double lane_batch_wall(const std::vector<P>& probs, long long lane_pack) {
+  return lddp::bench::min_wall_seconds(
+      [&] {
+        BatchConfig bc;
+        bc.concurrency = probs.size();
+        bc.queue_capacity = probs.size();
+        bc.lane_pack = lane_pack;
+        BatchEngine engine(bc);
+        std::vector<std::future<SolveResult<P>>> futs;
+        futs.reserve(probs.size());
+        for (const P& p : probs) {
+          RunConfig rc;
+          rc.mode = Mode::kCpuSerial;
+          auto f = engine.submit(P(p), rc);
+          LDDP_CHECK(f.has_value());
+          futs.push_back(std::move(*f));
+        }
+        engine.wait();
+        for (auto& f : futs) benchmark::DoNotOptimize(f.get().table.data());
+      },
+      /*reps=*/3, /*warmup=*/1);
+}
+
+/// Lane-packed tables must match the solo serial solver bit for bit.
+template <typename P>
+bool lane_identity(const std::vector<P>& probs) {
+  BatchConfig bc;
+  bc.concurrency = probs.size();
+  bc.queue_capacity = probs.size();
+  bc.lane_pack = -1;
+  BatchEngine engine(bc);
+  std::vector<std::future<SolveResult<P>>> futs;
+  for (const P& p : probs) {
+    RunConfig rc;
+    rc.mode = Mode::kCpuSerial;
+    futs.push_back(std::move(*engine.submit(P(p), rc)));
+  }
+  engine.wait();
+  bool ok = true;
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    const auto got = futs[k].get();
+    const auto want = solve_cpu_serial(probs[k], nullptr, nullptr, true);
+    ok = ok && got.table == want;
+  }
+  return ok;
+}
+
+template <typename P>
+bool lane_gate_case(const char* kind, std::size_t side, std::size_t batch,
+                    lddp::bench::JsonWriter& json) {
+  std::vector<P> probs;
+  probs.reserve(batch);
+  for (std::size_t k = 0; k < batch; ++k)
+    probs.emplace_back(rand_str(side, 2 * k + 1), rand_str(side, 2 * k + 2));
+  // Interleave the arms rep by rep and keep each arm's minimum: shared
+  // hosts throw multi-rep noise bursts, and back-to-back arms give both
+  // sides the same odds of landing in a quiet window — measuring one arm's
+  // reps consecutively lets a single burst poison that arm's whole min.
+  double on = lane_batch_wall(probs, /*lane_pack=*/-1);
+  double off = lane_batch_wall(probs, /*lane_pack=*/0);
+  for (int rep = 0; rep < 4; ++rep) {
+    on = std::min(on, lane_batch_wall(probs, /*lane_pack=*/-1));
+    off = std::min(off, lane_batch_wall(probs, /*lane_pack=*/0));
+  }
+  const double speedup = on > 0.0 ? off / on : 1.0;
+  const double cells = static_cast<double>(batch) *
+                       static_cast<double>(side + 1) *
+                       static_cast<double>(side + 1);
+  const std::string tag =
+      std::string("lane/") + kind + "/" + std::to_string(side);
+  json.record_wall(tag + "/packed", batch, on * 1e3, cells / on);
+  json.record_wall(tag + "/per-solve", batch, off * 1e3, cells / off);
+  std::printf("%-5s %6zu %6zu %12.3f %12.3f %7.2fx %13.0f\n", kind, side,
+              batch, on * 1e3, off * 1e3, speedup, cells / on);
+  return speedup >= 2.0;
+}
+
+/// Lane-packed vs per-solve ablation: same-class small serial solves —
+/// the regime inter-solve lane packing targets. Gates the CI perf smoke:
+/// >= 2x solves/sec on cohort-friendly batches, never worse on the mixed
+/// Table-I batch, and packed tables bit-identical to solo solves.
+bool lane_sweep(lddp::bench::JsonWriter& json) {
+  std::printf("\n=== Inter-solve lane packing: same-class batches, serial "
+              "CPU mode, wall best-of-3 [isa %s, width %zu] ===\n",
+              lanes::active_isa(), lanes::preferred_lane_width());
+  std::printf("%-5s %6s %6s %12s %12s %8s %13s\n", "kind", "side", "batch",
+              "packed_ms", "per_solve_ms", "speedup", "cells/s");
+  bool target_ok = true;
+  for (std::size_t side : {std::size_t{256}, std::size_t{512},
+                           std::size_t{1024}}) {
+    for (std::size_t batch : {std::size_t{8}, std::size_t{16}}) {
+      target_ok &= lane_gate_case<problems::LevenshteinProblem>("lev", side,
+                                                                batch, json);
+      target_ok &= lane_gate_case<problems::LcsProblem>("lcs", side, batch,
+                                                        json);
+    }
+  }
+
+  // Mixed batch (no large same-class cohorts): lane packing must never
+  // lose. 10% relative + 2ms absolute slack absorbs host timer noise.
+  bool mixed_ok = true;
+  for (std::size_t batch : {std::size_t{8}, std::size_t{16}}) {
+    const std::vector<MixCase> mix = make_mix(batch);
+    const double on = lddp::bench::min_wall_seconds(
+        [&] { run_batch(batch, BatchSched::kFifo, mix, true, -1); }, 3, 1);
+    const double off = lddp::bench::min_wall_seconds(
+        [&] { run_batch(batch, BatchSched::kFifo, mix, true, 0); }, 3, 1);
+    json.record_wall("lane/mixed/packed", batch, on * 1e3);
+    json.record_wall("lane/mixed/per-solve", batch, off * 1e3);
+    std::printf("mixed batch=%2zu: lane on %.3f ms, off %.3f ms\n", batch,
+                on * 1e3, off * 1e3);
+    if (on > off * 1.10 + 2e-3) mixed_ok = false;
+  }
+
+  // Bit-identity on a ragged cohort (same shape bucket, distinct sides).
+  std::vector<problems::LevenshteinProblem> ragged;
+  for (std::size_t k = 0; k < 8; ++k)
+    ragged.emplace_back(rand_str(257 + 7 * k, 90 + k),
+                        rand_str(300 - 5 * k, 190 + k));
+  const bool identity_ok = lane_identity(ragged);
+
+  std::printf("lane target (>=2x solves/sec, same-class batch >= 8): %s\n",
+              target_ok ? "PASS" : "FAIL");
+  std::printf("lane gate (never slower on mixed batches): %s\n",
+              mixed_ok ? "PASS" : "FAIL");
+  std::printf("lane gate (bit-identical to solo solves): %s\n",
+              identity_ok ? "PASS" : "FAIL");
+  return target_ok && mixed_ok && identity_ok;
+}
+
 bool sweep() {
   lddp::bench::JsonWriter json("batch_throughput");
   std::printf("\n=== Batch throughput: Table-I mix, Hetero-High, "
@@ -175,10 +323,11 @@ bool sweep() {
     }
   }
   const bool pack_ok = pack_sweep(json);
+  const bool lane_ok = lane_sweep(json);
   json.save();
   std::printf("throughput gate (>=1.5x solves/sec at batch >= 8): %s\n",
               throughput_ok ? "PASS" : "FAIL");
-  return pack_ok;
+  return pack_ok && lane_ok;
 }
 
 void BM_BatchMerge8(benchmark::State& state) {
@@ -194,6 +343,7 @@ BENCHMARK(BM_BatchMerge8)->Iterations(1)->UseManualTime();
 }  // namespace
 
 int main(int argc, char** argv) {
+  lddp::bench::stabilize_allocator();
   const bool pack_ok = sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -10,14 +10,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <climits>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "core/framework.h"
 #include "core/tuner.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 
 #ifndef LDDP_GIT_SHA
 #define LDDP_GIT_SHA "unknown"
@@ -27,6 +33,21 @@
 #endif
 
 namespace lddp::bench {
+
+/// Pins the glibc allocator for wall-clock benches. Without this, each
+/// rep's multi-megabyte DP tables are handed back to the kernel on free
+/// (heap trim, or munmap of mmap'd chunks) and soft-faulted back in on
+/// the next rep — ~1.5 us per 4 KiB page, which adds a constant
+/// ~13 ms to BOTH arms of an 8x4 MB ablation and flattens every real
+/// speedup toward 1x. Raising the trim and mmap thresholds keeps freed
+/// pages resident in the arena, so warmed reps measure compute rather
+/// than the VM subsystem. No-op on non-glibc platforms.
+inline void stabilize_allocator() {
+#if defined(__GLIBC__)
+  mallopt(M_TRIM_THRESHOLD, INT_MAX);
+  mallopt(M_MMAP_THRESHOLD, 64 * 1024 * 1024);
+#endif
+}
 
 /// Machine-readable results sink: collects one record per measured
 /// configuration and writes `BENCH_<name>.json` on save() — a flat array
@@ -63,6 +84,18 @@ class JsonWriter {
     record(label, size, stats.sim_seconds * 1e3, stats.real_seconds * 1e3);
   }
 
+  /// Wall-clock-only record for benches with no simulated timeline (e.g.
+  /// host-side throughput ablations). Emits no `simulated_ms` field —
+  /// previously such rows carried a misleading `"simulated_ms": 0.000000`.
+  /// `cells_per_s` > 0 additionally records achieved cell throughput.
+  void record_wall(const std::string& label, std::size_t size, double wall_ms,
+                   double cells_per_s = 0.0) {
+    Row r{label, size, 0.0, wall_ms};
+    r.has_sim = false;
+    r.cells_per_s = cells_per_s;
+    rows_.push_back(r);
+  }
+
   /// Writes BENCH_<name>.json in the current working directory.
   void save() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -81,11 +114,14 @@ class JsonWriter {
     std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"size\": %zu, "
-                   "\"simulated_ms\": %.6f, \"wall_ms\": %.6f}%s\n",
-                   r.label.c_str(), r.size, r.simulated_ms, r.wall_ms,
-                   i + 1 < rows_.size() ? "," : "");
+      std::fprintf(f, "    {\"name\": \"%s\", \"size\": %zu, ",
+                   r.label.c_str(), r.size);
+      if (r.has_sim) std::fprintf(f, "\"simulated_ms\": %.6f, ",
+                                  r.simulated_ms);
+      std::fprintf(f, "\"wall_ms\": %.6f", r.wall_ms);
+      if (r.cells_per_s > 0.0)
+        std::fprintf(f, ", \"cells_per_s\": %.0f", r.cells_per_s);
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -98,10 +134,29 @@ class JsonWriter {
     std::size_t size;
     double simulated_ms;
     double wall_ms;
+    double cells_per_s = 0.0;
+    bool has_sim = true;
   };
   std::string name_;
   std::vector<Row> rows_;
 };
+
+/// Best-of-N wall-clock measurement: runs `fn` `warmup` times untimed
+/// (caches, allocators, thread pools), then `reps` timed repetitions and
+/// returns the minimum in seconds — the standard estimator for host
+/// wall-clock, which is noisy upward only.
+template <typename Fn>
+double min_wall_seconds(Fn&& fn, int reps = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = -1.0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    const double s = sw.seconds();
+    if (best < 0.0 || s < best) best = s;
+  }
+  return best;
+}
 
 /// Solves once and feeds the simulated time to google-benchmark.
 template <typename P>

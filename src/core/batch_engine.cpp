@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/lane_kernels.h"
 #include "sim/platform.h"
 #include "sim/timeline_merge.h"
 
@@ -107,6 +108,12 @@ std::size_t BatchEngine::pending() const {
   return pending_.size();
 }
 
+std::size_t BatchEngine::lane_limit() const {
+  if (cfg_.lane_pack == 0) return 1;
+  if (cfg_.lane_pack < 0) return lanes::preferred_lane_width();
+  return static_cast<std::size_t>(std::min<long long>(cfg_.lane_pack, 64));
+}
+
 BatchEngine::Job* BatchEngine::pop_next_locked() {
   LDDP_DCHECK(!pending_.empty());
   std::size_t best = 0;
@@ -122,6 +129,27 @@ BatchEngine::Job* BatchEngine::pop_next_locked() {
   return job;
 }
 
+/// Pops the scheduler's next job plus — when it is lane-groupable —
+/// every same-class pending job (queue order) up to the lane cap, as one
+/// cohort. Non-lane jobs come back as singletons.
+std::vector<BatchEngine::Job*> BatchEngine::pop_cohort_locked() {
+  std::vector<Job*> cohort;
+  cohort.push_back(pop_next_locked());
+  Job* const head = cohort.front();
+  const std::size_t limit = lane_limit();
+  if (head->lane_exec == nullptr || limit <= 1) return cohort;
+  for (std::size_t k = 0; k < pending_.size() && cohort.size() < limit;) {
+    Job* const j = pending_[k];
+    if (j->lane_exec != nullptr && j->lane_key == head->lane_key) {
+      cohort.push_back(j);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      ++k;
+    }
+  }
+  return cohort;
+}
+
 void BatchEngine::run_job(Job& job, cpu::ThreadPool* pool) {
   // Per-solve quota view over the shared arenas: concurrent solves reuse
   // buffers across the batch but none can hoard the cache.
@@ -135,11 +163,30 @@ void BatchEngine::run_job(Job& job, cpu::ThreadPool* pool) {
   cv_done_.notify_all();
 }
 
+/// Executes one popped cohort: lane jobs (even singleton ones) go through
+/// lane_exec as a unit; everything else is the per-solve run_job path.
+void BatchEngine::run_cohort(const std::vector<Job*>& cohort,
+                             cpu::ThreadPool* pool) {
+  Job* const head = cohort.front();
+  if (head->lane_exec == nullptr) {
+    LDDP_DCHECK(cohort.size() == 1);
+    run_job(*head, pool);
+    return;
+  }
+  head->lane_exec(const_cast<Job**>(cohort.data()), cohort.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Job* j : cohort) j->done = true;
+    running_ -= cohort.size();
+  }
+  cv_done_.notify_all();
+}
+
 void BatchEngine::drain_one_locked(std::unique_lock<std::mutex>& lock) {
-  Job* job = pop_next_locked();
-  ++running_;
+  const std::vector<Job*> cohort = pop_cohort_locked();
+  running_ += cohort.size();
   lock.unlock();
-  run_job(*job, slot_pool(0));
+  run_cohort(cohort, slot_pool(0));
   lock.lock();
   cv_space_.notify_all();
 }
@@ -166,16 +213,16 @@ bool BatchEngine::admit(std::unique_ptr<Job> job) {
 
 void BatchEngine::worker_loop(std::size_t slot) {
   for (;;) {
-    Job* job;
+    std::vector<Job*> cohort;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || !pending_.empty(); });
       if (pending_.empty()) return;  // stop_ and nothing left
-      job = pop_next_locked();
-      ++running_;
+      cohort = pop_cohort_locked();
+      running_ += cohort.size();
     }
     cv_space_.notify_all();
-    run_job(*job, slot_pool(slot));
+    run_cohort(cohort, slot_pool(slot));
   }
 }
 
@@ -282,6 +329,24 @@ BatchReport BatchEngine::build_report(
     report.serial_sim_seconds += item.solve.sim_seconds;
     if (jobs[j]->batch_kernels) ++report.batch_kernel_solves;
   }
+  // Lane-packing counters: heads carry their cohort's lockstep tally.
+  std::size_t lane_lockstep = 0, lane_total = 0;
+  for (const auto& job : jobs) {
+    if (!job->lane_key.empty()) ++report.lane_eligible_solves;
+    if (job->lane_cohort >= 2) ++report.lane_packed_solves;
+    if (job->lane_head) {
+      if (job->lane_cohort >= 2) ++report.lane_cohorts;
+      lane_lockstep += job->lane_lockstep_cells;
+      lane_total += job->lane_total_cells;
+    }
+  }
+  if (lane_total > 0)
+    report.lane_occupancy =
+        static_cast<double>(lane_lockstep) / static_cast<double>(lane_total);
+  if (report.lane_eligible_solves > 0)
+    report.lane_hit_rate =
+        static_cast<double>(report.lane_packed_solves) /
+        static_cast<double>(report.lane_eligible_solves);
   report.sim_makespan = platform.elapsed();
   if (report.sim_makespan > 0.0) {
     report.solves_per_sec =

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "core/lane_cohort.h"
 #include "core/run_config.h"
 #include "core/tuner.h"
 #include "cpu/thread_pool.h"
@@ -104,6 +105,17 @@ struct BatchConfig {
   /// only merged simulated timing changes. Individual requests opt out via
   /// RunConfig::pack_solves = 0.
   bool pack_solves = true;
+  /// Inter-solve SIMD lane packing: small CPU-resolved requests of the
+  /// same solve class (SolveClassKey — problem kind, contributing set,
+  /// resolved mode, power-of-two shape bucket) are grouped into cohorts
+  /// and executed in vector lockstep, one SIMD lane per solve
+  /// (core/lane_cohort.h), instead of one-at-a-time through the
+  /// per-solve path. -1 (default) caps cohorts at the active ISA's
+  /// preferred lane width (8 with AVX2, else 4); 0 disables; N > 0 caps
+  /// cohorts at N lanes. Results are bit-identical to solo solves; lane
+  /// jobs record a serial-scan-priced timeline independent of the cohort
+  /// they land in, so the merged report stays deterministic.
+  long long lane_pack = -1;
   /// Resolve auto heterogeneous parameters (t_switch / t_share unset,
   /// tile = -1) through the engine's cross-solve TunerCache: the first
   /// request of an equivalence class pays one tuning sweep, later ones
@@ -152,6 +164,16 @@ struct BatchReport {
   /// through the calibrated vector-throughput term, the simulated CPU
   /// speed — never results.
   std::size_t batch_kernel_solves = 0;
+  // Inter-solve lane packing outcome of this batch (real execution;
+  // results are unchanged, wall-clock throughput is what moves).
+  std::size_t lane_eligible_solves = 0;  ///< submitted lane-eligible
+  std::size_t lane_packed_solves = 0;    ///< ran in a cohort of >= 2
+  std::size_t lane_cohorts = 0;          ///< multi-lane cohorts formed
+  /// Cells computed in vector lockstep / cells of all lane-executed
+  /// solves (1.0 = every cell rode a full-width vector op).
+  double lane_occupancy = 0.0;
+  /// lane_packed_solves / lane_eligible_solves.
+  double lane_hit_rate = 0.0;
   // Cross-solve tuning cache counters (cumulative since engine creation).
   std::size_t tuner_lookups = 0;
   std::size_t tuner_hits = 0;
@@ -167,6 +189,24 @@ namespace detail {
 double estimate_solve_seconds(const sim::PlatformSpec& platform,
                               const cpu::WorkProfile& work,
                               std::size_t cells);
+
+/// Lane-eligibility ceiling: lane packing targets the many-small-solves
+/// regime, where per-solve fronts are too short for intra-front SIMD.
+/// 2M cells admits sequence problems up to ~1448^2 (1024-char inputs);
+/// beyond that a solve fills vectors fine on its own and the interleaved
+/// tables would just burn cache.
+inline constexpr std::size_t kLaneMaxCells = 2'097'152;
+
+/// Everything a lane-packed job needs at cohort-execution time. Owned by
+/// the job as a type-erased shared_ptr; the lane_exec fn pointer (bound
+/// to the problem type at submit()) casts it back.
+template <LddpProblem P>
+struct LanePayload {
+  P problem;
+  RunConfig rc;
+  std::shared_ptr<std::promise<SolveResult<P>>> promise;
+  sim::PlatformSpec platform;
+};
 
 }  // namespace detail
 
@@ -200,6 +240,24 @@ class BatchEngine {
     job->packable =
         rc.pack_solves == -1 ? cfg_.pack_solves : rc.pack_solves != 0;
     job->batch_kernels = rc.batch_kernels;
+    // Lane packing: small CPU-resolved requests become cohort-groupable
+    // lane jobs, executed by lane_exec over the whole cohort instead of
+    // job->run. Eligibility is a pure function of the request (never of
+    // what else is in flight), so the recorded timeline — serial-scan
+    // pricing, the reference mode for lane cohorts — is deterministic.
+    const std::size_t cells = problem.rows() * problem.cols();
+    const Mode resolved = detail::resolve_auto(rc.mode, cells);
+    if (lane_limit() > 1 && rc.batch_kernels &&
+        (resolved == Mode::kCpuSerial || resolved == Mode::kCpuParallel) &&
+        cells <= detail::kLaneMaxCells) {
+      job->lane_key = make_solve_class_key(problem, rc).token();
+      job->lane_exec = &BatchEngine::lane_exec_impl<P>;
+      job->lane_payload = std::make_shared<detail::LanePayload<P>>(
+          detail::LanePayload<P>{std::move(problem), rc, promise,
+                                 cfg_.platform});
+      if (!admit(std::move(job))) return std::nullopt;
+      return future;
+    }
     job->run = [problem = std::move(problem), rc, promise,
                 platform = cfg_.platform, tune_auto = cfg_.tune_auto,
                 tuner = &tuner_cache_](Job& j, cpu::ThreadPool* pool,
@@ -252,11 +310,87 @@ class BatchEngine {
     SolveStats stats;
     bool failed = false;
     bool done = false;
+    // Lane packing: a non-empty lane_key makes the job cohort-groupable
+    // with same-key jobs; lane_exec (bound to the problem type) then runs
+    // the whole cohort and fulfils every promise, replacing job->run.
+    std::string lane_key;
+    void (*lane_exec)(Job**, std::size_t) = nullptr;
+    std::shared_ptr<void> lane_payload;
+    std::size_t lane_cohort = 0;  // lanes in the cohort it ran in (0=not lane)
+    bool lane_head = false;       // first job of its cohort (stats carrier)
+    std::size_t lane_lockstep_cells = 0;  // head only: cohort lockstep cells
+    std::size_t lane_total_cells = 0;     // head only: cohort total cells
   };
+
+  /// Executes one cohort of same-class lane jobs (size >= 1): solves them
+  /// in SIMD lockstep, prices each exactly like a solo serial scan, and
+  /// fulfils every promise. A cohort-level failure re-runs each lane alone
+  /// so one poisoned request cannot fail its cohort-mates.
+  template <LddpProblem P>
+  static void lane_exec_impl(Job** cohort, std::size_t n) {
+    std::vector<detail::LanePayload<P>*> pls(n);
+    std::vector<const P*> probs(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      pls[k] =
+          static_cast<detail::LanePayload<P>*>(cohort[k]->lane_payload.get());
+      probs[k] = &pls[k]->problem;
+    }
+    Stopwatch wall;
+    detail::LaneExecStats lst;
+    std::vector<Grid<typename P::Value>> tables;
+    bool cohort_ok = true;
+    try {
+      tables = detail::solve_lane_cohort(probs, /*batch_kernels=*/true, &lst);
+    } catch (...) {
+      cohort_ok = false;
+    }
+    const double per_solve_wall =
+        wall.seconds() / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      Job& j = *cohort[k];
+      const P& p = pls[k]->problem;
+      try {
+        Grid<typename P::Value> table =
+            cohort_ok ? std::move(tables[k])
+                      : std::move(detail::solve_lane_cohort(
+                            std::vector<const P*>{&p}, true, nullptr)[0]);
+        // Identical pricing to a solo serial scan (solve_cpu_serial),
+        // independent of the cohort this job landed in — the merged
+        // simulated report must not depend on racy cohort formation.
+        const ContributingSet deps = p.deps();
+        const bool use_batch = has_batch_front_v<P> && !deps.has_w();
+        sim::Platform plat(pls[k]->platform);
+        plat.cpu_charge(p.rows() * p.cols(),
+                        detail::cpu_work_for(p, use_batch),
+                        /*parallel=*/false);
+        SolveStats stats;
+        stats.mode_used = Mode::kCpuSerial;
+        stats.pattern = classify(deps);
+        stats.transfer = TransferNeed::kNone;
+        stats.fronts = p.rows();
+        stats.cells = p.rows() * p.cols();
+        detail::finish_stats(stats, plat, per_solve_wall);
+        j.recorded = plat.timeline();
+        j.stats = stats;
+        pls[k]->promise->set_value(
+            SolveResult<P>{std::move(table), stats});
+      } catch (...) {
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
+      }
+      j.lane_cohort = n;
+    }
+    cohort[0]->lane_head = true;
+    cohort[0]->lane_lockstep_cells = cohort_ok ? lst.lockstep_cells : 0;
+    cohort[0]->lane_total_cells = cohort_ok ? lst.total_cells : 0;
+  }
 
   bool admit(std::unique_ptr<Job> job);
   Job* pop_next_locked();
+  std::vector<Job*> pop_cohort_locked();
+  std::size_t lane_limit() const;
   void run_job(Job& job, cpu::ThreadPool* pool);
+  void run_cohort(const std::vector<Job*>& cohort, cpu::ThreadPool* pool);
   void worker_loop(std::size_t slot);
   void drain_one_locked(std::unique_lock<std::mutex>& lock);
   BatchReport build_report(

@@ -15,6 +15,7 @@
 #include "core/front_span.h"
 #include "core/strategies/common.h"
 #include "tables/layout.h"
+#include "util/aligned.h"
 #include "util/check.h"
 
 namespace lddp::detail {
@@ -167,13 +168,14 @@ inline void interior_lanes(const FrontRun& r, ContributingSet deps,
 // --- Span assembly ------------------------------------------------------
 
 /// Per-thread gather/scatter scratch (workers of the pool batch
-/// concurrently over disjoint chunks of one front).
+/// concurrently over disjoint chunks of one front). 64-byte aligned so
+/// the problems' SIMD kernels — and the 32-byte AVX2 lane tier — can use
+/// aligned vector loads/stores on spans packed through the scratch path
+/// (span base = buffer base, so offset-0 vectors are always aligned).
 template <typename V>
 inline V* batch_scratch(std::size_t slot, std::size_t len) {
-  thread_local std::vector<V> bufs[5];
-  auto& b = bufs[slot];
-  if (b.size() < len) b.resize(len);
-  return b.data();
+  thread_local AlignedBuf<V> bufs[5];
+  return bufs[slot].ensure(len);
 }
 
 /// Executes cells [lo, hi) (positions within front f) over storage

@@ -23,11 +23,24 @@ namespace lddp {
 ///    neighbour's value at index k, already final (neighbours of interior
 ///    lanes live in earlier fronts); pointers of unused deps are null;
 ///  * out[k] receives lane k's value; out does not alias the inputs.
+///
+/// Lane packing (inter-solve vectorization): `lanes` > 1 declares that
+/// each front position carries the same cell of `lanes` interleaved
+/// solves — position k's values for all solves occupy elements
+/// [k * lane_stride, k * lane_stride + lanes) of every span, with
+/// lane_stride >= lanes (padded to a vector-width multiple so aligned
+/// vector access works at every position; padding elements replicate
+/// solve 0). The per-solve hooks in the problem headers implement only
+/// lanes == 1 (and return false otherwise); interleaved spans are
+/// executed by the lane-generic kernels in core/lane_kernels.h, which
+/// the lane-cohort driver dispatches by ISA at runtime.
 template <typename V>
 struct FrontSpan {
   std::size_t i0 = 0, j0 = 0;    ///< grid coordinates of lane 0
   std::ptrdiff_t di = 0, dj = 0; ///< per-lane step through the grid
   std::size_t len = 0;
+  std::size_t lanes = 1;         ///< interleaved solves per position
+  std::size_t lane_stride = 1;   ///< elements between positions (>= lanes)
   const V* w = nullptr;
   const V* nw = nullptr;
   const V* n = nullptr;

@@ -1,0 +1,135 @@
+// Baseline lane-kernel table (I32x4: SSE2 on x86-64, scalar elsewhere)
+// and the runtime ISA dispatcher. This TU is compiled with the project's
+// default flags; the 8-wide table lives in lane_kernels_avx2.cpp, which
+// is the only TU built with -mavx2 (see the ODR note in util/simd.h).
+
+#include "core/lane_kernels.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/lane_kernels_impl.h"
+#include "util/simd.h"
+
+namespace lddp::lanes {
+
+/// Defined in lane_kernels_avx2.cpp: the 8-wide kernel table, or nullptr
+/// when that TU was compiled without AVX2 support (toolchain lacks
+/// -mavx2).
+const RowKernelFn* avx2_row_kernels();
+
+/// Defined in lane_kernels_avx2.cpp: the 8x8-transpose scatter, or
+/// nullptr without AVX2 support.
+ScatterFn avx2_lane_scatter();
+
+namespace {
+
+std::atomic<bool> g_force_baseline{false};
+
+bool env_forces_baseline() {
+  static const bool forced = [] {
+    const char* v = std::getenv("LDDP_FORCE_ISA");
+    return v != nullptr && std::strcmp(v, "sse2") == 0;
+  }();
+  return forced;
+}
+
+const std::array<RowKernelFn, kNumRowOps>& baseline_table() {
+  static const auto table = detail::make_table<simd::I32x4>();
+  return table;
+}
+
+/// The 8-wide table when the binary carries one AND the running CPU
+/// admits it AND nothing pins the baseline; nullptr otherwise. Under
+/// `__AVX2__` (LDDP_NATIVE builds) the cpuid probe folds to a constant
+/// and dispatch is effectively static.
+const RowKernelFn* avx2_table_if_usable() {
+  if (g_force_baseline.load(std::memory_order_relaxed) ||
+      env_forces_baseline())
+    return nullptr;
+  if (!simd::cpu_supports_avx2()) return nullptr;
+  return avx2_row_kernels();
+}
+
+/// Baseline scatter: 4x4 int32 transposes on SSE2 (row is 64-byte
+/// aligned and width a multiple of 4, so every block load is aligned),
+/// plain loops elsewhere. Lane groups past nlanes are transposed but not
+/// stored — padding lanes carry real values (they alias lane 0) so the
+/// loads are always in bounds.
+void scatter_baseline(const std::int32_t* row, std::size_t width,
+                      std::size_t j0, std::size_t j1,
+                      std::int32_t* const* outs, std::size_t nlanes) {
+#if LDDP_SIMD_SSE2
+  std::size_t j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    for (std::size_t s4 = 0; s4 < nlanes; s4 += 4) {
+      const std::int32_t* const p = row + j * width + s4;
+      const auto* const v = reinterpret_cast<const __m128i*>(p);
+      const __m128i r0 = _mm_load_si128(v);
+      const __m128i r1 = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(p + width));
+      const __m128i r2 = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(p + 2 * width));
+      const __m128i r3 = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(p + 3 * width));
+      const __m128i t0 = _mm_unpacklo_epi32(r0, r1);
+      const __m128i t1 = _mm_unpackhi_epi32(r0, r1);
+      const __m128i t2 = _mm_unpacklo_epi32(r2, r3);
+      const __m128i t3 = _mm_unpackhi_epi32(r2, r3);
+      const __m128i o[4] = {
+          _mm_unpacklo_epi64(t0, t2), _mm_unpackhi_epi64(t0, t2),
+          _mm_unpacklo_epi64(t1, t3), _mm_unpackhi_epi64(t1, t3)};
+      const std::size_t se = std::min<std::size_t>(nlanes - s4, 4);
+      for (std::size_t t = 0; t < se; ++t)
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(outs[s4 + t] + j),
+                         o[t]);
+    }
+  }
+  for (; j < j1; ++j)
+    for (std::size_t s = 0; s < nlanes; ++s)
+      outs[s][j] = row[j * width + s];
+#else
+  for (std::size_t s = 0; s < nlanes; ++s)
+    for (std::size_t j = j0; j < j1; ++j)
+      outs[s][j] = row[j * width + s];
+#endif
+}
+
+}  // namespace
+
+ScatterFn lane_scatter(std::size_t width) {
+  if (width % 8 == 0 && avx2_table_if_usable() != nullptr) {
+    if (const ScatterFn f = avx2_lane_scatter()) return f;
+  }
+  return &scatter_baseline;
+}
+
+RowKernelFn row_kernel(RowOp op, std::size_t width) {
+  const auto idx = static_cast<std::size_t>(op);
+  if (width % 8 == 0) {
+    if (const RowKernelFn* t8 = avx2_table_if_usable()) return t8[idx];
+  }
+  return baseline_table()[idx];
+}
+
+std::size_t preferred_lane_width() {
+  return avx2_table_if_usable() != nullptr ? 8 : 4;
+}
+
+const char* active_isa() {
+  if (avx2_table_if_usable() != nullptr) return "avx2";
+#if LDDP_SIMD_SSE2
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+void force_baseline_kernels(bool on) {
+  g_force_baseline.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace lddp::lanes

@@ -1,0 +1,122 @@
+// Lane-generic row kernels for lane-packed multi-solve execution, with
+// runtime ISA dispatch.
+//
+// The per-solve batch-front hooks (compute_front in the problem headers)
+// vectorize WITHIN one solve's front, which only pays off once fronts are
+// long; the serving path's small solves (L < 256) barely beat scalar
+// there. The lane kernels vectorize ACROSS solves instead: one SIMD lane
+// per solve, S same-shaped solves in lockstep over a lane-major
+// interleaved row (tables/lane_grid.h), so every load/store is one
+// unit-stride vector op regardless of front length — the classic
+// inter-task vectorization of hybrid wavefront systems (Teodoro et al.).
+//
+// Each problem family reduces to one of a small set of row recurrences
+// (RowOp); the kernel bodies are templates over the vector type
+// (lane_kernels_impl.h) instantiated twice:
+//   * lane_kernels.cpp       — baseline TU, I32x4 (SSE2 / scalar), and
+//                              the runtime dispatcher;
+//   * lane_kernels_avx2.cpp  — compiled with -mavx2 when the compiler
+//                              supports it, I32x8.
+// row_kernel() picks the widest table the RUNNING cpu admits (cpuid
+// probe; static under `__AVX2__`, i.e. LDDP_NATIVE builds), so one
+// binary serves both machines. The LDDP_FORCE_ISA=sse2 environment
+// variable — or force_baseline_kernels(true) in tests — pins the 4-wide
+// table to exercise the fallback path on AVX2 hardware.
+//
+// Every op is exact signed int32 arithmetic; packed results are
+// bit-identical to the scalar recurrence by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lddp::lanes {
+
+/// One interleaved row step of a lane cohort: compute columns [j0, j1) of
+/// row `i` for all `width` interleaved lanes. Element (j, s) of a row
+/// pointer lives at ptr[j * width + s]; `width` is a multiple of the
+/// kernel's vector width and all pointers are 64-byte aligned with
+/// column offsets that preserve alignment.
+template <typename V>
+struct RowCtx {
+  std::size_t width = 0;  ///< interleave stride (elements), lanes padded
+  std::size_t i = 0;      ///< row being computed (>= 1)
+  std::size_t j0 = 1;     ///< first column (>= 1; column 0 already final)
+  std::size_t j1 = 0;     ///< one past the last column
+  const V* prev = nullptr;  ///< interleaved row i-1, fully final
+  V* row = nullptr;         ///< interleaved row i; [0, j0) already final
+  /// Per-lane scalar input (width entries; e.g. the row's character of
+  /// each lane's `a` string, or each lane's additive constant).
+  const std::int32_t* lane_a = nullptr;
+  /// Interleaved per-column input (same (j, s) addressing as the rows;
+  /// e.g. cost rows, widened bits, widened `b` characters).
+  const std::int32_t* col_b = nullptr;
+};
+
+/// The row recurrences the int32 problem families reduce to.
+enum class RowOp : int {
+  kLevenshtein = 0,  ///< eq ? nw : min(w, nw, n) + 1
+  kLcs,              ///< eq ? nw + 1 : max(w, n)
+  kMinPlus,          ///< min(nw, n, ne) + cost   (checkerboard, seam)
+  kMaxSquare,        ///< bit ? min(w, nw, n) + 1 : 0
+  kMinNwN,           ///< min(nw, n) + c          (synthetic case-1)
+};
+inline constexpr int kNumRowOps = 5;
+
+using RowKernelFn = void (*)(const RowCtx<std::int32_t>&);
+
+/// The kernel for `op` at interleave width `width` (a multiple of 4):
+/// the 8-wide AVX2 table when it exists, the running CPU supports AVX2
+/// and 8 divides `width`; the baseline 4-wide table otherwise. Never
+/// null.
+RowKernelFn row_kernel(RowOp op, std::size_t width);
+
+/// De-interleaves columns [j0, j1) of an interleaved lane row into the
+/// per-lane table rows: outs[s][j] = row[j * width + s] for every lane
+/// s < nlanes (padding lanes are simply not scattered). The scalar form
+/// of this scatter costs ~3x the row kernel itself — every element is a
+/// strided load — so it dispatches like row_kernel: 8x8 in-register
+/// transposes when the AVX2 tier is live and 8 divides `width`, 4x4
+/// SSE2 transposes otherwise (plain loops off x86). `row` is 64-byte
+/// aligned with width a multiple of 4; outs[s] + j0 is unaligned.
+using ScatterFn = void (*)(const std::int32_t* row, std::size_t width,
+                           std::size_t j0, std::size_t j1,
+                           std::int32_t* const* outs, std::size_t nlanes);
+
+/// The de-interleave scatter for interleave width `width`. Never null.
+ScatterFn lane_scatter(std::size_t width);
+
+/// Widest interleave the active dispatch will vectorize: 8 when the AVX2
+/// table is live, else 4. The lane-cohort driver pads cohorts to a
+/// multiple of 4 and this bounds how many lanes one kernel call covers.
+std::size_t preferred_lane_width();
+
+/// "avx2", "sse2" or "scalar" — which tier row_kernel() hands out at
+/// preferred width (reports, tests).
+const char* active_isa();
+
+/// Test hook: pin dispatch to the baseline 4-wide table (true) or restore
+/// runtime probing (false). The LDDP_FORCE_ISA=sse2 environment variable
+/// applies the same pin at startup.
+void force_baseline_kernels(bool on);
+
+/// Lane-execution traits a problem opts into by specializing (done in the
+/// problem headers, next to the per-solve compute_front hook they
+/// generalize). The primary template marks a problem lane-UNAWARE: its
+/// cohorts still execute through the lane driver (grouping, stats,
+/// per-lane row path) but without interleaved vector lockstep.
+///
+/// An enabled specialization provides:
+///   struct State;  // kernel fn + input staging buffers
+///   static State make(const P* const* lanes, std::size_t width,
+///                     std::size_t min_rows, std::size_t min_cols);
+///   static void fill_row(State&, const P* const* lanes,
+///                        std::size_t width, std::size_t i);
+///   static void run(const State&, RowCtx<typename P::Value> ctx);
+/// `lanes` has `width` entries; padding entries alias lane 0.
+template <typename P>
+struct LaneTraits {
+  static constexpr bool enabled = false;
+};
+
+}  // namespace lddp::lanes

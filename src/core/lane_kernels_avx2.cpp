@@ -1,0 +1,96 @@
+// The 8-wide (I32x8) lane-kernel table. This is the ONLY translation
+// unit in the baseline build compiled with -mavx2 (CMake attaches the
+// flag per-source when the compiler supports it): the dispatcher in
+// lane_kernels.cpp takes this table exclusively behind a runtime cpuid
+// probe, so no VEX-256 instruction is reachable on a non-AVX2 machine.
+// When the toolchain cannot target AVX2 at all, the table degrades to
+// nullptr and dispatch stays on the baseline tier.
+
+#include "core/lane_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <algorithm>
+#include <array>
+
+#include "core/lane_kernels_impl.h"
+#include "util/simd.h"
+
+namespace lddp::lanes {
+
+const RowKernelFn* avx2_row_kernels() {
+  static const std::array<RowKernelFn, kNumRowOps> table =
+      detail::make_table<simd::I32x8>();
+  return table.data();
+}
+
+namespace {
+
+/// 8x8 int32 in-register transpose scatter: eight aligned column loads
+/// (row is 64-byte aligned, width a multiple of 8) become eight
+/// unaligned per-lane stores of 8 consecutive columns each. Lane groups
+/// past nlanes are transposed but not stored — padding lanes alias lane
+/// 0, so the loads stay in bounds.
+void scatter_avx2(const std::int32_t* row, std::size_t width,
+                  std::size_t j0, std::size_t j1,
+                  std::int32_t* const* outs, std::size_t nlanes) {
+  std::size_t j = j0;
+  for (; j + 8 <= j1; j += 8) {
+    for (std::size_t s8 = 0; s8 < nlanes; s8 += 8) {
+      const std::int32_t* const p = row + j * width + s8;
+      __m256i r[8];
+      for (int k = 0; k < 8; ++k)
+        r[k] = _mm256_load_si256(reinterpret_cast<const __m256i*>(
+            p + static_cast<std::size_t>(k) * width));
+      const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+      const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+      const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+      const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+      const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+      const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+      const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+      const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+      const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+      const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+      const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+      const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+      const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+      const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+      const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+      const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+      const __m256i o[8] = {_mm256_permute2x128_si256(u0, u4, 0x20),
+                            _mm256_permute2x128_si256(u1, u5, 0x20),
+                            _mm256_permute2x128_si256(u2, u6, 0x20),
+                            _mm256_permute2x128_si256(u3, u7, 0x20),
+                            _mm256_permute2x128_si256(u0, u4, 0x31),
+                            _mm256_permute2x128_si256(u1, u5, 0x31),
+                            _mm256_permute2x128_si256(u2, u6, 0x31),
+                            _mm256_permute2x128_si256(u3, u7, 0x31)};
+      const std::size_t se = std::min<std::size_t>(nlanes - s8, 8);
+      for (std::size_t t = 0; t < se; ++t)
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(outs[s8 + t] + j),
+                            o[t]);
+    }
+  }
+  for (; j < j1; ++j)
+    for (std::size_t s = 0; s < nlanes; ++s)
+      outs[s][j] = row[j * width + s];
+}
+
+}  // namespace
+
+ScatterFn avx2_lane_scatter() { return &scatter_avx2; }
+
+}  // namespace lddp::lanes
+
+#else  // !__AVX2__
+
+namespace lddp::lanes {
+
+const RowKernelFn* avx2_row_kernels() { return nullptr; }
+
+ScatterFn avx2_lane_scatter() { return nullptr; }
+
+}  // namespace lddp::lanes
+
+#endif

@@ -1,0 +1,118 @@
+// Template bodies of the lane-generic row kernels. Included ONLY by the
+// two instantiating TUs — lane_kernels.cpp (baseline, I32x4) and
+// lane_kernels_avx2.cpp (-mavx2, I32x8) — never by headers, so each
+// vector type's code is generated exactly once, in a TU whose ISA flags
+// match it (see the ODR note atop util/simd.h).
+//
+// All kernels walk lane blocks in the outer loop and columns in the
+// inner loop: with the interleave width fixed per cohort, each block of
+// Vec::kLanes solves carries its row recurrence left-to-right with the
+// W value (when the op uses it) held in a register — the serial
+// row-major scan of cpu_strategy.h, run for kLanes solves at once. Ops
+// are exact signed int32; results are bit-identical to the scalar path.
+#pragma once
+
+#include <array>
+
+#include "core/lane_kernels.h"
+#include "util/simd.h"
+
+namespace lddp::lanes::detail {
+
+// eq ? nw : min(w, nw, n) + 1 — levenshtein. lane_a holds each lane's
+// a[i-1] widened to int32; col_b holds widened b[j-1] interleaved.
+template <typename Vec>
+void row_levenshtein(const RowCtx<std::int32_t>& c) {
+  const Vec one = Vec::broadcast(1);
+  for (std::size_t s = 0; s < c.width; s += Vec::kLanes) {
+    const Vec ai = Vec::load_aligned(c.lane_a + s);
+    Vec w = Vec::load_aligned(c.row + (c.j0 - 1) * c.width + s);
+    for (std::size_t j = c.j0; j < c.j1; ++j) {
+      const Vec nw = Vec::load_aligned(c.prev + (j - 1) * c.width + s);
+      const Vec n = Vec::load_aligned(c.prev + j * c.width + s);
+      const Vec bj = Vec::load_aligned(c.col_b + j * c.width + s);
+      const Vec sub = simd::add(simd::min(simd::min(w, nw), n), one);
+      const Vec out = simd::blend(simd::cmpeq(ai, bj), nw, sub);
+      out.store_aligned(c.row + j * c.width + s);
+      w = out;
+    }
+  }
+}
+
+// eq ? nw + 1 : max(w, n) — lcs. Same staging as levenshtein.
+template <typename Vec>
+void row_lcs(const RowCtx<std::int32_t>& c) {
+  const Vec one = Vec::broadcast(1);
+  for (std::size_t s = 0; s < c.width; s += Vec::kLanes) {
+    const Vec ai = Vec::load_aligned(c.lane_a + s);
+    Vec w = Vec::load_aligned(c.row + (c.j0 - 1) * c.width + s);
+    for (std::size_t j = c.j0; j < c.j1; ++j) {
+      const Vec nw = Vec::load_aligned(c.prev + (j - 1) * c.width + s);
+      const Vec n = Vec::load_aligned(c.prev + j * c.width + s);
+      const Vec bj = Vec::load_aligned(c.col_b + j * c.width + s);
+      const Vec out = simd::blend(simd::cmpeq(ai, bj),
+                                  simd::add(nw, one), simd::max(w, n));
+      out.store_aligned(c.row + j * c.width + s);
+      w = out;
+    }
+  }
+}
+
+// min(nw, n, ne) + cost — checkerboard / seam_carving. col_b holds the
+// interleaved cost row; no W dependence, so no carry.
+template <typename Vec>
+void row_min_plus(const RowCtx<std::int32_t>& c) {
+  for (std::size_t s = 0; s < c.width; s += Vec::kLanes) {
+    for (std::size_t j = c.j0; j < c.j1; ++j) {
+      const Vec nw = Vec::load_aligned(c.prev + (j - 1) * c.width + s);
+      const Vec n = Vec::load_aligned(c.prev + j * c.width + s);
+      const Vec ne = Vec::load_aligned(c.prev + (j + 1) * c.width + s);
+      const Vec cost = Vec::load_aligned(c.col_b + j * c.width + s);
+      const Vec out = simd::add(simd::min(simd::min(nw, n), ne), cost);
+      out.store_aligned(c.row + j * c.width + s);
+    }
+  }
+}
+
+// bit ? min(w, nw, n) + 1 : 0 — max_square. col_b holds the interleaved
+// occupancy bits widened to int32 (0 or 1).
+template <typename Vec>
+void row_max_square(const RowCtx<std::int32_t>& c) {
+  const Vec one = Vec::broadcast(1);
+  const Vec zero = Vec::broadcast(0);
+  for (std::size_t s = 0; s < c.width; s += Vec::kLanes) {
+    Vec w = Vec::load_aligned(c.row + (c.j0 - 1) * c.width + s);
+    for (std::size_t j = c.j0; j < c.j1; ++j) {
+      const Vec nw = Vec::load_aligned(c.prev + (j - 1) * c.width + s);
+      const Vec n = Vec::load_aligned(c.prev + j * c.width + s);
+      const Vec bit = Vec::load_aligned(c.col_b + j * c.width + s);
+      const Vec grown = simd::add(simd::min(simd::min(w, nw), n), one);
+      const Vec out = simd::blend(simd::cmpeq(bit, zero), zero, grown);
+      out.store_aligned(c.row + j * c.width + s);
+      w = out;
+    }
+  }
+}
+
+// min(nw, n) + c — synthetic MinNwN. lane_a holds each lane's additive
+// constant.
+template <typename Vec>
+void row_min_nw_n(const RowCtx<std::int32_t>& c) {
+  for (std::size_t s = 0; s < c.width; s += Vec::kLanes) {
+    const Vec addc = Vec::load_aligned(c.lane_a + s);
+    for (std::size_t j = c.j0; j < c.j1; ++j) {
+      const Vec nw = Vec::load_aligned(c.prev + (j - 1) * c.width + s);
+      const Vec n = Vec::load_aligned(c.prev + j * c.width + s);
+      const Vec out = simd::add(simd::min(nw, n), addc);
+      out.store_aligned(c.row + j * c.width + s);
+    }
+  }
+}
+
+template <typename Vec>
+std::array<RowKernelFn, kNumRowOps> make_table() {
+  return {&row_levenshtein<Vec>, &row_lcs<Vec>, &row_min_plus<Vec>,
+          &row_max_square<Vec>, &row_min_nw_n<Vec>};
+}
+
+}  // namespace lddp::lanes::detail

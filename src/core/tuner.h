@@ -169,6 +169,64 @@ TuneResult tune(const P& p, RunConfig cfg, int samples_per_sweep = 17) {
   return out;
 }
 
+/// Equivalence class of a solve for cross-solve machinery: the inputs a
+/// swept optimum — or a lane-packable cohort — actually depends on.
+/// (problem kind, contributing set, floor-log2 shape bucket, resolved
+/// mode, fused pricing, tile-auto). Shared by the TunerCache (class →
+/// tuned parameters) and the batch engine's lane packing (same class +
+/// same bucket → solves can run in SIMD lockstep; sides within one
+/// power-of-two bucket pack as a ragged cohort).
+struct SolveClassKey {
+  std::string kind;  ///< typeid name of the problem type
+  std::uint8_t deps = 0;
+  int row_bucket = 0, col_bucket = 0;
+  Mode mode = Mode::kAuto;
+  bool fused = true;
+  bool tile_auto = false;
+
+  bool operator<(const SolveClassKey& o) const {
+    return std::tie(kind, deps, row_bucket, col_bucket, mode, fused,
+                    tile_auto) < std::tie(o.kind, o.deps, o.row_bucket,
+                                          o.col_bucket, o.mode, o.fused,
+                                          o.tile_auto);
+  }
+  bool operator==(const SolveClassKey& o) const {
+    return !(*this < o) && !(o < *this);
+  }
+
+  /// Flat string form (for use as a grouping token where a string field
+  /// is more convenient than the struct).
+  std::string token() const {
+    return kind + '|' + std::to_string(static_cast<int>(deps)) + '|' +
+           std::to_string(row_bucket) + 'x' + std::to_string(col_bucket) +
+           '|' + std::to_string(static_cast<int>(mode)) + '|' +
+           (fused ? 'f' : '-') + (tile_auto ? 't' : '-');
+  }
+};
+
+namespace detail {
+
+inline int floor_log2(std::size_t v) {
+  int b = 0;
+  while (v >>= 1) ++b;
+  return b;
+}
+
+}  // namespace detail
+
+template <LddpProblem P>
+SolveClassKey make_solve_class_key(const P& p, const RunConfig& cfg) {
+  SolveClassKey k;
+  k.kind = typeid(P).name();
+  k.deps = p.deps().mask();
+  k.row_bucket = detail::floor_log2(p.rows());
+  k.col_bucket = detail::floor_log2(p.cols());
+  k.mode = detail::resolve_auto(cfg.mode, p.rows() * p.cols());
+  k.fused = cfg.fused_launches;
+  k.tile_auto = cfg.tile == -1;
+  return k;
+}
+
 /// Cross-solve tuning cache for batch workloads: requests arriving with
 /// auto parameters (t_switch / t_share unset, tile = -1) trigger one
 /// tune() sweep per equivalence class; every later request in the class
@@ -196,7 +254,7 @@ class TunerCache {
   template <LddpProblem P>
   Entry lookup_or_tune(const P& p, const RunConfig& cfg,
                        bool* hit = nullptr) {
-    const Key key = make_key(p, cfg);
+    const SolveClassKey key = make_solve_class_key(p, cfg);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++lookups_;
@@ -242,43 +300,8 @@ class TunerCache {
   }
 
  private:
-  struct Key {
-    std::string kind;  // typeid name of the problem type
-    std::uint8_t deps = 0;
-    int row_bucket = 0, col_bucket = 0;
-    Mode mode = Mode::kAuto;
-    bool fused = true;
-    bool tile_auto = false;
-
-    bool operator<(const Key& o) const {
-      return std::tie(kind, deps, row_bucket, col_bucket, mode, fused,
-                      tile_auto) < std::tie(o.kind, o.deps, o.row_bucket,
-                                            o.col_bucket, o.mode, o.fused,
-                                            o.tile_auto);
-    }
-  };
-
-  static int floor_log2(std::size_t v) {
-    int b = 0;
-    while (v >>= 1) ++b;
-    return b;
-  }
-
-  template <LddpProblem P>
-  Key make_key(const P& p, const RunConfig& cfg) const {
-    Key k;
-    k.kind = typeid(P).name();
-    k.deps = p.deps().mask();
-    k.row_bucket = floor_log2(p.rows());
-    k.col_bucket = floor_log2(p.cols());
-    k.mode = detail::resolve_auto(cfg.mode, p.rows() * p.cols());
-    k.fused = cfg.fused_launches;
-    k.tile_auto = cfg.tile == -1;
-    return k;
-  }
-
   mutable std::mutex mu_;
-  std::map<Key, Entry> cache_;
+  std::map<SolveClassKey, Entry> cache_;
   std::size_t lookups_ = 0, hits_ = 0;
 };
 

@@ -11,8 +11,10 @@
 #include <limits>
 
 #include "core/front_span.h"
+#include "core/lane_kernels.h"
 #include "core/problem.h"
 #include "tables/grid.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -55,6 +57,7 @@ class CheckerboardProblem {
   /// the per-cell cost row is contiguous. Signed int32 min/add are exact,
   /// so lanes are bit-identical to the scalar recurrence.
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 0 || s.dj != 1) return false;
     const std::int32_t* const c = &costs_.at(s.i0, s.j0);
     std::size_t k = 0;
@@ -128,3 +131,45 @@ inline CheckerboardProblem::Value checkerboard_best(
 }
 
 }  // namespace lddp::problems
+
+namespace lddp::lanes {
+
+/// Inter-solve lane execution: the {NW, N, NE} min-plus recurrence with
+/// each row's per-cell costs staged interleaved (one copy per row keeps
+/// the staging resident in cache alongside the rolling lane rows).
+template <>
+struct LaneTraits<problems::CheckerboardProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    RowKernelFn fn = nullptr;
+    std::size_t min_cols = 0;
+    AlignedBuf<std::int32_t> costs;  ///< row i's costs, interleaved
+  };
+
+  static State make(const problems::CheckerboardProblem* const* /*lanes*/,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t min_cols) {
+    State st;
+    st.fn = row_kernel(RowOp::kMinPlus, width);
+    st.min_cols = min_cols;
+    st.costs.ensure(min_cols * width);
+    return st;
+  }
+
+  static void fill_row(State& st,
+                       const problems::CheckerboardProblem* const* lanes,
+                       std::size_t width, std::size_t i) {
+    std::int32_t* const c = st.costs.data();
+    for (std::size_t j = 1; j < st.min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        c[j * width + s] = lanes[s]->costs().at(i, j);
+  }
+
+  static void run(const State& st, RowCtx<std::int32_t> ctx) {
+    ctx.col_b = st.costs.data();
+    st.fn(ctx);
+  }
+};
+
+}  // namespace lddp::lanes

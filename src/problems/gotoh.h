@@ -98,6 +98,7 @@ class GotohProblem {
   /// out lane-parallel SIMD, but the hoisted edge handling and dense
   /// sequential reads still beat the per-cell path).
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 1 || s.dj != -1) return false;
     const char* const pa = a_.data() + (s.i0 - 1);
     const char* const pb = b_.data() + (s.j0 - 1);

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/front_span.h"
+#include "core/lane_kernels.h"
 #include "core/problem.h"
+#include "util/aligned.h"
 #include "util/simd.h"
 
 namespace lddp::problems {
@@ -50,6 +52,7 @@ class LevenshteinProblem {
   /// exactly the scalar `compute` value. Other span shapes (the W
   /// dependency is sequential along rows) fall back to scalar.
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 1 || s.dj != -1) return false;
     const char* const pa = a_.data() + (s.i0 - 1);
     const char* const pb = b_.data() + (s.j0 - 1);
@@ -114,3 +117,48 @@ inline std::int32_t levenshtein_reference(const std::string& a,
 }
 
 }  // namespace lddp::problems
+
+namespace lddp::lanes {
+
+/// Inter-solve lane execution (core/lane_cohort.h): each lane is one
+/// solve; the row recurrence is the kLevenshtein kernel. The char
+/// compare widens both sides to int32 with the same sign-extending
+/// cast, which preserves equality exactly.
+template <>
+struct LaneTraits<problems::LevenshteinProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    RowKernelFn fn = nullptr;
+    AlignedBuf<std::int32_t> a;  ///< this row's a[i-1], one per lane
+    AlignedBuf<std::int32_t> b;  ///< widened b[j-1], interleaved per column
+  };
+
+  static State make(const problems::LevenshteinProblem* const* lanes,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t min_cols) {
+    State st;
+    st.fn = row_kernel(RowOp::kLevenshtein, width);
+    st.a.ensure(width);
+    std::int32_t* const b = st.b.ensure(min_cols * width);
+    for (std::size_t j = 1; j < min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        b[j * width + s] = static_cast<std::int32_t>(lanes[s]->b()[j - 1]);
+    return st;
+  }
+
+  static void fill_row(State& st,
+                       const problems::LevenshteinProblem* const* lanes,
+                       std::size_t width, std::size_t i) {
+    for (std::size_t s = 0; s < width; ++s)
+      st.a.data()[s] = static_cast<std::int32_t>(lanes[s]->a()[i - 1]);
+  }
+
+  static void run(const State& st, RowCtx<std::int32_t> ctx) {
+    ctx.lane_a = st.a.data();
+    ctx.col_b = st.b.data();
+    st.fn(ctx);
+  }
+};
+
+}  // namespace lddp::lanes

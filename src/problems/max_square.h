@@ -7,8 +7,10 @@
 #include <cstdint>
 
 #include "core/front_span.h"
+#include "core/lane_kernels.h"
 #include "core/problem.h"
 #include "tables/grid.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace lddp::problems {
@@ -41,6 +43,7 @@ class MaxSquareProblem {
   /// diagonal, so the win is the hoisted interior/boundary split and the
   /// dense min over three unit-stride spans, not SIMD).
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 1 || s.dj != -1) return false;
     const std::uint8_t* const bit = &bits_.at(s.i0, s.j0);
     const std::ptrdiff_t stride =
@@ -106,3 +109,46 @@ inline std::int32_t max_square_brute_force(const Grid<std::uint8_t>& g) {
 }
 
 }  // namespace lddp::problems
+
+namespace lddp::lanes {
+
+/// Inter-solve lane execution: the kMaxSquare kernel over each row's
+/// occupancy bits widened to interleaved int32 (0 / 1). Interior cells
+/// only (i, j >= 1), so the kernel's branchless form matches the scalar
+/// recurrence exactly.
+template <>
+struct LaneTraits<problems::MaxSquareProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    RowKernelFn fn = nullptr;
+    std::size_t min_cols = 0;
+    AlignedBuf<std::int32_t> bits;  ///< row i's bits, widened + interleaved
+  };
+
+  static State make(const problems::MaxSquareProblem* const* /*lanes*/,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t min_cols) {
+    State st;
+    st.fn = row_kernel(RowOp::kMaxSquare, width);
+    st.min_cols = min_cols;
+    st.bits.ensure(min_cols * width);
+    return st;
+  }
+
+  static void fill_row(State& st,
+                       const problems::MaxSquareProblem* const* lanes,
+                       std::size_t width, std::size_t i) {
+    std::int32_t* const b = st.bits.data();
+    for (std::size_t j = 1; j < st.min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        b[j * width + s] = lanes[s]->bits().at(i, j) != 0 ? 1 : 0;
+  }
+
+  static void run(const State& st, RowCtx<std::int32_t> ctx) {
+    ctx.col_b = st.bits.data();
+    st.fn(ctx);
+  }
+};
+
+}  // namespace lddp::lanes

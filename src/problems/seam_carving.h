@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "core/front_span.h"
+#include "core/lane_kernels.h"
 #include "core/problem.h"
 #include "problems/image.h"
 #include "tables/grid.h"
+#include "util/aligned.h"
 #include "util/simd.h"
 
 namespace lddp::problems {
@@ -69,6 +71,7 @@ class SeamCarveProblem {
   /// CheckerboardProblem (the two problems share the {NW, N, NE} min-plus
   /// recurrence over a contiguous per-cell cost row).
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 0 || s.dj != 1) return false;
     const std::int32_t* const e = &energy_.at(s.i0, s.j0);
     std::size_t k = 0;
@@ -147,3 +150,44 @@ inline std::int64_t seam_energy(const Grid<std::int32_t>& energy,
 }
 
 }  // namespace lddp::problems
+
+namespace lddp::lanes {
+
+/// Inter-solve lane execution — identical structure to
+/// CheckerboardProblem's traits over the energy grid.
+template <>
+struct LaneTraits<problems::SeamCarveProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    RowKernelFn fn = nullptr;
+    std::size_t min_cols = 0;
+    AlignedBuf<std::int32_t> energy;  ///< row i's energies, interleaved
+  };
+
+  static State make(const problems::SeamCarveProblem* const* /*lanes*/,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t min_cols) {
+    State st;
+    st.fn = row_kernel(RowOp::kMinPlus, width);
+    st.min_cols = min_cols;
+    st.energy.ensure(min_cols * width);
+    return st;
+  }
+
+  static void fill_row(State& st,
+                       const problems::SeamCarveProblem* const* lanes,
+                       std::size_t width, std::size_t i) {
+    std::int32_t* const e = st.energy.data();
+    for (std::size_t j = 1; j < st.min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        e[j * width + s] = lanes[s]->energy().at(i, j);
+  }
+
+  static void run(const State& st, RowCtx<std::int32_t> ctx) {
+    ctx.col_b = st.energy.data();
+    st.fn(ctx);
+  }
+};
+
+}  // namespace lddp::lanes

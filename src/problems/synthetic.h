@@ -11,10 +11,13 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/front_span.h"
+#include "core/lane_kernels.h"
 #include "core/problem.h"
 #include "tables/grid.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -43,6 +46,7 @@ class MaxNwProblem {
   /// form): lane k reads input (i0 + k*di, j0 + k*dj) via one pointer
   /// stride and the packed NW span.
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     const std::int32_t* const in = &input_.at(s.i0, s.j0);
     const std::ptrdiff_t stride =
         s.di * static_cast<std::ptrdiff_t>(input_.cols()) + s.dj;
@@ -59,6 +63,9 @@ class MaxNwProblem {
     return input_.size() * sizeof(std::int32_t);
   }
   std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  const Grid<std::int32_t>& input() const { return input_; }
+  Value c() const { return c_; }
 
  private:
   Grid<std::int32_t> input_;
@@ -89,6 +96,7 @@ class MinNwNProblem {
 
   /// Batch-front hook for row spans: min(NW, N) + c, four lanes per step.
   bool compute_front(const FrontSpan<Value>& s) const {
+    if (s.lanes != 1) return false;  // interleaved spans: lane kernels
     if (s.di != 0 || s.dj != 1) return false;
     const simd::I32x4 cc = simd::I32x4::broadcast(c_);
     std::size_t k = 0;
@@ -105,6 +113,8 @@ class MinNwNProblem {
   cpu::WorkProfile work() const { return cpu::WorkProfile{10.0, 40.0, 20.0}; }
   std::size_t input_bytes() const { return 0; }
   std::size_t result_bytes() const { return cols() * sizeof(Value); }
+
+  Value c() const { return c_; }
 
  private:
   std::size_t rows_, cols_;
@@ -172,3 +182,84 @@ inline Grid<std::int32_t> random_input_grid(std::size_t rows,
 }
 
 }  // namespace lddp::problems
+
+namespace lddp::lanes {
+
+/// Inter-solve lane execution for the case-1 synthetic: the kMinNwN
+/// kernel with each lane's additive constant broadcast once (the base
+/// row lives in compute, outside the lockstep region).
+template <>
+struct LaneTraits<problems::MinNwNProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    RowKernelFn fn = nullptr;
+    AlignedBuf<std::int32_t> c;  ///< per-lane additive constant
+  };
+
+  static State make(const problems::MinNwNProblem* const* lanes,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t /*min_cols*/) {
+    State st;
+    st.fn = row_kernel(RowOp::kMinNwN, width);
+    std::int32_t* const c = st.c.ensure(width);
+    for (std::size_t s = 0; s < width; ++s) c[s] = lanes[s]->c();
+    return st;
+  }
+
+  static void fill_row(State&, const problems::MinNwNProblem* const*,
+                       std::size_t, std::size_t) {}
+
+  static void run(const State& st, RowCtx<std::int32_t> ctx) {
+    ctx.lane_a = st.c.data();
+    st.fn(ctx);
+  }
+};
+
+/// Inter-solve lane execution for the inverted-L synthetic. Values are
+/// int64 — outside the int32 kernel tiers — so the lockstep body is a
+/// scalar lane loop over the interleaved rows: no SIMD, but the staged
+/// interleaved inputs and the shared rolling rows keep the whole cohort
+/// cache-resident, and the cohort still counts toward lane occupancy.
+template <>
+struct LaneTraits<problems::MaxNwProblem> {
+  static constexpr bool enabled = true;
+
+  struct State {
+    std::size_t min_cols = 0;
+    std::vector<std::int64_t> c;    ///< per-lane additive constant
+    AlignedBuf<std::int32_t> in;    ///< row i's inputs, interleaved
+  };
+
+  static State make(const problems::MaxNwProblem* const* lanes,
+                    std::size_t width, std::size_t /*min_rows*/,
+                    std::size_t min_cols) {
+    State st;
+    st.min_cols = min_cols;
+    st.c.resize(width);
+    for (std::size_t s = 0; s < width; ++s) st.c[s] = lanes[s]->c();
+    st.in.ensure(min_cols * width);
+    return st;
+  }
+
+  static void fill_row(State& st, const problems::MaxNwProblem* const* lanes,
+                       std::size_t width, std::size_t i) {
+    std::int32_t* const in = st.in.data();
+    for (std::size_t j = 1; j < st.min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        in[j * width + s] = lanes[s]->input().at(i, j);
+  }
+
+  static void run(const State& st, RowCtx<std::int64_t> ctx) {
+    const std::int32_t* const in = st.in.data();
+    for (std::size_t j = ctx.j0; j < ctx.j1; ++j) {
+      for (std::size_t s = 0; s < ctx.width; ++s) {
+        const std::int64_t v = in[j * ctx.width + s];
+        const std::int64_t nw = ctx.prev[(j - 1) * ctx.width + s];
+        ctx.row[j * ctx.width + s] = (v > nw ? v : nw) + st.c[s];
+      }
+    }
+  }
+};
+
+}  // namespace lddp::lanes

@@ -1,0 +1,62 @@
+// Lane-major interleaved table for lane-packed multi-solve execution.
+//
+// Where Grid stores one solve's table row-major, LaneGrid stores `width`
+// solves interleaved: element (i, j, s) — cell (i, j) of solve s — lives
+// at data[(i * cols + j) * width + s]. A vector load at (i, j, 0) then
+// reads cell (i, j) of `width` solves in ONE unit-stride operation, which
+// is the inter-solve analogue of the paper's coalescing insight: instead
+// of making one solve's front contiguous, make the SAME front position of
+// many solves contiguous, so even a front of length 1 fills a full
+// vector. The base is 64-byte aligned and `width` is a vector-width
+// multiple, so every (i, j) offset admits aligned vector access.
+#pragma once
+
+#include <cstddef>
+
+#include "util/aligned.h"
+#include "util/check.h"
+
+namespace lddp {
+
+template <typename T>
+class LaneGrid {
+ public:
+  /// `width` must be a multiple of the vector lane count in use (the
+  /// lane-cohort driver pads the solve count up and replicates lane 0
+  /// into the padding).
+  LaneGrid(std::size_t rows, std::size_t cols, std::size_t width)
+      : rows_(rows), cols_(cols), width_(width),
+        buf_(rows * cols * width) {
+    LDDP_CHECK_MSG(rows > 0 && cols > 0 && width > 0,
+                   "LaneGrid dimensions must be positive");
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t width() const { return width_; }
+
+  /// Interleaved row i: cell (i, j) of solve s at row(i)[j * width() + s].
+  T* row(std::size_t i) {
+    LDDP_DCHECK(i < rows_);
+    return buf_.data() + i * cols_ * width_;
+  }
+  const T* row(std::size_t i) const {
+    LDDP_DCHECK(i < rows_);
+    return buf_.data() + i * cols_ * width_;
+  }
+
+  T& at(std::size_t i, std::size_t j, std::size_t s) {
+    LDDP_DCHECK(i < rows_ && j < cols_ && s < width_);
+    return buf_.data()[(i * cols_ + j) * width_ + s];
+  }
+  const T& at(std::size_t i, std::size_t j, std::size_t s) const {
+    LDDP_DCHECK(i < rows_ && j < cols_ && s < width_);
+    return buf_.data()[(i * cols_ + j) * width_ + s];
+  }
+
+ private:
+  std::size_t rows_, cols_, width_;
+  AlignedBuf<T> buf_;
+};
+
+}  // namespace lddp

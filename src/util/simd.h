@@ -1,4 +1,5 @@
-// Minimal fixed-width SIMD wrapper for the batch-front kernels.
+// Minimal fixed-width SIMD wrapper for the batch-front and lane-packed
+// kernels.
 //
 // Targets the x86-64 SSE2 baseline (always present on x86-64); elsewhere
 // every operation degrades to a 4-lane scalar loop, so code written
@@ -6,6 +7,15 @@
 // wrapped — add / min / max / compare / blend — so each lane computes
 // exactly what the scalar recurrence computes and results stay
 // bit-identical to the per-cell path.
+//
+// An 8-lane AVX2 tier (I32x8) exists only in translation units compiled
+// with AVX2 enabled (`__AVX2__`): the lane-kernel dispatcher
+// (core/lane_kernels.cpp) builds its 8-wide kernel table in a dedicated
+// -mavx2 TU and selects it at runtime behind a cpuid probe, so a baseline
+// binary never executes a VEX-256 instruction on a machine without AVX2.
+// Keeping the type out of non-AVX2 TUs (instead of a scalar stand-in)
+// makes the ODR hazard of mixed-ISA template instantiation impossible by
+// construction.
 #pragma once
 
 #include <cstddef>
@@ -19,7 +29,25 @@
 #define LDDP_SIMD_SSE2 0
 #endif
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace lddp::simd {
+
+/// Runtime probe for AVX2 support on the executing machine. Compile-time
+/// AVX2 (`__AVX2__`, e.g. an LDDP_NATIVE build on an AVX2 host) makes the
+/// answer static; otherwise the compiler's cpuid intrinsic is consulted
+/// once. Non-x86 targets report false.
+inline bool cpu_supports_avx2() {
+#if defined(__AVX2__)
+  return true;
+#elif defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
 
 #if LDDP_SIMD_SSE2
 
@@ -30,9 +58,18 @@ struct I32x4 {
   static I32x4 load(const std::int32_t* p) {
     return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
   }
+  /// `p` must be 16-byte aligned (lane-major tables and batch scratch are
+  /// 64-byte aligned with vector-multiple strides, so every row offset
+  /// qualifies).
+  static I32x4 load_aligned(const std::int32_t* p) {
+    return {_mm_load_si128(reinterpret_cast<const __m128i*>(p))};
+  }
   static I32x4 broadcast(std::int32_t x) { return {_mm_set1_epi32(x)}; }
   void store(std::int32_t* p) const {
     _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  void store_aligned(std::int32_t* p) const {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
   }
 };
 
@@ -76,8 +113,10 @@ struct I32x4 {
     std::memcpy(r.v, p, sizeof r.v);
     return r;
   }
+  static I32x4 load_aligned(const std::int32_t* p) { return load(p); }
   static I32x4 broadcast(std::int32_t x) { return {{x, x, x, x}}; }
   void store(std::int32_t* p) const { std::memcpy(p, v, sizeof v); }
+  void store_aligned(std::int32_t* p) const { store(p); }
 };
 
 inline I32x4 add(I32x4 a, I32x4 b) {
@@ -116,6 +155,44 @@ inline I32x4 byte_eq_mask(std::uint32_t a4, std::uint32_t b4) {
 }
 
 #endif  // LDDP_SIMD_SSE2
+
+#if defined(__AVX2__)
+
+/// 8-lane AVX2 tier. Deliberately defined ONLY under `__AVX2__` — see the
+/// file comment. Semantics mirror I32x4 exactly; all ops are exact signed
+/// int32, so lane results stay bit-identical to the scalar recurrence.
+struct I32x8 {
+  __m256i v;
+  static constexpr std::size_t kLanes = 8;
+
+  static I32x8 load(const std::int32_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  /// `p` must be 32-byte aligned.
+  static I32x8 load_aligned(const std::int32_t* p) {
+    return {_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  static I32x8 broadcast(std::int32_t x) { return {_mm256_set1_epi32(x)}; }
+  void store(std::int32_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  void store_aligned(std::int32_t* p) const {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+
+inline I32x8 add(I32x8 a, I32x8 b) { return {_mm256_add_epi32(a.v, b.v)}; }
+inline I32x8 min(I32x8 a, I32x8 b) { return {_mm256_min_epi32(a.v, b.v)}; }
+inline I32x8 max(I32x8 a, I32x8 b) { return {_mm256_max_epi32(a.v, b.v)}; }
+inline I32x8 cmpeq(I32x8 a, I32x8 b) {
+  return {_mm256_cmpeq_epi32(a.v, b.v)};
+}
+/// Per-lane select: mask lanes must be all-ones or all-zeros. mask ? a : b.
+inline I32x8 blend(I32x8 mask, I32x8 a, I32x8 b) {
+  return {_mm256_blendv_epi8(b.v, a.v, mask.v)};
+}
+
+#endif  // __AVX2__
 
 /// Packs 4 consecutive chars ascending from `p` (byte 0 = p[0]).
 inline std::uint32_t load4(const char* p) {

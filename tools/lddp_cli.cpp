@@ -8,6 +8,7 @@
 //   lddp_cli --problem gotoh --size 1000 --mode gpu
 //   lddp_cli --list
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,13 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
                    fronts of in-flight solves into shared packed launches
                    and co-schedule their CPU strips on one cooperative
                    pool (default on; results are bit-identical)
+  --lane-pack on|off|N
+                   inter-solve SIMD lane packing for --batch: execute
+                   cohorts of same-class small CPU solves in vector
+                   lockstep, one lane per solve. on (default) caps
+                   cohorts at the active ISA's lane width (8 with AVX2,
+                   else 4); N caps at N lanes; off disables. Results are
+                   bit-identical to solo solves
   --tune           run the Section V-A parameter sweeps first; with
                    --batch, tunes through the shared cross-solve cache
   --list           list problems and exit
@@ -192,6 +200,13 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
   std::printf("batch packing: %zu packs fused %zu rider op(s), saved "
               "%.3f ms\n",
               rep.packs, rep.packed_ops, rep.pack_saved_seconds * 1e3);
+  if (rep.lane_eligible_solves > 0) {
+    std::printf("batch lane packing: %zu/%zu solves in %zu cohort(s), "
+                "occupancy %.0f%%, hit rate %.0f%% [%s]\n",
+                rep.lane_packed_solves, rep.lane_eligible_solves,
+                rep.lane_cohorts, rep.lane_occupancy * 100.0,
+                rep.lane_hit_rate * 100.0, lanes::active_isa());
+  }
   if (rep.tuner_lookups > 0) {
     std::printf("batch tuner cache: %zu/%zu hits (%.0f%%)\n",
                 rep.tuner_hits, rep.tuner_lookups,
@@ -292,6 +307,23 @@ int main(int argc, char** argv) try {
       LDDP_CHECK_MSG(pack == "on" || pack == "off",
                      "--pack must be on or off, got '" << pack << "'");
       g_batch_cfg.pack_solves = pack == "on";
+    }
+  }
+  {
+    const std::string lp = flags.get("lane-pack", "");
+    if (!lp.empty()) {
+      if (lp == "on") {
+        g_batch_cfg.lane_pack = -1;
+      } else if (lp == "off") {
+        g_batch_cfg.lane_pack = 0;
+      } else {
+        char* end = nullptr;
+        const long long v = std::strtoll(lp.c_str(), &end, 10);
+        LDDP_CHECK_MSG(end != nullptr && *end == '\0' && v >= 0,
+                       "--lane-pack must be on, off or a lane count, got '"
+                           << lp << "'");
+        g_batch_cfg.lane_pack = v;
+      }
     }
   }
   // With --batch, --tune opts the engine's cross-solve tuning cache in
