@@ -19,6 +19,7 @@
 #include "problems/lcs.h"
 #include "problems/levenshtein.h"
 #include "problems/synthetic.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
 
 namespace {
@@ -78,13 +79,25 @@ auto make_problem(const MixCase& c) {
 
 BatchReport run_batch(std::size_t batch, BatchSched sched,
                       const std::vector<MixCase>& mix,
-                      bool pack = true, long long lane_pack = -1) {
+                      bool pack = true, long long lane_pack = -1,
+                      bool lifecycle = false) {
   BatchConfig bc;
   bc.concurrency = std::min<std::size_t>(batch, 8);
   bc.queue_capacity = batch;
   bc.sched = sched;
   bc.pack_solves = pack;
   bc.lane_pack = lane_pack;
+  if (lifecycle) {
+    // Arm every lifecycle mechanism without ever letting one fire: a
+    // generous simulated deadline installs the Timeline control hook on
+    // every op, a retry budget sizes the attempt loop, and a vanishingly
+    // rare chaos rate (a draw below 1e-300 needs the 53-bit hash to come
+    // up all-zero) keeps the thread-local fault scope open and every site
+    // probe paying its full hash-and-compare cost.
+    bc.deadline_ms = 1e9;
+    bc.max_retries = 4;
+    bc.chaos = fault::FaultPlan::uniform(/*seed=*/1, /*rate=*/1e-300);
+  }
   BatchEngine engine(bc);
   for (const MixCase& c : mix) {
     RunConfig rc;
@@ -291,6 +304,55 @@ bool lane_sweep(lddp::bench::JsonWriter& json) {
   return target_ok && mixed_ok && identity_ok;
 }
 
+/// Fault-free lifecycle overhead: the same Table-I mix with deadlines,
+/// retry budgets and an armed-but-silent chaos plan versus the bare
+/// engine. Every recorded op takes the cancellation/deadline branch and
+/// every site probe hashes a fault decision, but nothing ever fires — the
+/// wall-time delta is the pure bookkeeping cost of the robustness layer.
+/// Gate: < 2% regression (plus 2ms absolute slack for host timer noise).
+bool lifecycle_sweep(lddp::bench::JsonWriter& json) {
+  std::printf("\n=== Request-lifecycle overhead: fault-free, deadline+retry"
+              "+chaos armed, wall best-of-5 ===\n");
+  std::printf("%6s %12s %12s %10s\n", "batch", "bare_ms", "lifecycle_ms",
+              "overhead");
+  bool gate_ok = true;
+  for (std::size_t batch : {std::size_t{8}, std::size_t{16}}) {
+    const std::vector<MixCase> mix = make_mix(batch);
+    // Interleave the arms rep by rep (same rationale as the lane gate:
+    // a noise burst should hit both arms with equal odds).
+    double off = lddp::bench::min_wall_seconds(
+        [&] { run_batch(batch, BatchSched::kFifo, mix); }, 1, 1);
+    double on = lddp::bench::min_wall_seconds(
+        [&] {
+          run_batch(batch, BatchSched::kFifo, mix, true, -1,
+                    /*lifecycle=*/true);
+        },
+        1, 1);
+    for (int rep = 0; rep < 4; ++rep) {
+      off = std::min(off, lddp::bench::min_wall_seconds(
+                              [&] {
+                                run_batch(batch, BatchSched::kFifo, mix);
+                              },
+                              1, 0));
+      on = std::min(on, lddp::bench::min_wall_seconds(
+                            [&] {
+                              run_batch(batch, BatchSched::kFifo, mix, true,
+                                        -1, /*lifecycle=*/true);
+                            },
+                            1, 0));
+    }
+    const double overhead = off > 0.0 ? on / off - 1.0 : 0.0;
+    json.record_wall("lifecycle/bare", batch, off * 1e3);
+    json.record_wall("lifecycle/armed", batch, on * 1e3);
+    std::printf("%6zu %12.3f %12.3f %9.2f%%\n", batch, off * 1e3, on * 1e3,
+                overhead * 100.0);
+    if (on > off * 1.02 + 2e-3) gate_ok = false;
+  }
+  std::printf("lifecycle gate (< 2%% fault-free overhead): %s\n",
+              gate_ok ? "PASS" : "FAIL");
+  return gate_ok;
+}
+
 bool sweep() {
   lddp::bench::JsonWriter json("batch_throughput");
   std::printf("\n=== Batch throughput: Table-I mix, Hetero-High, "
@@ -324,10 +386,11 @@ bool sweep() {
   }
   const bool pack_ok = pack_sweep(json);
   const bool lane_ok = lane_sweep(json);
+  const bool lifecycle_ok = lifecycle_sweep(json);
   json.save();
   std::printf("throughput gate (>=1.5x solves/sec at batch >= 8): %s\n",
               throughput_ok ? "PASS" : "FAIL");
-  return pack_ok && lane_ok;
+  return pack_ok && lane_ok && lifecycle_ok;
 }
 
 void BM_BatchMerge8(benchmark::State& state) {

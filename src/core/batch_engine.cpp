@@ -154,7 +154,16 @@ void BatchEngine::run_job(Job& job, cpu::ThreadPool* pool) {
   // Per-solve quota view over the shared arenas: concurrent solves reuse
   // buffers across the batch but none can hoard the cache.
   sim::QuotaBufferPool quota(&buffers_, cfg_.buffer_quota_bytes);
-  job.run(job, pool, &quota);
+  // job.run fulfils the promise on every path, but must not be trusted
+  // with the engine's bookkeeping: if it ever leaks an exception the job
+  // is marked failed and the slot still drains — a stuck `running_` count
+  // would deadlock wait() forever.
+  try {
+    job.run(job, pool, &quota);
+  } catch (...) {
+    job.failed = true;
+    job.outcome = chaos::RequestOutcome::kFailed;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job.done = true;
@@ -173,7 +182,14 @@ void BatchEngine::run_cohort(const std::vector<Job*>& cohort,
     run_job(*head, pool);
     return;
   }
-  head->lane_exec(const_cast<Job**>(cohort.data()), cohort.size());
+  try {
+    head->lane_exec(const_cast<Job**>(cohort.data()), cohort.size());
+  } catch (...) {
+    for (Job* j : cohort) {
+      j->failed = true;
+      j->outcome = chaos::RequestOutcome::kFailed;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (Job* j : cohort) j->done = true;
@@ -283,12 +299,15 @@ BatchReport BatchEngine::build_report(
       item.dispatch_rank = next_in_queue;
       item.sim_dispatch = release;
       ++next_in_queue;
+      // Retry backoff delays the request's own ops past its slot opening
+      // (the slot itself is held — backoff is service time, not queueing).
+      const double start = release + jobs[j]->backoff_seconds;
       if (jobs[j]->recorded.op_count() == 0) {
-        item.sim_start = item.sim_end = release;
+        item.sim_start = item.sim_end = start;
         item.completion_rank = completions++;
         continue;
       }
-      const std::size_t rank = merger.add(jobs[j]->recorded, release,
+      const std::size_t rank = merger.add(jobs[j]->recorded, start,
                                           release_dep, jobs[j]->packable);
       LDDP_DCHECK(rank == by_rank.size());
       (void)rank;
@@ -324,10 +343,35 @@ BatchReport BatchEngine::build_report(
     item.est_seconds = jobs[j]->est;
     item.weight = jobs[j]->weight;
     item.failed = jobs[j]->failed;
+    item.outcome = jobs[j]->outcome;
+    item.retries = jobs[j]->retries;
+    item.backoff_seconds = jobs[j]->backoff_seconds;
+    if (jobs[j]->degraded != nullptr) item.degraded = jobs[j]->degraded;
     item.sim_latency = item.sim_end;  // every request arrives at t = 0
     latencies.push_back(item.sim_latency);
     report.serial_sim_seconds += item.solve.sim_seconds;
     if (jobs[j]->batch_kernels) ++report.batch_kernel_solves;
+    report.retry_attempts += jobs[j]->retries;
+    switch (jobs[j]->outcome) {
+      case chaos::RequestOutcome::kOk:
+        ++report.ok_solves;
+        break;
+      case chaos::RequestOutcome::kRetried:
+        ++report.retried_solves;
+        break;
+      case chaos::RequestOutcome::kDegraded:
+        ++report.degraded_solves;
+        break;
+      case chaos::RequestOutcome::kDeadlineExceeded:
+        ++report.deadline_solves;
+        break;
+      case chaos::RequestOutcome::kCancelled:
+        ++report.cancelled_solves;
+        break;
+      case chaos::RequestOutcome::kFailed:
+        ++report.failed_solves;
+        break;
+    }
   }
   // Lane-packing counters: heads carry their cohort's lockstep tally.
   std::size_t lane_lockstep = 0, lane_total = 0;

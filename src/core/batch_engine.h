@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/chaos.h"
 #include "core/framework.h"
 #include "core/lane_cohort.h"
 #include "core/run_config.h"
@@ -46,6 +47,7 @@
 #include "sim/device_spec.h"
 #include "sim/memory.h"
 #include "sim/timeline.h"
+#include "util/fault_injection.h"
 
 namespace lddp {
 
@@ -122,6 +124,27 @@ struct BatchConfig {
   /// reuse it. Off by default — sweeps multiply solve work, so callers
   /// opt in (lddp_cli --tune in batch mode does).
   bool tune_auto = false;
+  // --- request lifecycle (tentpole of the robustness layer) --------------
+  /// Default per-request *simulated-time* deadline in milliseconds,
+  /// enforced at every recorded op (front/tile/copy boundary) of every
+  /// execution layer. 0 disables; RequestOptions::deadline_ms overrides
+  /// per request. Simulated-clock deadlines are deterministic: whether a
+  /// request times out never depends on host load.
+  double deadline_ms = 0.0;
+  /// Default retry budget per request. Attempt k + 1 runs one rung further
+  /// down the degradation ladder (fused -> unfused -> untiled -> scalar ->
+  /// serial reference); the final attempt always jumps to the
+  /// injection-free serial reference rung, so any budget >= 1 guarantees a
+  /// structured outcome for injected faults.
+  std::size_t max_retries = 0;
+  /// Deterministic backoff charged against the simulated clock before
+  /// retry k (doubling: backoff * 2^(k-1)). Counts toward the deadline and
+  /// delays the request's ops in the merged schedule.
+  double retry_backoff_ms = 0.05;
+  /// Deterministic fault-injection plan applied to every attempt that is
+  /// not on the serial reference rung. Default-constructed = disarmed
+  /// (zero rates) — the injection sites then cost one branch each.
+  fault::FaultPlan chaos;
   /// If non-empty, the merged batch schedule is exported here as a
   /// chrome://tracing JSON file by wait().
   std::string trace_path;
@@ -135,6 +158,14 @@ struct BatchItemStats {
   double est_seconds = 0.0;    ///< scheduler's cost-model estimate
   double weight = 1.0;         ///< WFQ weight given to submit()
   bool failed = false;         ///< solve threw (exception is on the future)
+  /// Structured lifecycle outcome (chaos::to_string for display).
+  chaos::RequestOutcome outcome = chaos::RequestOutcome::kOk;
+  std::size_t retries = 0;          ///< extra attempts consumed
+  double backoff_seconds = 0.0;     ///< simulated backoff accumulated
+  /// Degradation the successful attempt ran with (empty = full-speed
+  /// configuration): "fused->unfused", "tiled->untiled", "simd->scalar",
+  /// "ref-serial", or "lane->solo" for a degraded lane-cohort job.
+  std::string degraded;
   std::size_t dispatch_rank = 0;    ///< order the scheduler released it
   std::size_t completion_rank = 0;  ///< order it finished in the merge
   double sim_dispatch = 0.0;   ///< simulated instant its slot opened
@@ -148,6 +179,14 @@ struct BatchItemStats {
 /// since the previous wait()).
 struct BatchReport {
   std::size_t solves = 0;
+  // Lifecycle outcome counts (sum equals `solves`).
+  std::size_t ok_solves = 0;
+  std::size_t retried_solves = 0;
+  std::size_t degraded_solves = 0;
+  std::size_t deadline_solves = 0;
+  std::size_t cancelled_solves = 0;
+  std::size_t failed_solves = 0;
+  std::size_t retry_attempts = 0;  ///< extra attempts across all requests
   double sim_makespan = 0.0;        ///< merged-schedule completion time
   double serial_sim_seconds = 0.0;  ///< sum of solo makespans (baseline)
   double solves_per_sec = 0.0;      ///< solves / sim_makespan
@@ -190,6 +229,41 @@ double estimate_solve_seconds(const sim::PlatformSpec& platform,
                               const cpu::WorkProfile& work,
                               std::size_t cells);
 
+/// Rung index of the guaranteed-clean reference configuration: scalar
+/// serial scan, fault injection suppressed. The lifecycle loop's final
+/// attempt always runs here, so a retry budget >= 1 turns every injected
+/// fault into a structured kRetried/kDegraded success instead of kFailed.
+inline constexpr std::size_t kReferenceRung = 4;
+
+/// Graceful-degradation ladder, applied cumulatively: rung k of a retry
+/// switches off one acceleration layer on top of everything rung k - 1
+/// switched off. Results are bit-identical on every rung (each toggle is
+/// documented result-preserving); only speed — and the set of fault sites
+/// the attempt can reach — changes. Returns the label of the deepest
+/// applied rung (nullptr at rung 0).
+inline const char* degrade(RunConfig& rc, std::size_t rung) {
+  const char* label = nullptr;  // non-null only when a setting changed:
+                                // an already-minimal config that retries
+                                // is kRetried, not kDegraded
+  if (rung >= 1 && rc.fused_launches) {
+    rc.fused_launches = false;  // no fused graphs => no kGraphReplay site
+    label = "fused->unfused";
+  }
+  if (rung >= 2 && rc.tile != 0) {
+    rc.tile = 0;  // legacy untiled strategies
+    label = "tiled->untiled";
+  }
+  if (rung >= 3 && rc.batch_kernels) {
+    rc.batch_kernels = false;  // scalar cell kernels
+    label = "simd->scalar";
+  }
+  if (rung >= kReferenceRung && rc.mode != Mode::kCpuSerial) {
+    rc.mode = Mode::kCpuSerial;  // single-thread reference scan
+    label = "ref-serial";
+  }
+  return label;
+}
+
 /// Lane-eligibility ceiling: lane packing targets the many-small-solves
 /// regime, where per-solve fronts are too short for intra-front SIMD.
 /// 2M cells admits sequence problems up to ~1448^2 (1024-char inputs);
@@ -229,11 +303,33 @@ class BatchEngine {
   std::optional<std::future<SolveResult<P>>> submit(P problem,
                                                     RunConfig rc = {},
                                                     double weight = 1.0) {
-    LDDP_CHECK_MSG(weight > 0.0, "batch weight must be positive");
+    chaos::RequestOptions opts;
+    opts.weight = weight;
+    return submit(std::move(problem), std::move(rc), opts);
+  }
+
+  /// Lifecycle-aware admission: deadline / retry budget / cancellation
+  /// token per request (unset fields inherit the BatchConfig defaults).
+  /// Outcomes land in BatchItemStats::outcome; anything but success also
+  /// puts a structured exception (fault::CancelledError,
+  /// fault::DeadlineExceededError, fault::InjectedFault or the genuine
+  /// error) on the future.
+  template <LddpProblem P>
+  std::optional<std::future<SolveResult<P>>> submit(
+      P problem, RunConfig rc, const chaos::RequestOptions& opts) {
+    LDDP_CHECK_MSG(opts.weight > 0.0, "batch weight must be positive");
     auto promise = std::make_shared<std::promise<SolveResult<P>>>();
     std::future<SolveResult<P>> future = promise->get_future();
     auto job = std::make_unique<Job>();
-    job->weight = weight;
+    job->weight = opts.weight;
+    const double deadline_ms =
+        opts.deadline_ms < 0.0 ? cfg_.deadline_ms : opts.deadline_ms;
+    job->deadline_s = deadline_ms > 0.0 ? deadline_ms * 1e-3 : 0.0;
+    job->max_retries = opts.max_retries < 0
+                           ? cfg_.max_retries
+                           : static_cast<std::size_t>(opts.max_retries);
+    job->chaos_plan = cfg_.chaos;
+    job->cancel = opts.cancel;
     job->est = detail::estimate_solve_seconds(
         cfg_.platform, work_profile_of(problem),
         problem.rows() * problem.cols());
@@ -260,13 +356,17 @@ class BatchEngine {
     }
     job->run = [problem = std::move(problem), rc, promise,
                 platform = cfg_.platform, tune_auto = cfg_.tune_auto,
-                tuner = &tuner_cache_](Job& j, cpu::ThreadPool* pool,
-                                       sim::BufferPool* buffers) mutable {
+                tuner = &tuner_cache_,
+                backoff_s = cfg_.retry_backoff_ms * 1e-3](
+                   Job& j, cpu::ThreadPool* pool,
+                   sim::BufferPool* buffers) mutable {
       rc.platform = platform;
       rc.pool = pool;
       rc.buffer_pool = buffers;
       // Cross-solve tuning cache: auto-parameter heterogeneous requests
       // reuse one sweep per equivalence class (first contact pays it).
+      // Resolved once, before the attempt loop and outside any fault
+      // scope — tuning sweeps are shared infrastructure, never faulted.
       if (tune_auto &&
           detail::resolve_auto(rc.mode, problem.rows() * problem.cols()) ==
               Mode::kHeterogeneous &&
@@ -275,16 +375,83 @@ class BatchEngine {
         rc.hetero = tuned.params;
         if (rc.tile == -1) rc.tile = tuned.tile;
       }
-      rc.record_timeline = &j.recorded;
       rc.trace_path.clear();
-      try {
-        SolveResult<P> result = solve(problem, rc);
-        j.stats = result.stats;
-        promise->set_value(std::move(result));
-      } catch (...) {
-        j.failed = true;
-        promise->set_exception(std::current_exception());
+      // Request-lifecycle loop: attempt, and on failure walk the
+      // degradation ladder with deterministic simulated-time backoff.
+      // The final attempt always jumps to the injection-free serial
+      // reference rung, so a retry budget >= 1 guarantees injected faults
+      // end in a structured success, never kFailed.
+      const std::size_t max_attempts = j.max_retries + 1;
+      std::exception_ptr last_error;
+      for (std::size_t k = 0; k < max_attempts; ++k) {
+        const std::size_t rung =
+            k < j.max_retries ? k : (k > 0 ? detail::kReferenceRung : 0);
+        RunConfig attempt_rc = rc;
+        j.degraded = detail::degrade(attempt_rc, rung);
+        if (k > 0)
+          j.backoff_seconds +=
+              backoff_s * static_cast<double>(1ull << (k - 1));
+        if (j.cancel.cancelled()) {
+          j.outcome = chaos::RequestOutcome::kCancelled;
+          j.failed = true;
+          j.retries = k;
+          promise->set_exception(
+              std::make_exception_ptr(fault::CancelledError()));
+          return;
+        }
+        fault::RequestControl control;
+        if (j.cancel.valid()) control.cancel = j.cancel.flag();
+        if (j.deadline_s > 0.0) {
+          // Backoff already spent eats into the simulated budget; a
+          // request whose budget is gone before the attempt starts times
+          // out without running.
+          const double remaining = j.deadline_s - j.backoff_seconds;
+          if (remaining <= 0.0) {
+            j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
+            j.failed = true;
+            j.retries = k;
+            promise->set_exception(std::make_exception_ptr(
+                fault::DeadlineExceededError(j.deadline_s)));
+            return;
+          }
+          control.deadline_s = remaining;
+        }
+        if (control.cancel != nullptr || control.deadline_s > 0.0)
+          attempt_rc.control = &control;
+        attempt_rc.record_timeline = &j.recorded;
+        try {
+          std::optional<fault::FaultScope> scope;
+          if (j.chaos_plan.armed() && rung < detail::kReferenceRung)
+            scope.emplace(&j.chaos_plan, j.index, k);
+          SolveResult<P> result = solve(problem, attempt_rc);
+          j.stats = result.stats;
+          j.retries = k;
+          j.outcome = k == 0 ? chaos::RequestOutcome::kOk
+                     : j.degraded != nullptr
+                         ? chaos::RequestOutcome::kDegraded
+                         : chaos::RequestOutcome::kRetried;
+          promise->set_value(std::move(result));
+          return;
+        } catch (const fault::CancelledError&) {
+          j.outcome = chaos::RequestOutcome::kCancelled;
+          j.failed = true;
+          j.retries = k;
+          promise->set_exception(std::current_exception());
+          return;
+        } catch (const fault::DeadlineExceededError&) {
+          j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
+          j.failed = true;
+          j.retries = k;
+          promise->set_exception(std::current_exception());
+          return;
+        } catch (...) {
+          last_error = std::current_exception();
+          j.retries = k;
+        }
       }
+      j.outcome = chaos::RequestOutcome::kFailed;
+      j.failed = true;
+      promise->set_exception(last_error);
     };
     if (!admit(std::move(job))) return std::nullopt;
     return future;
@@ -310,6 +477,16 @@ class BatchEngine {
     SolveStats stats;
     bool failed = false;
     bool done = false;
+    // Request lifecycle (resolved at submit: per-request options override
+    // the BatchConfig defaults).
+    chaos::RequestOutcome outcome = chaos::RequestOutcome::kOk;
+    std::size_t retries = 0;
+    double backoff_seconds = 0.0;  // simulated backoff accumulated
+    const char* degraded = nullptr;  // ladder label of the final attempt
+    double deadline_s = 0.0;         // simulated-time budget; 0 = none
+    std::size_t max_retries = 0;
+    fault::FaultPlan chaos_plan;     // engine plan (disarmed = inert)
+    lddp::chaos::CancelToken cancel;
     // Lane packing: a non-empty lane_key makes the job cohort-groupable
     // with same-key jobs; lane_exec (bound to the problem type) then runs
     // the whole cohort and fulfils every promise, replacing job->run.
@@ -324,8 +501,13 @@ class BatchEngine {
 
   /// Executes one cohort of same-class lane jobs (size >= 1): solves them
   /// in SIMD lockstep, prices each exactly like a solo serial scan, and
-  /// fulfils every promise. A cohort-level failure re-runs each lane alone
-  /// so one poisoned request cannot fail its cohort-mates.
+  /// fulfils every promise. A cohort-level failure — an injected
+  /// lane-kernel fault, a lane's cancellation observed mid-row, a genuine
+  /// error — re-runs each lane alone on the injection-free per-solve
+  /// sweep, so one poisoned request can degrade but never fail its
+  /// cohort-mates. Lane degradation charges NO backoff: each lane's
+  /// recorded timeline stays the pure solo serial-scan pricing, so the
+  /// merged report remains independent of racy cohort formation.
   template <LddpProblem P>
   static void lane_exec_impl(Job** cohort, std::size_t n) {
     std::vector<detail::LanePayload<P>*> pls(n);
@@ -339,8 +521,28 @@ class BatchEngine {
     detail::LaneExecStats lst;
     std::vector<Grid<typename P::Value>> tables;
     bool cohort_ok = true;
+    // Lifecycle hook for the lockstep sweep: the cohort head's fault plan
+    // draws kLaneKernel decisions per row, and every lane's cancellation
+    // flag is polled so a cancel lands within one row of being raised.
+    const bool armed = cohort[0]->chaos_plan.armed();
+    bool any_cancel = false;
+    for (std::size_t k = 0; k < n; ++k)
+      any_cancel = any_cancel || cohort[k]->cancel.valid();
+    std::function<void(std::size_t)> poll;
+    if (armed || any_cancel) {
+      poll = [cohort, n](std::size_t row) {
+        fault::maybe_throw(fault::Site::kLaneKernel, row);
+        for (std::size_t k = 0; k < n; ++k)
+          if (cohort[k]->cancel.cancelled()) throw fault::CancelledError();
+      };
+    }
     try {
-      tables = detail::solve_lane_cohort(probs, /*batch_kernels=*/true, &lst);
+      std::optional<fault::FaultScope> scope;
+      if (armed)
+        scope.emplace(&cohort[0]->chaos_plan, cohort[0]->index,
+                      /*attempt=*/0);
+      tables = detail::solve_lane_cohort(probs, /*batch_kernels=*/true, &lst,
+                                         poll);
     } catch (...) {
       cohort_ok = false;
     }
@@ -350,6 +552,9 @@ class BatchEngine {
       Job& j = *cohort[k];
       const P& p = pls[k]->problem;
       try {
+        if (j.cancel.cancelled()) throw fault::CancelledError();
+        // The solo fallback runs poll-free and outside any fault scope —
+        // it is the cohort's guaranteed reference rung.
         Grid<typename P::Value> table =
             cohort_ok ? std::move(tables[k])
                       : std::move(detail::solve_lane_cohort(
@@ -360,9 +565,15 @@ class BatchEngine {
         const ContributingSet deps = p.deps();
         const bool use_batch = has_batch_front_v<P> && !deps.has_w();
         sim::Platform plat(pls[k]->platform);
+        fault::RequestControl control;
+        if (j.cancel.valid()) control.cancel = j.cancel.flag();
+        if (j.deadline_s > 0.0) control.deadline_s = j.deadline_s;
+        if (control.cancel != nullptr || control.deadline_s > 0.0)
+          plat.timeline().set_request_control(&control);
         plat.cpu_charge(p.rows() * p.cols(),
                         detail::cpu_work_for(p, use_batch),
                         /*parallel=*/false);
+        plat.timeline().set_request_control(nullptr);
         SolveStats stats;
         stats.mode_used = Mode::kCpuSerial;
         stats.pattern = classify(deps);
@@ -372,9 +583,25 @@ class BatchEngine {
         detail::finish_stats(stats, plat, per_solve_wall);
         j.recorded = plat.timeline();
         j.stats = stats;
+        if (!cohort_ok) {
+          j.outcome = lddp::chaos::RequestOutcome::kDegraded;
+          j.degraded = "lane->solo";
+          j.retries = 1;
+        } else {
+          j.outcome = lddp::chaos::RequestOutcome::kOk;
+        }
         pls[k]->promise->set_value(
             SolveResult<P>{std::move(table), stats});
+      } catch (const fault::CancelledError&) {
+        j.outcome = lddp::chaos::RequestOutcome::kCancelled;
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
+      } catch (const fault::DeadlineExceededError&) {
+        j.outcome = lddp::chaos::RequestOutcome::kDeadlineExceeded;
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
       } catch (...) {
+        j.outcome = lddp::chaos::RequestOutcome::kFailed;
         j.failed = true;
         pls[k]->promise->set_exception(std::current_exception());
       }

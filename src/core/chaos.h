@@ -1,0 +1,137 @@
+// Request-lifecycle surface of the batch engine: cancellation tokens,
+// structured per-request outcomes, submit-time lifecycle options, and the
+// `--chaos seed[:rate]` spec that arms a deterministic FaultPlan.
+//
+// Everything here is about *requests* — the engine-facing vocabulary on
+// top of the mechanism in util/fault_injection.h. A request submitted with
+// a deadline, a retry budget and a cancellation token runs through the
+// engine's lifecycle loop: injected or genuine failures retry down a
+// graceful-degradation ladder with deterministic simulated-time backoff,
+// cancellation and deadline violations stop the attempt stream, and the
+// final outcome is reported both on the future (an exception for anything
+// but success) and in BatchReport (structured, per request).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace lddp::chaos {
+
+/// How one batch request ended (BatchItemStats::outcome).
+enum class RequestOutcome : std::uint8_t {
+  kOk = 0,            ///< first attempt succeeded
+  kRetried,           ///< succeeded after retries, same configuration
+  kDegraded,          ///< succeeded on a degraded rung (slower path)
+  kDeadlineExceeded,  ///< simulated deadline hit (exception on future)
+  kCancelled,         ///< cancellation observed (exception on future)
+  kFailed,            ///< retry budget exhausted (exception on future)
+};
+
+inline const char* to_string(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kRetried:
+      return "retried";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+    case RequestOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+class CancelSource;
+
+/// Shared handle to a cancellation flag. Copyable; a default-constructed
+/// token is inert (never cancelled). Obtained from CancelSource::token().
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  bool valid() const { return flag_ != nullptr; }
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+  /// Raw flag pointer for fault::RequestControl (null when inert). The
+  /// token (or its source) must outlive any control referencing it.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Owner side of a cancellation flag. request_cancel() is sticky and
+/// thread-safe; in-flight solves observe it at their next op-record or
+/// lane-row boundary and fail with fault::CancelledError.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-request lifecycle options for BatchEngine::submit.
+struct RequestOptions {
+  double weight = 1.0;        ///< WFQ weight (must be positive)
+  /// Simulated-time deadline in ms: < 0 inherits BatchConfig::deadline_ms,
+  /// 0 disables, > 0 overrides.
+  double deadline_ms = -1.0;
+  /// Retry budget: < 0 inherits BatchConfig::max_retries.
+  long long max_retries = -1;
+  CancelToken cancel;         ///< optional cancellation token
+};
+
+/// Parsed `--chaos seed[:rate]` flag: a uniform per-site failure rate
+/// under one seed. Rate defaults to 0.02 when omitted.
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+
+  static ChaosSpec parse(const std::string& text) {
+    ChaosSpec spec;
+    const std::size_t colon = text.find(':');
+    const std::string seed_str = text.substr(0, colon);
+    char* end = nullptr;
+    spec.seed = std::strtoull(seed_str.c_str(), &end, 10);
+    LDDP_CHECK_MSG(end != nullptr && *end == '\0' && !seed_str.empty(),
+                   "bad --chaos seed: " << text);
+    if (colon == std::string::npos) {
+      spec.rate = 0.02;
+    } else {
+      const std::string rate_str = text.substr(colon + 1);
+      spec.rate = std::strtod(rate_str.c_str(), &end);
+      LDDP_CHECK_MSG(end != nullptr && *end == '\0' && !rate_str.empty() &&
+                         spec.rate >= 0.0 && spec.rate <= 1.0,
+                     "bad --chaos rate: " << text);
+    }
+    return spec;
+  }
+
+  fault::FaultPlan plan() const {
+    return fault::FaultPlan::uniform(seed, rate);
+  }
+};
+
+}  // namespace lddp::chaos

@@ -65,6 +65,11 @@ template <LddpProblem P>
 SolveResult<P> solve_canonical(const P& p, Pattern pattern,
                                const RunConfig& cfg) {
   sim::Platform platform(cfg.platform, cfg.pool, cfg.buffer_pool);
+  // Lifecycle enforcement rides the Timeline: every strategy's recorded op
+  // (CPU front, kernel, copy) passes through Timeline::record, so a single
+  // install point gives cancellation/deadline checks at front granularity
+  // across all execution layers without touching any strategy.
+  platform.timeline().set_request_control(cfg.control);
   const Mode mode = resolve_auto(cfg.mode, p.rows() * p.cols());
   const bool fused = cfg.fused_launches;
   const bool batch = cfg.batch_kernels;
@@ -171,6 +176,9 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
   }
   if (!cfg.trace_path.empty())
     platform.timeline().export_chrome_trace(cfg.trace_path);
+  // Detach the per-attempt control before copying the timeline out: the
+  // recorded schedule outlives this attempt (batch replay, retries).
+  platform.timeline().set_request_control(nullptr);
   if (cfg.record_timeline != nullptr)
     *cfg.record_timeline = platform.timeline();
   return result;

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <type_traits>
 #include <vector>
@@ -67,10 +68,18 @@ void lane_fill_rows(const P& p, Grid<typename P::Value>& g, std::size_t r0,
 
 /// Solves `probs` as one lane cohort; returns one table per problem, in
 /// order, bit-identical to per-solve serial scans.
+///
+/// `poll`, when set, is the cohort's lifecycle hook: called with the row
+/// index at the start of every lockstep row (and with the lane index
+/// before each whole-lane fill on the non-lockstep path). A throwing poll
+/// — an injected lane-kernel fault, an observed cancellation — aborts the
+/// cohort cleanly; the batch engine then degrades to per-lane solo
+/// execution, which runs poll-free as the guaranteed reference rung.
 template <LddpProblem P>
 std::vector<Grid<typename P::Value>> solve_lane_cohort(
     const std::vector<const P*>& probs, bool batch_kernels,
-    LaneExecStats* stats_out) {
+    LaneExecStats* stats_out,
+    const std::function<void(std::size_t)>& poll = {}) {
   using V = typename P::Value;
   using Traits = lanes::LaneTraits<P>;
   const std::size_t S = probs.size();
@@ -93,8 +102,10 @@ std::vector<Grid<typename P::Value>> solve_lane_cohort(
   if constexpr (Traits::enabled)
     lockstep = batch_kernels && S >= 2 && min_rows >= 2 && min_cols >= 4;
   if (!lockstep) {
-    for (std::size_t s = 0; s < S; ++s)
+    for (std::size_t s = 0; s < S; ++s) {
+      if (poll) poll(s);
       lane_fill_rows(*probs[s], tables[s], 0, batch_kernels);
+    }
     if (stats_out) *stats_out = st;
     return tables;
   }
@@ -129,6 +140,7 @@ std::vector<Grid<typename P::Value>> solve_lane_cohort(
         row0[j * width + s] = tables[s < S ? s : 0].at(0, j);
 
     for (std::size_t i = 1; i < min_rows; ++i) {
+      if (poll) poll(i);
       const V* const prev = lrows.row((i - 1) & 1);
       V* const row = lrows.row(i & 1);
 

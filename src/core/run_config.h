@@ -13,6 +13,10 @@ class BufferPool;
 class Timeline;
 }  // namespace lddp::sim
 
+namespace lddp::fault {
+struct RequestControl;
+}  // namespace lddp::fault
+
 namespace lddp {
 
 /// Which implementation runs the table fill.
@@ -89,6 +93,13 @@ struct RunConfig {
   /// batch engine uses this to replay per-solve schedules against a shared
   /// platform. Must outlive the solve() call.
   sim::Timeline* record_timeline = nullptr;
+  /// Optional per-request lifecycle control (cooperative cancellation flag
+  /// + simulated-time deadline), installed on the run's Timeline and
+  /// checked at every recorded operation — i.e. at front/tile granularity
+  /// for every execution layer. Must outlive the solve() call. Null runs
+  /// uncontrolled. Deadlines are in *simulated* seconds, so enforcement is
+  /// deterministic and independent of host load.
+  const fault::RequestControl* control = nullptr;
 };
 
 /// Measured outcome of one solve() call.

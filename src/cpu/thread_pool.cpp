@@ -112,6 +112,19 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
+void ThreadPool::maybe_fail_strip_chunk(std::size_t thread_index) const {
+  const fault::FaultContext& ctx = strip_region_.fault;
+  if (ctx.plan == nullptr) return;
+  // Salt mixes the front (epoch, set per dispatch) with the worker index,
+  // so a per-decision rate means exactly that: every (front, worker)
+  // chunk is an independent draw.
+  const std::uint64_t salt = (strip_region_.epoch << 8) ^ thread_index;
+  if (ctx.plan->should_fail(fault::Site::kStripWorker, ctx.solve,
+                            ctx.attempt, salt))
+    throw fault::InjectedFault(fault::Site::kStripWorker, ctx.solve,
+                               ctx.attempt);
+}
+
 void ThreadPool::strip_worker_loop(std::size_t thread_index) {
   // Baseline generation captured at session entry (published under mu_ by
   // begin_strips before the wakeup); the worker runs every generation the
@@ -138,11 +151,14 @@ void ThreadPool::strip_worker_loop(std::size_t thread_index) {
     if (strip_gen_.load(std::memory_order_seq_cst) == seen) return;  // exit
     seen = strip_gen_.load(std::memory_order_seq_cst);
     try {
+      maybe_fail_strip_chunk(thread_index);
       run_chunk(strip_region_, thread_index, workers_.size() + 1);
     } catch (...) {
       std::lock_guard<std::mutex> lock(strip_mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    // Unconditional: a throwing chunk must still arrive at the barrier,
+    // or the master's join spin below never completes.
     strip_done_.fetch_add(1, std::memory_order_seq_cst);
   }
 }
@@ -150,7 +166,7 @@ void ThreadPool::strip_worker_loop(std::size_t thread_index) {
 void ThreadPool::begin_strips() {
   if (workers_.empty()) return;  // single thread: everything runs inline
   acquire_master();  // held until end_strips — the session owns the pool
-  {
+  try {
     std::lock_guard<std::mutex> lock(mu_);
     LDDP_CHECK_MSG(!strip_mode_, "strip sessions do not nest");
     LDDP_CHECK_MSG(pending_ == 0,
@@ -161,6 +177,13 @@ void ThreadPool::begin_strips() {
     strip_enter_gen_ = strip_gen_.load(std::memory_order_seq_cst);
     first_error_ = nullptr;
     ++region_.epoch;  // wake the workers into the barrier
+  } catch (...) {
+    // A failed usage check must give back the mastership acquired above:
+    // StripSession's constructor threw, so its destructor will never run
+    // end_strips, and a stranded master deadlocks every later driver of
+    // the pool.
+    release_master();
+    throw;
   }
   cv_start_.notify_all();
 }
@@ -192,6 +215,8 @@ void ThreadPool::strip_dispatch(
   strip_region_.begin = begin;
   strip_region_.end = end;
   strip_region_.body = &body;
+  strip_region_.epoch += 1;  // per-dispatch salt for worker fault draws
+  strip_region_.fault = fault::snapshot();
   strip_done_.store(0, std::memory_order_seq_cst);
   strip_gen_.fetch_add(1, std::memory_order_seq_cst);
   // Wake parked workers. The empty critical section orders the notify

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace lddp::cpu {
 
@@ -93,11 +94,24 @@ class ThreadPool {
     std::size_t end = 0;
     const std::function<void(std::size_t, std::size_t)>* body = nullptr;
     std::uint64_t epoch = 0;  // bumped per region; workers wait on it
+    // Master's fault context at dispatch (plan null when none): lets
+    // workers — which have no thread-local scope of their own — draw
+    // kStripWorker injection decisions for the solve the strips belong
+    // to. Published/consumed under the same protocol as `body`; the plan
+    // outlives the dispatch because the master joins every worker before
+    // its FaultScope can unwind.
+    fault::FaultContext fault;
   };
 
   void worker_loop(std::size_t worker_index);
   void run_chunk(const Region& region, std::size_t thread_index,
                  std::size_t nthreads);
+  /// Throws fault::InjectedFault when the dispatching master's fault plan
+  /// fails this worker's chunk of the current strip front (site
+  /// kStripWorker). Exercises real worker-exception propagation through
+  /// the barrier; workers only — the master's own chunk faults through
+  /// the ordinary per-solve sites.
+  void maybe_fail_strip_chunk(std::size_t thread_index) const;
   /// Condvar fork/join region (the non-strip path of parallel_for_chunked);
   /// caller holds mastership.
   void fork_join(std::size_t begin, std::size_t end,

@@ -28,6 +28,7 @@
 #include "sim/memory.h"
 #include "sim/timeline.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace lddp::sim {
 
@@ -90,6 +91,7 @@ class Device {
     LDDP_CHECK_MSG(dst_device != nullptr || count == 0,
                    "h2d into null device pointer");
     if (count == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferH2D, count * sizeof(T));
     std::memcpy(dst_device, src_host, count * sizeof(T));
     stats_.h2d_bytes += count * sizeof(T);
     ++stats_.h2d_copies;
@@ -105,6 +107,7 @@ class Device {
     LDDP_CHECK_MSG(src_device != nullptr || count == 0,
                    "d2h from null device pointer");
     if (count == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferD2H, count * sizeof(T));
     std::memcpy(dst_host, src_device, count * sizeof(T));
     stats_.d2h_bytes += count * sizeof(T);
     ++stats_.d2h_copies;
@@ -118,6 +121,7 @@ class Device {
   OpId record_h2d(StreamId stream, std::size_t bytes, MemoryKind kind,
                   OpId extra_dep = kNoOp) {
     if (bytes == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferH2D, bytes);
     stats_.h2d_bytes += bytes;
     ++stats_.h2d_copies;
     return enqueue_copy(stream, h2d_res_, bytes, kind, extra_dep, "h2d");
@@ -127,6 +131,7 @@ class Device {
   OpId record_d2h(StreamId stream, std::size_t bytes, MemoryKind kind,
                   OpId extra_dep = kNoOp) {
     if (bytes == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferD2H, bytes);
     stats_.d2h_bytes += bytes;
     ++stats_.d2h_copies;
     return enqueue_copy(stream, d2h_res_, bytes, kind, extra_dep, "d2h");
@@ -139,6 +144,7 @@ class Device {
   OpId launch(StreamId stream, const KernelInfo& info, std::size_t num_cells,
               Body&& body, OpId extra_dep = kNoOp) {
     if (num_cells == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kKernelLaunch, num_cells);
     execute_cells(num_cells, body);
     const double seconds = kernel_seconds(spec_, info, num_cells);
     const OpId op =
@@ -160,6 +166,7 @@ class Device {
                     OpId extra_dep = kNoOp,
                     double packed_exec_seconds = -1.0) {
     if (num_tiles == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kKernelLaunch, num_tiles);
     execute_tiles(num_tiles, std::forward<Body>(body));
     const double seconds = spec_.launch_overhead_us * 1e-6 + exec_seconds;
     const OpId op =

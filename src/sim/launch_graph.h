@@ -23,12 +23,14 @@
 #pragma once
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 #include <vector>
 
 #include "sim/device.h"
 #include "sim/kernel.h"
 #include "sim/timeline.h"
+#include "util/fault_injection.h"
 
 namespace lddp::sim {
 
@@ -45,7 +47,25 @@ class LaunchGraph {
 
   /// Un-replayed nodes are submitted on destruction (safety net; strategies
   /// normally replay explicitly before recording dependent host-side ops).
-  ~LaunchGraph() { replay(); }
+  /// replay() can throw — an injected kGraphReplay fault, or a lifecycle
+  /// check on the timeline — which is fine on the normal path (the dtor is
+  /// noexcept(false)) but must never happen while another exception is
+  /// unwinding the strategy: pending nodes are abandoned instead. Their
+  /// real work already executed eagerly; only unrecorded timing is lost,
+  /// and the failing solve's timeline is discarded anyway.
+  ~LaunchGraph() noexcept(false) {
+    if (std::uncaught_exceptions() == 0)
+      replay();
+    else
+      abandon();
+  }
+
+  /// Drops all pending (un-replayed) nodes and per-stream graph state.
+  void abandon() {
+    pending_.clear();
+    stream_last_.clear();
+    stream_waits_.clear();
+  }
 
   bool fused() const { return fused_; }
   Device& device() { return *dev_; }
@@ -61,6 +81,7 @@ class LaunchGraph {
       return dev_->launch(stream, info, num_cells, std::forward<Body>(body),
                           extra_dep);
     if (num_cells == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kKernelLaunch, num_cells);
     dev_->execute_cells(num_cells, std::forward<Body>(body));
     return add_node(stream, dev_->compute_res_,
                     kernel_exec_seconds(dev_->spec_, info, num_cells),
@@ -82,6 +103,7 @@ class LaunchGraph {
                                 std::forward<Body>(body), extra_dep,
                                 packed_exec_seconds);
     if (num_tiles == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kKernelLaunch, num_tiles);
     dev_->execute_tiles(num_tiles, std::forward<Body>(body));
     const double packed =
         packed_exec_seconds >= 0.0 ? packed_exec_seconds : exec_seconds;
@@ -94,6 +116,7 @@ class LaunchGraph {
                   OpId extra_dep = kNoOp) {
     if (!fused_) return dev_->record_h2d(stream, bytes, kind, extra_dep);
     if (bytes == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferH2D, bytes);
     dev_->stats_.h2d_bytes += bytes;
     ++dev_->stats_.h2d_copies;
     const double wire = transfer_exec_seconds(dev_->spec_, bytes, kind);
@@ -105,6 +128,7 @@ class LaunchGraph {
                   OpId extra_dep = kNoOp) {
     if (!fused_) return dev_->record_d2h(stream, bytes, kind, extra_dep);
     if (bytes == 0) return last_op(stream);
+    fault::maybe_throw(fault::Site::kTransferD2H, bytes);
     dev_->stats_.d2h_bytes += bytes;
     ++dev_->stats_.d2h_copies;
     const double wire = transfer_exec_seconds(dev_->spec_, bytes, kind);
@@ -146,6 +170,7 @@ class LaunchGraph {
   /// one Timeline group (chrome://tracing still shows per-front spans).
   void replay() {
     if (!fused_ || pending_.empty()) return;
+    fault::maybe_throw(fault::Site::kGraphReplay, pending_.size());
     Timeline& tl = dev_->timeline();
     tl.begin_group();
     const GpuSpec& spec = dev_->spec_;

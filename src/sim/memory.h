@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace lddp::sim {
 
@@ -77,6 +78,7 @@ class BufferPool {
   /// at tens of MB the memset costs as much as real work.
   virtual void* acquire(std::size_t bytes, bool pinned, bool zeroed = true) {
     if (bytes == 0) return nullptr;
+    fault::maybe_throw(fault::Site::kPoolAcquire, bytes);
     std::lock_guard<std::mutex> lock(mu_);
     auto& cache = pinned ? pinned_free_ : device_free_;
     std::size_t best = cache.size();
@@ -161,6 +163,7 @@ class QuotaBufferPool final : public BufferPool {
 
   void* acquire(std::size_t bytes, bool pinned, bool zeroed = true) override {
     if (bytes == 0) return nullptr;
+    fault::maybe_throw(fault::Site::kQuotaAcquire, bytes);
     {
       std::lock_guard<std::mutex> lock(quota_mu_);
       if (quota_ != 0 && outstanding_ + bytes > quota_) {
@@ -172,7 +175,17 @@ class QuotaBufferPool final : public BufferPool {
       }
       outstanding_ += bytes;
     }
-    return parent_->acquire(bytes, pinned, zeroed);
+    // The quota commit above must roll back if the parent acquisition
+    // fails (an injected kPoolAcquire fault, or a real bad_alloc):
+    // otherwise the destructor's live-buffer check fires during unwinding
+    // — inside a noexcept destructor — and terminates the process.
+    try {
+      return parent_->acquire(bytes, pinned, zeroed);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      outstanding_ -= bytes;
+      throw;
+    }
   }
 
   void release(void* p, std::size_t bytes, bool pinned) override {

@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <fstream>
 
+#include "util/fault_injection.h"
+
 namespace lddp::sim {
+
+void Timeline::copy_from(const Timeline& o) {
+  resources_ = o.resources_;
+  starts_ = o.starts_;
+  ends_ = o.ends_;
+  op_resources_ = o.op_resources_;
+  labels_ = o.labels_;
+  groups_ = o.groups_;
+  dep_pool_ = o.dep_pool_;
+  dep_offsets_ = o.dep_offsets_;
+  pack_overheads_ = o.pack_overheads_;
+  current_group_ = o.current_group_;
+  next_group_ = o.next_group_;
+  makespan_ = o.makespan_;
+  // control_ intentionally untouched: the per-attempt lifecycle control of
+  // the source would dangle in a retained copy (e.g. a recorded schedule
+  // handed to the batch merger).
+}
+
+void Timeline::check_cancelled() const {
+  if (control_->cancelled()) throw fault::CancelledError();
+}
+
+void Timeline::check_deadline() const {
+  if (control_->deadline_s > 0.0 && makespan_ > control_->deadline_s)
+    throw fault::DeadlineExceededError(control_->deadline_s);
+}
 
 Timeline::ResourceId Timeline::add_resource(std::string name) {
   resources_.push_back(Resource{std::move(name), 0.0, 0.0});
@@ -14,6 +43,7 @@ OpId Timeline::record(ResourceId resource, double duration_s,
                       std::span<const OpId> deps, const char* label) {
   LDDP_CHECK_MSG(resource < resources_.size(), "unknown resource id");
   LDDP_CHECK_MSG(duration_s >= 0.0, "negative op duration");
+  if (control_ != nullptr) check_cancelled();
   double ready = resources_[resource].free_at;
   for (OpId d : deps) {
     if (d == kNoOp) continue;
@@ -32,6 +62,7 @@ OpId Timeline::record(ResourceId resource, double duration_s,
   groups_.push_back(current_group_);
   pack_overheads_.push_back(0.0);
   makespan_ = std::max(makespan_, end);
+  if (control_ != nullptr) check_deadline();
   return static_cast<OpId>(ends_.size() - 1);
 }
 

@@ -22,6 +22,10 @@
 
 #include "util/check.h"
 
+namespace lddp::fault {
+struct RequestControl;
+}  // namespace lddp::fault
+
 namespace lddp::sim {
 
 using OpId = std::uint32_t;
@@ -92,6 +96,31 @@ class Timeline {
   /// Amortizable submission seconds of the op (0 for ordinary ops).
   double op_pack_overhead(OpId op) const;
 
+  /// Installs per-request lifecycle control: every subsequent record()
+  /// checks the cancellation flag before recording (throws
+  /// fault::CancelledError) and the simulated-time deadline after (throws
+  /// fault::DeadlineExceededError once the makespan passes it). The
+  /// timeline is the one chokepoint every CPU front, GPU kernel and DMA
+  /// copy flows through, so this gives front/tile-boundary lifecycle
+  /// checks with zero strategy-code changes. Null (the default) disables
+  /// both checks; the control must outlive its installation. The pointer
+  /// is intentionally NOT copied by the copy constructor/assignment — a
+  /// recorded schedule handed to the batch merger must not retain a
+  /// dangling per-attempt control.
+  void set_request_control(const fault::RequestControl* control) {
+    control_ = control;
+  }
+  const fault::RequestControl* request_control() const { return control_; }
+
+  Timeline() = default;
+  Timeline(const Timeline& o) { copy_from(o); }
+  Timeline& operator=(const Timeline& o) {
+    if (this != &o) copy_from(o);
+    return *this;
+  }
+  Timeline(Timeline&&) = default;
+  Timeline& operator=(Timeline&&) = default;
+
   /// Id of the resource with this exact name, or kNoResource.
   static constexpr ResourceId kNoResource =
       std::numeric_limits<ResourceId>::max();
@@ -112,6 +141,12 @@ class Timeline {
     double busy = 0.0;
   };
 
+  void copy_from(const Timeline& o);
+  /// Lifecycle checks of record(); out-of-line so the throw paths stay off
+  /// the hot recording sequence.
+  void check_cancelled() const;
+  void check_deadline() const;
+
   std::vector<Resource> resources_;
   std::vector<double> starts_;
   std::vector<double> ends_;
@@ -126,6 +161,7 @@ class Timeline {
   GroupId current_group_ = kNoGroup;
   GroupId next_group_ = 0;
   double makespan_ = 0.0;
+  const fault::RequestControl* control_ = nullptr;  // not copied
 };
 
 }  // namespace lddp::sim

@@ -127,6 +127,41 @@ TEST(StripSessionTest, EmptyRangeInsideSessionIsNoop) {
   EXPECT_FALSE(touched);
 }
 
+TEST(StripSessionTest, ThrowingBeginReleasesMastership) {
+  // Regression: begin_strips() acquires pool mastership before its
+  // lifecycle checks. When a check throws (here: nested sessions on one
+  // thread), mastership must be released on the way out — otherwise the
+  // pool's master slot is stranded and every later region or session on
+  // any thread deadlocks waiting for an owner that no longer exists.
+  ThreadPool pool(4);
+  {
+    StripSession outer(&pool);
+    EXPECT_THROW(StripSession inner(&pool), CheckError);
+    // The outer session must still be fully functional after the failed
+    // nested construction.
+    std::atomic<int> hits{0};
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), 64);
+  }
+  // And the pool itself: a fresh session and a fork/join region both
+  // acquire mastership normally — nothing was stranded.
+  {
+    StripSession session(&pool);
+    std::atomic<int> hits{0};
+    pool.parallel_for(0, 32, [&](std::size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(hits.load(), 32);
+  }
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 16, [&](std::size_t) {
+    hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits.load(), 16);
+}
+
 TEST(StripSessionTest, ChunkedDispatchMatchesForkJoinChunking) {
   // Same static chunking as fork/join: every index exactly once, chunks
   // non-overlapping.

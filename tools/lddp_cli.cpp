@@ -76,6 +76,18 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
                    cohorts at the active ISA's lane width (8 with AVX2,
                    else 4); N caps at N lanes; off disables. Results are
                    bit-identical to solo solves
+  --deadline-ms MS per-request *simulated-time* deadline for --batch
+                   requests (deterministic: independent of host load;
+                   default 0 = none)
+  --retries N      per-request retry budget for --batch: each retry walks
+                   one rung down the degradation ladder (fused -> unfused
+                   -> untiled -> scalar -> serial reference) with
+                   deterministic simulated backoff (default 0)
+  --chaos SEED[:RATE]
+                   arm deterministic fault injection for --batch: every
+                   injection site fails with probability RATE (default
+                   0.02) as a pure function of (SEED, site, solve,
+                   attempt), so failures replay bit-identically
   --tune           run the Section V-A parameter sweeps first; with
                    --batch, tunes through the shared cross-solve cache
   --list           list problems and exit
@@ -212,10 +224,34 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
                 rep.tuner_hits, rep.tuner_lookups,
                 rep.tuner_hit_rate * 100.0);
   }
+  if (rep.ok_solves != rep.solves || rep.retry_attempts > 0) {
+    std::printf("batch lifecycle: %zu ok, %zu retried, %zu degraded, "
+                "%zu deadline, %zu cancelled, %zu failed | %zu retry "
+                "attempt(s)\n",
+                rep.ok_solves, rep.retried_solves, rep.degraded_solves,
+                rep.deadline_solves, rep.cancelled_solves,
+                rep.failed_solves, rep.retry_attempts);
+  }
+  // Under chaos / deadlines some futures legitimately carry structured
+  // errors; answer from the first successful request.
   Report r;
-  auto first = futures.front().get();
-  r.stats = first.stats;
-  r.answer = answer(first.table);
+  bool answered = false;
+  for (auto& f : futures) {
+    try {
+      auto result = f.get();
+      if (!answered) {
+        r.stats = result.stats;
+        r.answer = answer(result.table);
+        answered = true;
+      }
+    } catch (const std::exception& e) {
+      if (!answered && r.answer.empty())
+        r.answer = std::string("(first request failed: ") + e.what() + ")";
+    }
+  }
+  LDDP_CHECK_MSG(answered || rep.ok_solves + rep.retried_solves +
+                                 rep.degraded_solves == 0,
+                 "report counted successes but every future threw");
   return r;
 }
 
@@ -325,6 +361,20 @@ int main(int argc, char** argv) try {
         g_batch_cfg.lane_pack = v;
       }
     }
+  }
+  // Request lifecycle: simulated-time deadline, retry/degradation budget
+  // and the deterministic chaos plan (batch mode only — a solo solve has
+  // no lifecycle loop around it).
+  g_batch_cfg.deadline_ms = flags.get_double("deadline-ms", 0.0);
+  LDDP_CHECK_MSG(g_batch_cfg.deadline_ms >= 0.0,
+                 "--deadline-ms must be >= 0");
+  const long long retries = flags.get_int("retries", 0);
+  LDDP_CHECK_MSG(retries >= 0, "--retries must be >= 0");
+  g_batch_cfg.max_retries = static_cast<std::size_t>(retries);
+  {
+    const std::string chaos_spec = flags.get("chaos", "");
+    if (!chaos_spec.empty())
+      g_batch_cfg.chaos = chaos::ChaosSpec::parse(chaos_spec).plan();
   }
   // With --batch, --tune opts the engine's cross-solve tuning cache in
   // instead of running a solo pre-sweep: each auto-parameter request
