@@ -78,8 +78,10 @@ void full_solve_ablation(const char* name, const P& p,
   const double speedup = off > 0.0 ? on / off : 0.0;
   std::printf("%-12s %6zu | off %10.1f Mcell/s | on %10.1f Mcell/s | %.2fx\n",
               name, n, off / 1e6, on / 1e6, speedup);
-  json.record(std::string(name) + "/off", n, 0.0, 1e3 * p.rows() * p.cols() / off);
-  json.record(std::string(name) + "/on", n, 0.0, 1e3 * p.rows() * p.cols() / on);
+  json.record_wall(std::string(name) + "/off", n,
+                   1e3 * p.rows() * p.cols() / off, off);
+  json.record_wall(std::string(name) + "/on", n,
+                   1e3 * p.rows() * p.cols() / on, on);
   if (speedup < 2.0) {
     std::fprintf(stderr,
                  "GATE FAIL: %s full-solve batch speedup %.2fx < 2.0x\n",
@@ -136,8 +138,8 @@ void front_sweep(lddp::bench::JsonWriter& json) {
     const double ratio = batch / scalar;
     std::printf("%8zu %12.3f %12.3f %8.2fx\n", L, scalar, batch,
                 scalar / batch);
-    json.record("front_sweep/scalar", L, 0.0, scalar);
-    json.record("front_sweep/batch", L, 0.0, batch);
+    json.record_wall("front_sweep/scalar", L, scalar);
+    json.record_wall("front_sweep/batch", L, batch);
     if (L >= 256 && ratio > 1.10) {
       std::fprintf(stderr,
                    "GATE FAIL: L=%zu batch path %.2fx slower than scalar "

@@ -146,9 +146,9 @@ bool pack_sweep(lddp::bench::JsonWriter& json) {
         packed.sim_makespan > 0.0
             ? unpacked.sim_makespan / packed.sim_makespan
             : 1.0;
-    json.record("pack/packed", batch, packed.sim_makespan * 1e3, 0.0);
-    json.record("pack/unpacked", batch, unpacked.sim_makespan * 1e3, 0.0);
-    json.record("pack/speedup", batch, speedup, 0.0);
+    json.record_sim("pack/packed", batch, packed.sim_makespan * 1e3);
+    json.record_sim("pack/unpacked", batch, unpacked.sim_makespan * 1e3);
+    json.record_sim("pack/speedup", batch, speedup);
     std::printf("%6zu %12.3f %12.3f %7.2fx %7zu %10.3f\n", batch,
                 packed.sim_makespan * 1e3, unpacked.sim_makespan * 1e3,
                 speedup, packed.packs, packed.pack_saved_seconds * 1e3);
@@ -372,10 +372,10 @@ bool sweep() {
       const std::string tag = to_string(sched);
       json.record(tag + "/makespan", batch, rep.sim_makespan * 1e3,
                   wall_ms);
-      json.record(tag + "/p50", batch, rep.p50_latency * 1e3, 0.0);
-      json.record(tag + "/p99", batch, rep.p99_latency * 1e3, 0.0);
+      json.record_sim(tag + "/p50", batch, rep.p50_latency * 1e3);
+      json.record_sim(tag + "/p99", batch, rep.p99_latency * 1e3);
       if (sched == BatchSched::kFifo)
-        json.record("serial", batch, rep.serial_sim_seconds * 1e3, 0.0);
+        json.record_sim("serial", batch, rep.serial_sim_seconds * 1e3);
       std::printf("%6zu %-5s %12.3f %12.3f %7.2fx %10.1f %10.3f %10.3f\n",
                   batch, tag.c_str(), rep.sim_makespan * 1e3,
                   rep.serial_sim_seconds * 1e3, rep.speedup,

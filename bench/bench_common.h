@@ -96,6 +96,17 @@ class JsonWriter {
     rows_.push_back(r);
   }
 
+  /// Simulated-time-only record for benches that never measure host
+  /// wall-clock per row (e.g. merged batch schedules). Emits no `wall_ms`
+  /// field — previously such rows carried a bogus `"wall_ms": 0.000000`
+  /// that downstream tooling could mistake for a measurement.
+  void record_sim(const std::string& label, std::size_t size,
+                  double simulated_ms) {
+    Row r{label, size, simulated_ms, 0.0};
+    r.has_wall = false;
+    rows_.push_back(r);
+  }
+
   /// Writes BENCH_<name>.json in the current working directory.
   void save() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -114,11 +125,11 @@ class JsonWriter {
     std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      std::fprintf(f, "    {\"name\": \"%s\", \"size\": %zu, ",
+      std::fprintf(f, "    {\"name\": \"%s\", \"size\": %zu",
                    r.label.c_str(), r.size);
-      if (r.has_sim) std::fprintf(f, "\"simulated_ms\": %.6f, ",
-                                  r.simulated_ms);
-      std::fprintf(f, "\"wall_ms\": %.6f", r.wall_ms);
+      if (r.has_sim)
+        std::fprintf(f, ", \"simulated_ms\": %.6f", r.simulated_ms);
+      if (r.has_wall) std::fprintf(f, ", \"wall_ms\": %.6f", r.wall_ms);
       if (r.cells_per_s > 0.0)
         std::fprintf(f, ", \"cells_per_s\": %.0f", r.cells_per_s);
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
@@ -136,6 +147,7 @@ class JsonWriter {
     double wall_ms;
     double cells_per_s = 0.0;
     bool has_sim = true;
+    bool has_wall = true;
   };
   std::string name_;
   std::vector<Row> rows_;

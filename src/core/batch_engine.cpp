@@ -114,39 +114,71 @@ std::size_t BatchEngine::lane_limit() const {
   return static_cast<std::size_t>(std::min<long long>(cfg_.lane_pack, 64));
 }
 
+bool BatchEngine::fits_locked(const Job& j, std::size_t extra) const {
+  if (cfg_.memory_budget_bytes == 0) return true;
+  // An idle engine force-admits: a request bigger than the whole budget
+  // runs alone rather than starving.
+  if (running_ == 0 && inflight_table_bytes_ == 0 && extra == 0) return true;
+  return inflight_table_bytes_ + extra + j.est_table_bytes <=
+         cfg_.memory_budget_bytes;
+}
+
+bool BatchEngine::has_admissible_locked() const {
+  for (const Job* j : pending_)
+    if (fits_locked(*j, 0)) return true;
+  return false;
+}
+
 BatchEngine::Job* BatchEngine::pop_next_locked() {
   LDDP_DCHECK(!pending_.empty());
-  std::size_t best = 0;
-  for (std::size_t k = 1; k < pending_.size(); ++k) {
-    const Job& a = *pending_[k];
-    const Job& b = *pending_[best];
+  const auto better = [&](const Job& a, const Job& b) {
     const double ka = sched_key(cfg_.sched, a.est, a.weight, a.index);
     const double kb = sched_key(cfg_.sched, b.est, b.weight, b.index);
-    if (ka < kb || (ka == kb && a.index < b.index)) best = k;
+    return ka < kb || (ka == kb && a.index < b.index);
+  };
+  std::size_t best_all = 0;
+  std::size_t best_fit = pending_.size();
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    if (k > 0 && better(*pending_[k], *pending_[best_all])) best_all = k;
+    if (!fits_locked(*pending_[k], 0)) continue;
+    if (best_fit == pending_.size() ||
+        better(*pending_[k], *pending_[best_fit]))
+      best_fit = k;
   }
-  Job* job = pending_[best];
-  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  if (best_fit == pending_.size()) return nullptr;
+  if (best_fit != best_all) ++budget_deferrals_;
+  Job* job = pending_[best_fit];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best_fit));
   return job;
 }
 
 /// Pops the scheduler's next job plus — when it is lane-groupable —
 /// every same-class pending job (queue order) up to the lane cap, as one
-/// cohort. Non-lane jobs come back as singletons.
+/// cohort. Non-lane jobs come back as singletons; cohort-mates are only
+/// taken while they fit the memory budget on top of the head.
 std::vector<BatchEngine::Job*> BatchEngine::pop_cohort_locked() {
   std::vector<Job*> cohort;
-  cohort.push_back(pop_next_locked());
-  Job* const head = cohort.front();
+  Job* const head = pop_next_locked();
+  if (head == nullptr) return cohort;  // every pending job budget-deferred
+  cohort.push_back(head);
+  std::size_t extra = head->est_table_bytes;
   const std::size_t limit = lane_limit();
-  if (head->lane_exec == nullptr || limit <= 1) return cohort;
-  for (std::size_t k = 0; k < pending_.size() && cohort.size() < limit;) {
-    Job* const j = pending_[k];
-    if (j->lane_exec != nullptr && j->lane_key == head->lane_key) {
-      cohort.push_back(j);
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
-    } else {
-      ++k;
+  if (head->lane_exec != nullptr && limit > 1) {
+    for (std::size_t k = 0; k < pending_.size() && cohort.size() < limit;) {
+      Job* const j = pending_[k];
+      if (j->lane_exec != nullptr && j->lane_key == head->lane_key &&
+          fits_locked(*j, extra)) {
+        cohort.push_back(j);
+        extra += j->est_table_bytes;
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        ++k;
+      }
     }
   }
+  for (const Job* j : cohort) inflight_table_bytes_ += j->est_table_bytes;
+  peak_inflight_table_bytes_ =
+      std::max(peak_inflight_table_bytes_, inflight_table_bytes_);
   return cohort;
 }
 
@@ -168,8 +200,12 @@ void BatchEngine::run_job(Job& job, cpu::ThreadPool* pool) {
     std::lock_guard<std::mutex> lock(mu_);
     job.done = true;
     --running_;
+    LDDP_DCHECK(inflight_table_bytes_ >= job.est_table_bytes);
+    inflight_table_bytes_ -= job.est_table_bytes;
   }
   cv_done_.notify_all();
+  // A retired table may unblock a budget-deferred request.
+  if (cfg_.memory_budget_bytes != 0) cv_work_.notify_all();
 }
 
 /// Executes one popped cohort: lane jobs (even singleton ones) go through
@@ -192,14 +228,26 @@ void BatchEngine::run_cohort(const std::vector<Job*>& cohort,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (Job* j : cohort) j->done = true;
+    for (Job* j : cohort) {
+      j->done = true;
+      LDDP_DCHECK(inflight_table_bytes_ >= j->est_table_bytes);
+      inflight_table_bytes_ -= j->est_table_bytes;
+    }
     running_ -= cohort.size();
   }
   cv_done_.notify_all();
+  if (cfg_.memory_budget_bytes != 0) cv_work_.notify_all();
 }
 
 void BatchEngine::drain_one_locked(std::unique_lock<std::mutex>& lock) {
   const std::vector<Job*> cohort = pop_cohort_locked();
+  if (cohort.empty()) {
+    // Everything pending is budget-deferred behind another inline drain:
+    // wait for a table to retire, then let the caller's loop retry.
+    cv_done_.wait(lock,
+                  [&] { return running_ == 0 || has_admissible_locked(); });
+    return;
+  }
   running_ += cohort.size();
   lock.unlock();
   run_cohort(cohort, slot_pool(0));
@@ -232,9 +280,12 @@ void BatchEngine::worker_loop(std::size_t slot) {
     std::vector<Job*> cohort;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      cv_work_.wait(lock, [&] {
+        return stop_ || (!pending_.empty() && has_admissible_locked());
+      });
       if (pending_.empty()) return;  // stop_ and nothing left
       cohort = pop_cohort_locked();
+      if (cohort.empty()) continue;  // raced another worker for the slot
       running_ += cohort.size();
     }
     cv_space_.notify_all();
@@ -250,8 +301,18 @@ BatchReport BatchEngine::wait() {
   cv_done_.wait(lock, [&] { return pending_.empty() && running_ == 0; });
   const std::vector<std::unique_ptr<Job>> jobs = std::move(jobs_);
   jobs_.clear();
+  // Per-batch memory counters reset with the job list.
+  const std::size_t peak_tables = peak_inflight_table_bytes_;
+  const std::size_t deferrals = budget_deferrals_;
+  peak_inflight_table_bytes_ = 0;
+  budget_deferrals_ = 0;
   lock.unlock();
-  return build_report(jobs);
+  BatchReport report = build_report(jobs);
+  report.memory_budget_bytes = cfg_.memory_budget_bytes;
+  report.peak_inflight_table_bytes = peak_tables;
+  report.budget_deferrals = deferrals;
+  report.arena = buffers_.stats();
+  return report;
 }
 
 BatchReport BatchEngine::build_report(

@@ -95,6 +95,13 @@ struct BatchConfig {
   /// (QuotaBufferPool); over-quota acquisitions fall through to the heap.
   /// 0 = unlimited.
   std::size_t buffer_quota_bytes = 0;
+  /// Admission budget on the summed estimated table bytes of co-running
+  /// solves (full tier: the whole grid; frontier tier: checkpoints + the
+  /// rolling front rows). The scheduler defers requests that would push
+  /// the in-flight total past the budget — a deferred request runs as
+  /// soon as enough tables retire, and a request larger than the whole
+  /// budget still runs (alone), so nothing starves. 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
   /// Cross-solve wavefront packing (default on in batch mode): each
   /// simulated scheduling step, co-ready GPU fronts / DMA descriptors of
   /// distinct in-flight solves are emitted as one multi-tenant packed
@@ -217,6 +224,17 @@ struct BatchReport {
   std::size_t tuner_lookups = 0;
   std::size_t tuner_hits = 0;
   double tuner_hit_rate = 0.0;
+  // Memory observability of this batch.
+  std::size_t memory_budget_bytes = 0;  ///< echo of the configured budget
+  /// High-water of co-running solves' estimated table bytes (what the
+  /// admission budget meters).
+  std::size_t peak_inflight_table_bytes = 0;
+  /// Times the scheduler passed over its preferred request because the
+  /// in-flight tables filled the budget.
+  std::size_t budget_deferrals = 0;
+  /// Shared buffer-pool arena counters (cumulative since engine
+  /// creation): cache hits / heap misses and the checked-out high-water.
+  sim::BufferPool::Stats arena;
   std::vector<BatchItemStats> items;  ///< submission order
 };
 
@@ -282,6 +300,33 @@ struct LanePayload {
   sim::PlatformSpec platform;
 };
 
+/// Frontier-storage lane payload: the problem is shared, because the
+/// fulfilled FrontierTable's remat callback keeps reading it after the
+/// engine drops the job.
+template <LddpProblem P>
+struct FrontierLanePayload {
+  std::shared_ptr<const P> problem;
+  RunConfig rc;
+  std::shared_ptr<std::promise<FrontierSolveResult<P>>> promise;
+  sim::PlatformSpec platform;
+};
+
+/// Coarse estimated table residency of a request, for the admission
+/// memory budget: the full grid, or — on the frontier tier — checkpoint
+/// rows + last row + the rolling front rows. Device-side copies are
+/// deliberately not modelled (the budget meters host table residency).
+template <LddpProblem P>
+std::size_t estimate_table_bytes(const P& p, const RunConfig& rc,
+                                 bool frontier) {
+  using V = typename P::Value;
+  if (!frontier || rc.storage == Storage::kFull)
+    return p.rows() * p.cols() * sizeof(V);
+  const std::size_t k =
+      resolve_checkpoint_interval(rc.checkpoint_interval, p.rows());
+  const std::size_t resident_rows = (p.rows() - 1) / k + 2;  // ckpts + last
+  return (resident_rows + 2) * p.cols() * sizeof(V);
+}
+
 }  // namespace detail
 
 class BatchEngine {
@@ -336,6 +381,8 @@ class BatchEngine {
     job->packable =
         rc.pack_solves == -1 ? cfg_.pack_solves : rc.pack_solves != 0;
     job->batch_kernels = rc.batch_kernels;
+    job->est_table_bytes =
+        detail::estimate_table_bytes(problem, rc, /*frontier=*/false);
     // Lane packing: small CPU-resolved requests become cohort-groupable
     // lane jobs, executed by lane_exec over the whole cohort instead of
     // job->run. Eligibility is a pure function of the request (never of
@@ -376,82 +423,72 @@ class BatchEngine {
         if (rc.tile == -1) rc.tile = tuned.tile;
       }
       rc.trace_path.clear();
-      // Request-lifecycle loop: attempt, and on failure walk the
-      // degradation ladder with deterministic simulated-time backoff.
-      // The final attempt always jumps to the injection-free serial
-      // reference rung, so a retry budget >= 1 guarantees injected faults
-      // end in a structured success, never kFailed.
-      const std::size_t max_attempts = j.max_retries + 1;
-      std::exception_ptr last_error;
-      for (std::size_t k = 0; k < max_attempts; ++k) {
-        const std::size_t rung =
-            k < j.max_retries ? k : (k > 0 ? detail::kReferenceRung : 0);
-        RunConfig attempt_rc = rc;
-        j.degraded = detail::degrade(attempt_rc, rung);
-        if (k > 0)
-          j.backoff_seconds +=
-              backoff_s * static_cast<double>(1ull << (k - 1));
-        if (j.cancel.cancelled()) {
-          j.outcome = chaos::RequestOutcome::kCancelled;
-          j.failed = true;
-          j.retries = k;
-          promise->set_exception(
-              std::make_exception_ptr(fault::CancelledError()));
-          return;
-        }
-        fault::RequestControl control;
-        if (j.cancel.valid()) control.cancel = j.cancel.flag();
-        if (j.deadline_s > 0.0) {
-          // Backoff already spent eats into the simulated budget; a
-          // request whose budget is gone before the attempt starts times
-          // out without running.
-          const double remaining = j.deadline_s - j.backoff_seconds;
-          if (remaining <= 0.0) {
-            j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
-            j.failed = true;
-            j.retries = k;
-            promise->set_exception(std::make_exception_ptr(
-                fault::DeadlineExceededError(j.deadline_s)));
-            return;
-          }
-          control.deadline_s = remaining;
-        }
-        if (control.cancel != nullptr || control.deadline_s > 0.0)
-          attempt_rc.control = &control;
-        attempt_rc.record_timeline = &j.recorded;
-        try {
-          std::optional<fault::FaultScope> scope;
-          if (j.chaos_plan.armed() && rung < detail::kReferenceRung)
-            scope.emplace(&j.chaos_plan, j.index, k);
-          SolveResult<P> result = solve(problem, attempt_rc);
-          j.stats = result.stats;
-          j.retries = k;
-          j.outcome = k == 0 ? chaos::RequestOutcome::kOk
-                     : j.degraded != nullptr
-                         ? chaos::RequestOutcome::kDegraded
-                         : chaos::RequestOutcome::kRetried;
-          promise->set_value(std::move(result));
-          return;
-        } catch (const fault::CancelledError&) {
-          j.outcome = chaos::RequestOutcome::kCancelled;
-          j.failed = true;
-          j.retries = k;
-          promise->set_exception(std::current_exception());
-          return;
-        } catch (const fault::DeadlineExceededError&) {
-          j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
-          j.failed = true;
-          j.retries = k;
-          promise->set_exception(std::current_exception());
-          return;
-        } catch (...) {
-          last_error = std::current_exception();
-          j.retries = k;
-        }
-      }
-      j.outcome = chaos::RequestOutcome::kFailed;
-      j.failed = true;
-      promise->set_exception(last_error);
+      run_lifecycle<SolveResult<P>>(
+          j, *promise, rc, backoff_s,
+          [&](const RunConfig& arc) { return solve(problem, arc); });
+    };
+    if (!admit(std::move(job))) return std::nullopt;
+    return future;
+  }
+
+  /// Frontier-storage admission: like submit(), but the future resolves
+  /// to a FrontierSolveResult — checkpoint rows + last row + the remat
+  /// callback instead of the full grid — and the admission memory budget
+  /// meters the frontier tier's resident bytes, so far more solves of a
+  /// given size fit in flight. Lane-eligible requests have NO cell cap on
+  /// this path: kLaneMaxCells exists to bound interleaved full tables,
+  /// and frontier lanes roll two rows each. The engine shares ownership
+  /// of the problem with the returned table (its remat callback reads the
+  /// problem on every interior access).
+  template <LddpProblem P>
+  std::optional<std::future<FrontierSolveResult<P>>> submit_frontier(
+      P problem, RunConfig rc = {}, const chaos::RequestOptions& opts = {}) {
+    LDDP_CHECK_MSG(opts.weight > 0.0, "batch weight must be positive");
+    auto promise =
+        std::make_shared<std::promise<FrontierSolveResult<P>>>();
+    std::future<FrontierSolveResult<P>> future = promise->get_future();
+    auto job = std::make_unique<Job>();
+    job->weight = opts.weight;
+    const double deadline_ms =
+        opts.deadline_ms < 0.0 ? cfg_.deadline_ms : opts.deadline_ms;
+    job->deadline_s = deadline_ms > 0.0 ? deadline_ms * 1e-3 : 0.0;
+    job->max_retries = opts.max_retries < 0
+                           ? cfg_.max_retries
+                           : static_cast<std::size_t>(opts.max_retries);
+    job->chaos_plan = cfg_.chaos;
+    job->cancel = opts.cancel;
+    job->est = detail::estimate_solve_seconds(
+        cfg_.platform, work_profile_of(problem),
+        problem.rows() * problem.cols());
+    job->packable =
+        rc.pack_solves == -1 ? cfg_.pack_solves : rc.pack_solves != 0;
+    job->batch_kernels = rc.batch_kernels;
+    job->est_table_bytes =
+        detail::estimate_table_bytes(problem, rc, /*frontier=*/true);
+    const std::size_t cells = problem.rows() * problem.cols();
+    const Mode resolved = detail::resolve_auto(rc.mode, cells);
+    auto sp = std::make_shared<const P>(std::move(problem));
+    if (rc.storage != Storage::kFull && lane_limit() > 1 &&
+        rc.batch_kernels &&
+        (resolved == Mode::kCpuSerial || resolved == Mode::kCpuParallel)) {
+      job->lane_key = make_solve_class_key(*sp, rc).token() + "|frontier";
+      job->lane_exec = &BatchEngine::lane_exec_frontier_impl<P>;
+      job->lane_payload = std::make_shared<detail::FrontierLanePayload<P>>(
+          detail::FrontierLanePayload<P>{sp, rc, promise, cfg_.platform});
+      if (!admit(std::move(job))) return std::nullopt;
+      return future;
+    }
+    job->run = [sp, rc, promise, platform = cfg_.platform,
+                backoff_s = cfg_.retry_backoff_ms * 1e-3](
+                   Job& j, cpu::ThreadPool* pool,
+                   sim::BufferPool* buffers) mutable {
+      rc.platform = platform;
+      rc.pool = pool;
+      rc.buffer_pool = buffers;
+      rc.trace_path.clear();
+      run_lifecycle<FrontierSolveResult<P>>(
+          j, *promise, rc, backoff_s,
+          [&](const RunConfig& arc) { return solve_frontier(sp, arc); });
     };
     if (!admit(std::move(job))) return std::nullopt;
     return future;
@@ -470,6 +507,9 @@ class BatchEngine {
     std::size_t index = 0;
     double est = 0.0;
     double weight = 1.0;
+    /// Estimated table residency, metered by the admission memory budget
+    /// while the job is in flight.
+    std::size_t est_table_bytes = 0;
     bool packable = true;  // eligible for cross-solve packing in the merge
     bool batch_kernels = true;  // request ran with batch-front cell kernels
     std::function<void(Job&, cpu::ThreadPool*, sim::BufferPool*)> run;
@@ -498,6 +538,90 @@ class BatchEngine {
     std::size_t lane_lockstep_cells = 0;  // head only: cohort lockstep cells
     std::size_t lane_total_cells = 0;     // head only: cohort total cells
   };
+
+  /// Request-lifecycle loop shared by the solve() and solve_frontier()
+  /// job bodies: attempt, and on failure walk the degradation ladder with
+  /// deterministic simulated-time backoff. The final attempt always jumps
+  /// to the injection-free serial reference rung, so a retry budget >= 1
+  /// guarantees injected faults end in a structured success, never
+  /// kFailed. `attempt` runs one configuration and returns a result whose
+  /// .stats is the solo SolveStats.
+  template <typename Result, typename AttemptFn>
+  static void run_lifecycle(Job& j, std::promise<Result>& promise,
+                            const RunConfig& rc, double backoff_s,
+                            AttemptFn&& attempt) {
+    const std::size_t max_attempts = j.max_retries + 1;
+    std::exception_ptr last_error;
+    for (std::size_t k = 0; k < max_attempts; ++k) {
+      const std::size_t rung =
+          k < j.max_retries ? k : (k > 0 ? detail::kReferenceRung : 0);
+      RunConfig attempt_rc = rc;
+      j.degraded = detail::degrade(attempt_rc, rung);
+      if (k > 0)
+        j.backoff_seconds +=
+            backoff_s * static_cast<double>(1ull << (k - 1));
+      if (j.cancel.cancelled()) {
+        j.outcome = chaos::RequestOutcome::kCancelled;
+        j.failed = true;
+        j.retries = k;
+        promise.set_exception(
+            std::make_exception_ptr(fault::CancelledError()));
+        return;
+      }
+      fault::RequestControl control;
+      if (j.cancel.valid()) control.cancel = j.cancel.flag();
+      if (j.deadline_s > 0.0) {
+        // Backoff already spent eats into the simulated budget; a
+        // request whose budget is gone before the attempt starts times
+        // out without running.
+        const double remaining = j.deadline_s - j.backoff_seconds;
+        if (remaining <= 0.0) {
+          j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
+          j.failed = true;
+          j.retries = k;
+          promise.set_exception(std::make_exception_ptr(
+              fault::DeadlineExceededError(j.deadline_s)));
+          return;
+        }
+        control.deadline_s = remaining;
+      }
+      if (control.cancel != nullptr || control.deadline_s > 0.0)
+        attempt_rc.control = &control;
+      attempt_rc.record_timeline = &j.recorded;
+      try {
+        std::optional<fault::FaultScope> scope;
+        if (j.chaos_plan.armed() && rung < detail::kReferenceRung)
+          scope.emplace(&j.chaos_plan, j.index, k);
+        Result result = attempt(attempt_rc);
+        j.stats = result.stats;
+        j.retries = k;
+        j.outcome = k == 0 ? chaos::RequestOutcome::kOk
+                   : j.degraded != nullptr
+                       ? chaos::RequestOutcome::kDegraded
+                       : chaos::RequestOutcome::kRetried;
+        promise.set_value(std::move(result));
+        return;
+      } catch (const fault::CancelledError&) {
+        j.outcome = chaos::RequestOutcome::kCancelled;
+        j.failed = true;
+        j.retries = k;
+        promise.set_exception(std::current_exception());
+        return;
+      } catch (const fault::DeadlineExceededError&) {
+        j.outcome = chaos::RequestOutcome::kDeadlineExceeded;
+        j.failed = true;
+        j.retries = k;
+        promise.set_exception(std::current_exception());
+        return;
+      } catch (...) {
+        last_error = std::current_exception();
+        j.retries = k;
+      }
+    }
+    j.outcome = chaos::RequestOutcome::kFailed;
+    j.failed = true;
+    promise.set_exception(last_error);
+  }
 
   /// Executes one cohort of same-class lane jobs (size >= 1): solves them
   /// in SIMD lockstep, prices each exactly like a solo serial scan, and
@@ -612,8 +736,133 @@ class BatchEngine {
     cohort[0]->lane_total_cells = cohort_ok ? lst.total_cells : 0;
   }
 
+  /// Frontier analogue of lane_exec_impl: the cohort rolls two-row lane
+  /// buffers (solve_lane_cohort_frontier), each lane keeps only its
+  /// checkpoint rows + last row, and every fulfilled table carries the
+  /// remat callback plus shared ownership of its problem, so results stay
+  /// valid after the engine drops the job. Pricing, lifecycle hooks and
+  /// the solo degradation rung mirror the full-table cohort exactly.
+  template <LddpProblem P>
+  static void lane_exec_frontier_impl(Job** cohort, std::size_t n) {
+    using V = typename P::Value;
+    std::vector<detail::FrontierLanePayload<P>*> pls(n);
+    std::vector<const P*> probs(n);
+    std::vector<std::size_t> ks(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      pls[k] = static_cast<detail::FrontierLanePayload<P>*>(
+          cohort[k]->lane_payload.get());
+      probs[k] = pls[k]->problem.get();
+      ks[k] = detail::resolve_checkpoint_interval(
+          pls[k]->rc.checkpoint_interval, probs[k]->rows());
+    }
+    Stopwatch wall;
+    detail::LaneExecStats lst;
+    std::vector<FrontierTable<V>> tables;
+    bool cohort_ok = true;
+    const bool armed = cohort[0]->chaos_plan.armed();
+    bool any_cancel = false;
+    for (std::size_t k = 0; k < n; ++k)
+      any_cancel = any_cancel || cohort[k]->cancel.valid();
+    std::function<void(std::size_t)> poll;
+    if (armed || any_cancel) {
+      poll = [cohort, n](std::size_t row) {
+        fault::maybe_throw(fault::Site::kLaneKernel, row);
+        for (std::size_t k = 0; k < n; ++k)
+          if (cohort[k]->cancel.cancelled()) throw fault::CancelledError();
+      };
+    }
+    try {
+      std::optional<fault::FaultScope> scope;
+      if (armed)
+        scope.emplace(&cohort[0]->chaos_plan, cohort[0]->index,
+                      /*attempt=*/0);
+      tables = detail::solve_lane_cohort_frontier(probs, ks,
+                                                  /*batch_kernels=*/true,
+                                                  &lst, poll);
+    } catch (...) {
+      cohort_ok = false;
+    }
+    const double per_solve_wall =
+        wall.seconds() / static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      Job& j = *cohort[k];
+      const P& p = *probs[k];
+      try {
+        if (j.cancel.cancelled()) throw fault::CancelledError();
+        FrontierTable<V> table =
+            cohort_ok ? std::move(tables[k])
+                      : std::move(detail::solve_lane_cohort_frontier(
+                            std::vector<const P*>{&p},
+                            std::vector<std::size_t>{ks[k]}, true,
+                            nullptr)[0]);
+        detail::attach_row_remat(
+            table, [sp = pls[k]->problem]() -> const P& { return *sp; },
+            /*batch=*/true);
+        table.keep_alive(pls[k]->problem);
+        // Identical pricing to a solo serial scan, independent of the
+        // cohort this job landed in (see lane_exec_impl).
+        const ContributingSet deps = p.deps();
+        const bool use_batch = has_batch_front_v<P> && !deps.has_w();
+        sim::Platform plat(pls[k]->platform);
+        fault::RequestControl control;
+        if (j.cancel.valid()) control.cancel = j.cancel.flag();
+        if (j.deadline_s > 0.0) control.deadline_s = j.deadline_s;
+        if (control.cancel != nullptr || control.deadline_s > 0.0)
+          plat.timeline().set_request_control(&control);
+        plat.cpu_charge(p.rows() * p.cols(),
+                        detail::cpu_work_for(p, use_batch),
+                        /*parallel=*/false);
+        plat.timeline().set_request_control(nullptr);
+        SolveStats stats;
+        stats.mode_used = Mode::kCpuSerial;
+        stats.pattern = classify(deps);
+        stats.transfer = TransferNeed::kNone;
+        stats.fronts = p.rows();
+        stats.cells = p.rows() * p.cols();
+        detail::finish_stats(stats, plat, per_solve_wall);
+        detail::finish_frontier_stats(&stats, table,
+                                      2 * p.cols() * sizeof(V));
+        j.recorded = plat.timeline();
+        j.stats = stats;
+        if (!cohort_ok) {
+          j.outcome = lddp::chaos::RequestOutcome::kDegraded;
+          j.degraded = "lane->solo";
+          j.retries = 1;
+        } else {
+          j.outcome = lddp::chaos::RequestOutcome::kOk;
+        }
+        pls[k]->promise->set_value(
+            FrontierSolveResult<P>{std::move(table), stats});
+      } catch (const fault::CancelledError&) {
+        j.outcome = lddp::chaos::RequestOutcome::kCancelled;
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
+      } catch (const fault::DeadlineExceededError&) {
+        j.outcome = lddp::chaos::RequestOutcome::kDeadlineExceeded;
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
+      } catch (...) {
+        j.outcome = lddp::chaos::RequestOutcome::kFailed;
+        j.failed = true;
+        pls[k]->promise->set_exception(std::current_exception());
+      }
+      j.lane_cohort = n;
+    }
+    cohort[0]->lane_head = true;
+    cohort[0]->lane_lockstep_cells = cohort_ok ? lst.lockstep_cells : 0;
+    cohort[0]->lane_total_cells = cohort_ok ? lst.total_cells : 0;
+  }
+
   bool admit(std::unique_ptr<Job> job);
+  /// Whether admitting `j` on top of the in-flight tables (plus `extra`
+  /// bytes already claimed by the cohort being formed) fits the memory
+  /// budget. An idle engine always fits (no starvation).
+  bool fits_locked(const Job& j, std::size_t extra) const;
+  bool has_admissible_locked() const;
+  /// nullptr when every pending job is budget-deferred.
   Job* pop_next_locked();
+  /// Empty when every pending job is budget-deferred. Charges the popped
+  /// cohort's table bytes against the in-flight total.
   std::vector<Job*> pop_cohort_locked();
   std::size_t lane_limit() const;
   void run_job(Job& job, cpu::ThreadPool* pool);
@@ -635,6 +884,10 @@ class BatchEngine {
   std::vector<Job*> pending_;               // admitted, not yet started
   std::size_t running_ = 0;
   bool stop_ = false;
+  // Admission memory budget bookkeeping (all under mu_).
+  std::size_t inflight_table_bytes_ = 0;
+  std::size_t peak_inflight_table_bytes_ = 0;
+  std::size_t budget_deferrals_ = 0;
 
   // One private pool per executor slot (index 0 doubles as the inline
   // slot when worker_threads == 0). With pack_solves, slots instead share

@@ -18,6 +18,7 @@
 #include "core/run_config.h"
 #include "core/strategies/cpu_strategy.h"
 #include "core/strategies/cpu_tiled.h"
+#include "core/strategies/frontier_engine.h"
 #include "core/strategies/gpu_strategy.h"
 #include "core/strategies/gpu_tiled.h"
 #include "core/strategies/hetero_antidiagonal.h"
@@ -33,6 +34,16 @@ namespace lddp {
 template <LddpProblem P>
 struct SolveResult {
   Grid<typename P::Value> table;
+  SolveStats stats;
+};
+
+/// Result of solve_frontier: the table is a FrontierTable — checkpoint
+/// rows plus on-demand rematerialization on the frontier tier, a plain
+/// grid facade on the full tier. Cell reads go through table.at(i, j)
+/// (by value) in user orientation either way.
+template <LddpProblem P>
+struct FrontierSolveResult {
+  FrontierTable<typename P::Value> table;
   SolveStats stats;
 };
 
@@ -174,6 +185,11 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
     case Mode::kAuto:
       LDDP_CHECK_MSG(false, "unreachable: auto mode was resolved above");
   }
+  // Table-storage high-water of a full-table solve: the host grid, plus
+  // the wavefront-contiguous device copy for the modes that keep one.
+  result.stats.peak_table_bytes =
+      p.rows() * p.cols() * sizeof(typename P::Value) *
+      ((mode == Mode::kGpu || mode == Mode::kHeterogeneous) ? 2 : 1);
   if (!cfg.trace_path.empty())
     platform.timeline().export_chrome_trace(cfg.trace_path);
   // Detach the per-attempt control before copying the timeline out: the
@@ -182,6 +198,211 @@ SolveResult<P> solve_canonical(const P& p, Pattern pattern,
   if (cfg.record_timeline != nullptr)
     *cfg.record_timeline = platform.timeline();
   return result;
+}
+
+/// Frontier-tier counterpart of solve_canonical: every mode x pattern
+/// runs a frontier engine when the layout admits a bounded front window,
+/// and falls back to the full-table strategy behind the FrontierTable
+/// facade otherwise (Inverted-L with forward-looking dependencies, and
+/// the heterogeneous Inverted-L split). kCpuTiled runs the parallel
+/// frontier engine (there is no tiled frontier engine) and
+/// RunConfig::tile is ignored — the window replaces tiling's locality
+/// role. The returned table has no remat callback or transform yet; the
+/// solve_frontier wrappers attach both.
+template <LddpProblem P>
+FrontierSolveResult<P> solve_frontier_canonical(const P& p, Pattern pattern,
+                                                const RunConfig& cfg) {
+  using V = typename P::Value;
+  sim::Platform platform(cfg.platform, cfg.pool, cfg.buffer_pool);
+  platform.timeline().set_request_control(cfg.control);
+  Mode mode = resolve_auto(cfg.mode, p.rows() * p.cols());
+  if (mode == Mode::kCpuTiled) mode = Mode::kCpuParallel;
+  const std::size_t K =
+      resolve_checkpoint_interval(cfg.checkpoint_interval, p.rows());
+  const bool fused = cfg.fused_launches;
+  const bool batch = cfg.batch_kernels;
+  const ContributingSet deps = p.deps();
+  const std::size_t n = p.rows(), m = p.cols();
+  FrontierSolveResult<P> result;
+  SolveStats& stats = result.stats;
+  // Full-table fallback, wrapped in the facade so consumers are uniform.
+  auto take_full = [&](Grid<V> g, bool device_copy) {
+    stats.peak_table_bytes =
+        n * m * sizeof(V) * (device_copy ? 2 : 1);
+    result.table = FrontierTable<V>::full(std::move(g));
+  };
+  switch (mode) {
+    case Mode::kCpuSerial:
+      result.table = solve_frontier_serial(p, &platform, &stats, batch, K);
+      break;
+
+    case Mode::kCpuParallel:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table = solve_frontier_parallel(
+              p, AntiDiagonalLayout(n, m), platform, &stats,
+              detail::kDiagonalCpuAmplification, batch, K);
+          break;
+        case Pattern::kHorizontal:
+          result.table = solve_frontier_parallel(
+              p, RowMajorLayout(n, m), platform, &stats,
+              /*mem_amplification=*/1.0, batch, K);
+          break;
+        case Pattern::kKnightMove:
+          result.table = solve_frontier_parallel(
+              p, KnightMoveLayout(n, m), platform, &stats,
+              detail::kDiagonalCpuAmplification, batch, K);
+          break;
+        case Pattern::kInvertedL: {
+          const ShellLayout shell(n, m);
+          if (frontier_window_fronts(shell, deps) > 0) {
+            result.table = solve_frontier_parallel(
+                p, shell, platform, &stats,
+                detail::kDiagonalCpuAmplification, batch, K);
+          } else {
+            take_full(solve_cpu_invertedl(p, platform, &stats, batch),
+                      false);
+          }
+          break;
+        }
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kGpu:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table = solve_frontier_gpu(p, AntiDiagonalLayout(n, m),
+                                            platform, &stats, fused, batch,
+                                            K);
+          break;
+        case Pattern::kHorizontal:
+          result.table = solve_frontier_gpu(p, RowMajorLayout(n, m),
+                                            platform, &stats, fused, batch,
+                                            K);
+          break;
+        case Pattern::kKnightMove:
+          result.table = solve_frontier_gpu(p, KnightMoveLayout(n, m),
+                                            platform, &stats, fused, batch,
+                                            K);
+          break;
+        case Pattern::kInvertedL: {
+          const ShellLayout shell(n, m);
+          if (frontier_window_fronts(shell, deps) > 0) {
+            result.table = solve_frontier_gpu(p, shell, platform, &stats,
+                                              fused, batch, K);
+          } else {
+            take_full(solve_gpu_invertedl(p, platform, &stats, fused,
+                                          batch),
+                      true);
+          }
+          break;
+        }
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kHeterogeneous:
+      switch (pattern) {
+        case Pattern::kAntiDiagonal:
+          result.table = solve_frontier_hetero(
+              p, AntiDiagonalLayout(n, m), Pattern::kAntiDiagonal, platform,
+              cfg.hetero, &stats, detail::kDiagonalCpuAmplification, fused,
+              batch, K);
+          break;
+        case Pattern::kHorizontal:
+          result.table = solve_frontier_hetero(
+              p, RowMajorLayout(n, m), Pattern::kHorizontal, platform,
+              cfg.hetero, &stats, /*mem_amplification=*/1.0, fused, batch,
+              K);
+          break;
+        case Pattern::kKnightMove:
+          result.table = solve_frontier_hetero(
+              p, KnightMoveLayout(n, m), Pattern::kKnightMove, platform,
+              cfg.hetero, &stats, detail::kDiagonalCpuAmplification, fused,
+              batch, K);
+          break;
+        case Pattern::kInvertedL:
+          // The L-shaped shell split has no strip decomposition over a
+          // window; run the full-table heterogeneous strategy.
+          take_full(solve_hetero_invertedl(p, platform, cfg.hetero, &stats,
+                                           fused, batch),
+                    true);
+          break;
+        default:
+          LDDP_CHECK_MSG(false, "non-canonical pattern reached dispatch");
+      }
+      break;
+
+    case Mode::kCpuTiled:
+    case Mode::kAuto:
+      LDDP_CHECK_MSG(false, "unreachable: mode was resolved above");
+  }
+  if (!cfg.trace_path.empty())
+    platform.timeline().export_chrome_trace(cfg.trace_path);
+  platform.timeline().set_request_control(nullptr);
+  if (cfg.record_timeline != nullptr)
+    *cfg.record_timeline = platform.timeline();
+  return result;
+}
+
+/// Shared body of the solve_frontier overloads. `holder` is a copyable
+/// callable yielding the (caller-owned) problem; it is baked into the
+/// table's rematerialization callback, so whatever it references must
+/// outlive the returned table.
+template <LddpProblem P, typename Holder>
+FrontierSolveResult<P> solve_frontier_impl(const P& p, Holder holder,
+                                           const RunConfig& cfg) {
+  using V = typename P::Value;
+  using Transform = typename FrontierTable<V>::Transform;
+  LDDP_CHECK_MSG(p.rows() > 0 && p.cols() > 0,
+                 "problem table must be non-empty");
+  if (cfg.storage == Storage::kFull) {
+    auto inner = solve(p, cfg);
+    FrontierSolveResult<P> out;
+    out.stats = inner.stats;
+    out.table = FrontierTable<V>::full(std::move(inner.table));
+    return out;
+  }
+  const Pattern pattern = classify(p.deps());
+  FrontierSolveResult<P> out;
+  if (pattern == Pattern::kVertical) {
+    // Horizontal on the transposed table; the undo is a coordinate view
+    // on the facade (a frontier table cannot be transposed eagerly).
+    TransposedProblem<P> t(p);
+    auto inner = solve_frontier_canonical(t, Pattern::kHorizontal, cfg);
+    out.table = std::move(inner.table);
+    out.stats = inner.stats;
+    out.stats.pattern = Pattern::kVertical;
+    if (out.table.frontier())
+      attach_row_remat(
+          out.table,
+          [holder]() { return TransposedProblem<P>(holder()); },
+          cfg.batch_kernels);
+    out.table.set_transform(Transform::kTransposed);
+    return out;
+  }
+  if (pattern == Pattern::kMirroredInvertedL) {
+    MirroredProblem<P> mp(p);
+    auto inner = solve_frontier_canonical(mp, Pattern::kInvertedL, cfg);
+    out.table = std::move(inner.table);
+    out.stats = inner.stats;
+    out.stats.pattern = Pattern::kMirroredInvertedL;
+    if (out.table.frontier())
+      attach_row_remat(out.table,
+                       [holder]() { return MirroredProblem<P>(holder()); },
+                       cfg.batch_kernels);
+    out.table.set_transform(Transform::kMirrored);
+    return out;
+  }
+  auto inner = solve_frontier_canonical(p, pattern, cfg);
+  out.table = std::move(inner.table);
+  out.stats = inner.stats;
+  if (out.table.frontier())
+    attach_row_remat(out.table, holder, cfg.batch_kernels);
+  return out;
 }
 
 }  // namespace detail
@@ -216,6 +437,36 @@ SolveResult<P> solve(const P& p, const RunConfig& cfg = RunConfig{}) {
     return out;
   }
   return detail::solve_canonical(p, pattern, cfg);
+}
+
+/// Solves the problem on the storage tier selected by cfg.storage:
+/// kFrontier (and kAuto) keeps only checkpoint rows plus the live front
+/// window during the sweep — O(rows/K * cols) retained instead of
+/// O(rows * cols) — and serves interior reads through checkpointed
+/// rematerialization; kFull wraps the ordinary solve() in the same
+/// facade. Final values and every traceback are bit-identical across
+/// tiers. The problem must outlive the returned table (its
+/// rematerialization callback re-runs p's recurrence); use the
+/// shared_ptr overload to have the table share ownership instead.
+template <LddpProblem P>
+FrontierSolveResult<P> solve_frontier(const P& p,
+                                      const RunConfig& cfg = RunConfig{}) {
+  return detail::solve_frontier_impl(
+      p, [pp = &p]() -> const P& { return *pp; }, cfg);
+}
+
+/// Ownership-sharing overload: the returned table keeps the problem
+/// alive for as long as it may rematerialize (the batch engine uses this
+/// so tables can outlive their jobs).
+template <LddpProblem P>
+FrontierSolveResult<P> solve_frontier(std::shared_ptr<const P> sp,
+                                      const RunConfig& cfg = RunConfig{}) {
+  LDDP_CHECK(sp != nullptr);
+  const P& ref = *sp;
+  auto out = detail::solve_frontier_impl(
+      ref, [sp]() -> const P& { return *sp; }, cfg);
+  out.table.keep_alive(std::move(sp));
+  return out;
 }
 
 }  // namespace lddp

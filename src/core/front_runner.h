@@ -114,6 +114,52 @@ inline bool layout_batchable(const MirrorShellLayout&, ContributingSet deps) {
   return !deps.has_w() && !deps.has_nw() && !deps.has_n();
 }
 
+// --- Frontier window geometry ------------------------------------------
+// Number of consecutive fronts a rolling frontier window must retain so
+// that when front f executes, every dependency of every cell of f is
+// still resident: max front distance of any representative cell, plus
+// one for the front being written. 0 means the layout has no bounded
+// backward window under these deps (a dependency can land on a *later*
+// front) and the frontier tier must fall back to full storage — never
+// the case for the canonical pattern->layout pairs the framework
+// dispatches, which all look strictly backward.
+
+inline std::size_t frontier_window_fronts(const RowMajorLayout&,
+                                          ContributingSet deps) {
+  // W is same-front; NW/N/NE live on front f-1.
+  return deps.has_nw() || deps.has_n() || deps.has_ne() ? 2 : 1;
+}
+inline std::size_t frontier_window_fronts(const ColumnMajorLayout&,
+                                          ContributingSet deps) {
+  // NE lives on column j+1 = front f+1: a *forward* reference.
+  return deps.has_ne() ? 0 : (deps.has_w() || deps.has_nw() ? 2 : 1);
+}
+inline std::size_t frontier_window_fronts(const AntiDiagonalLayout&,
+                                          ContributingSet deps) {
+  // W/N/NE at distance 1, NW at distance 2.
+  return deps.has_nw() ? 3 : 2;
+}
+inline std::size_t frontier_window_fronts(const KnightMoveLayout&,
+                                          ContributingSet deps) {
+  // t = 2i + j: W and NE at distance 1, N at 2, NW at 3.
+  return deps.has_nw() ? 4 : deps.has_n() ? 3 : 2;
+}
+inline std::size_t frontier_window_fronts(const ShellLayout&,
+                                          ContributingSet deps) {
+  // W and NW look at shell k-1 or stay same-shell in enumeration order;
+  // NE on the column part reads shell k+1 (forward), and N on the column
+  // part reads a same-shell cell the descending enumeration has not
+  // produced yet — both already unsupported by the full-table shell
+  // strategies, which only ever see the canonical {NW} set.
+  return deps.has_ne() || deps.has_n() ? 0 : 2;
+}
+inline std::size_t frontier_window_fronts(const MirrorShellLayout&,
+                                          ContributingSet deps) {
+  // Mirrored image of the above: only the canonical {NE} set (plus the
+  // harmless lone case) looks strictly backward in enumeration order.
+  return deps.has_w() || deps.has_nw() || deps.has_n() ? 0 : 2;
+}
+
 // --- Interior trimming --------------------------------------------------
 
 inline std::int64_t ceil_div_pos(std::int64_t x, std::int64_t y) {  // y > 0

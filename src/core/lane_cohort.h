@@ -37,8 +37,10 @@
 #include "core/lane_kernels.h"
 #include "core/problem.h"
 #include "core/strategies/common.h"
+#include "tables/frontier.h"
 #include "tables/grid.h"
 #include "tables/lane_grid.h"
+#include "util/aligned.h"
 
 namespace lddp::detail {
 
@@ -223,6 +225,200 @@ std::vector<Grid<typename P::Value>> solve_lane_cohort(
     // Lanes taller than min_rows retire from lockstep and finish solo.
     for (std::size_t s = 0; s < S; ++s)
       lane_fill_rows(*probs[s], tables[s], min_rows, batch_kernels);
+
+    st.width = width;
+    st.lockstep_cells = S * (min_rows - 1) * (jK - 1);
+  }
+
+  if (stats_out) *stats_out = st;
+  return tables;
+}
+
+/// Copies a finished canonical row into the frontier table's resident
+/// storage (checkpoint row and/or last row); all other rows are dropped.
+template <typename V>
+void harvest_lane_row(FrontierTable<V>& t, std::size_t i, std::size_t k,
+                      const V* row, std::size_t cols) {
+  if (i % k == 0) std::copy(row, row + cols, t.checkpoint_row(i));
+  if (i + 1 == t.rows()) std::copy(row, row + cols, t.last_row());
+}
+
+/// Frontier analogue of lane_fill_rows: rows [r0, rows) through a
+/// two-row rolling buffer `rb` (2 x cols; row r0 - 1, when r0 > 0, must
+/// already sit at rb[(r0 - 1) & 1]), harvesting checkpoints as it goes.
+template <LddpProblem P>
+void lane_fill_rows_frontier(const P& p,
+                             FrontierTable<typename P::Value>& t,
+                             typename P::Value* rb, std::size_t r0,
+                             std::size_t k, bool batch) {
+  using V = typename P::Value;
+  const std::size_t m = p.cols();
+  const ContributingSet deps = p.deps();
+  const V bound = p.boundary();
+  for (std::size_t i = r0; i < p.rows(); ++i) {
+    const V* prev = i > 0 ? rb + ((i - 1) & 1) * m : nullptr;
+    V* const row = rb + (i & 1) * m;
+    run_row(p, deps, bound, i, 0, m, m, prev, row, batch);
+    harvest_lane_row(t, i, k, row, m);
+  }
+}
+
+/// Frontier-tier lane cohort: the same lockstep sweep as
+/// solve_lane_cohort, but each lane rolls a two-row buffer instead of a
+/// full table and retains only its checkpoint rows (every ks[s] rows)
+/// plus the last row. Returns bare checkpointed tables — the caller
+/// attaches the remat callback (and problem ownership) afterwards.
+///
+/// Every value is produced by the identical kernels and scalar edges as
+/// the full-table driver, so checkpoints are bit-identical to full-tier
+/// rows; transient memory per lane is 2 x cols values. Because no lane
+/// keeps a full table, there is no kLaneMaxCells-style cell cap here.
+template <LddpProblem P>
+std::vector<FrontierTable<typename P::Value>> solve_lane_cohort_frontier(
+    const std::vector<const P*>& probs, const std::vector<std::size_t>& ks,
+    bool batch_kernels, LaneExecStats* stats_out,
+    const std::function<void(std::size_t)>& poll = {}) {
+  using V = typename P::Value;
+  using Traits = lanes::LaneTraits<P>;
+  const std::size_t S = probs.size();
+  LDDP_CHECK(S > 0 && ks.size() == S);
+
+  std::vector<FrontierTable<V>> tables;
+  tables.reserve(S);
+  std::vector<AlignedBuf<V>> rbufs(S);
+  std::size_t min_rows = std::numeric_limits<std::size_t>::max();
+  std::size_t min_cols = min_rows;
+  LaneExecStats st;
+  st.lanes = S;
+  for (std::size_t s = 0; s < S; ++s) {
+    const P* p = probs[s];
+    tables.push_back(
+        FrontierTable<V>::checkpointed(p->rows(), p->cols(), ks[s]));
+    rbufs[s].ensure(2 * p->cols());
+    min_rows = std::min(min_rows, p->rows());
+    min_cols = std::min(min_cols, p->cols());
+    st.total_cells += p->rows() * p->cols();
+  }
+
+  bool lockstep = false;
+  if constexpr (Traits::enabled)
+    lockstep = batch_kernels && S >= 2 && min_rows >= 2 && min_cols >= 4;
+  if (!lockstep) {
+    for (std::size_t s = 0; s < S; ++s) {
+      if (poll) poll(s);
+      lane_fill_rows_frontier(*probs[s], tables[s], rbufs[s].data(), 0,
+                              ks[s], batch_kernels);
+    }
+    if (stats_out) *stats_out = st;
+    return tables;
+  }
+
+  if constexpr (Traits::enabled) {
+    const ContributingSet deps = probs[0]->deps();
+    const V bound = probs[0]->boundary();
+    const std::size_t jK = deps.has_ne() ? min_cols - 1 : min_cols;
+    const std::size_t width = (S + 3) / 4 * 4;
+
+    std::vector<const P*> lp(width, probs[0]);
+    std::copy(probs.begin(), probs.end(), lp.begin());
+
+    LaneGrid<V> lrows(2, min_cols, width);  // rolling: row(i & 1)
+    auto state = Traits::make(lp.data(), width, min_rows, min_cols);
+    const lanes::ScatterFn scatter = lanes::lane_scatter(width);
+    std::vector<V*> grows(S);  // per-lane rolling-row bases, set per row
+
+    // Row 0 per lane into the rolling buffers, then interleave the shared
+    // columns as the first lockstep predecessor row.
+    for (std::size_t s = 0; s < S; ++s) {
+      const P& p = *probs[s];
+      run_row(p, deps, bound, 0, 0, p.cols(), p.cols(), nullptr,
+              rbufs[s].data(), batch_kernels);
+      harvest_lane_row(tables[s], 0, ks[s], rbufs[s].data(), p.cols());
+    }
+    V* const row0 = lrows.row(0);
+    for (std::size_t j = 0; j < min_cols; ++j)
+      for (std::size_t s = 0; s < width; ++s)
+        row0[j * width + s] = rbufs[s < S ? s : 0].data()[j];
+
+    for (std::size_t i = 1; i < min_rows; ++i) {
+      if (poll) poll(i);
+      const V* const prev = lrows.row((i - 1) & 1);
+      V* const row = lrows.row(i & 1);
+
+      // Column 0 (edge: no W/NW) per lane, mirrored into the lane row.
+      for (std::size_t s = 0; s < S; ++s) {
+        const P& p = *probs[s];
+        const std::size_t pc = p.cols();
+        const V* const rb = rbufs[s].data();
+        const auto read = [rb, pc](std::size_t ii, std::size_t jj) {
+          return rb[(ii & 1) * pc + jj];
+        };
+        const V v = compute_cell(p, deps, bound, i, 0, pc, read);
+        rbufs[s].data()[(i & 1) * pc] = v;
+        row[s] = v;
+      }
+      for (std::size_t s = S; s < width; ++s) row[s] = row[0];
+
+      // Shared interior in lockstep (identical blocking and scatter to
+      // the full-table driver), de-interleaved into the rolling rows.
+      Traits::fill_row(state, lp.data(), width, i);
+      for (std::size_t s = 0; s < S; ++s)
+        grows[s] = rbufs[s].data() + (i & 1) * probs[s]->cols();
+      constexpr std::size_t kColBlock = 256;
+      for (std::size_t jb = 1; jb < jK; jb += kColBlock) {
+        const std::size_t je = std::min(jK, jb + kColBlock);
+        lanes::RowCtx<V> ctx;
+        ctx.width = width;
+        ctx.i = i;
+        ctx.j0 = jb;
+        ctx.j1 = je;
+        ctx.prev = prev;
+        ctx.row = row;
+        Traits::run(state, ctx);
+        if constexpr (std::is_same_v<V, std::int32_t>) {
+          scatter(row, width, jb, je, grows.data(), S);
+        } else {
+          for (std::size_t s = 0; s < S; ++s)
+            for (std::size_t j = jb; j < je; ++j)
+              grows[s][j] = row[j * width + s];
+        }
+      }
+
+      // NE edge column: reads prev-row column min_cols from the lane's
+      // rolling buffer (final — last row's remainder wrote it).
+      if (jK < min_cols) {
+        const std::size_t j = min_cols - 1;
+        for (std::size_t s = 0; s < S; ++s) {
+          const P& p = *probs[s];
+          const std::size_t pc = p.cols();
+          const V* const rb = rbufs[s].data();
+          const auto read = [rb, pc](std::size_t ii, std::size_t jj) {
+            return rb[(ii & 1) * pc + jj];
+          };
+          const V v = compute_cell(p, deps, bound, i, j, pc, read);
+          rbufs[s].data()[(i & 1) * pc + j] = v;
+          row[j * width + s] = v;
+        }
+        for (std::size_t s = S; s < width; ++s)
+          row[j * width + s] = row[j * width];
+      }
+
+      // Per-lane column remainder, then harvest the finished row.
+      for (std::size_t s = 0; s < S; ++s) {
+        const P& p = *probs[s];
+        const std::size_t pc = p.cols();
+        V* const grow = rbufs[s].data() + (i & 1) * pc;
+        if (pc > min_cols)
+          run_row(p, deps, bound, i, min_cols, pc, pc,
+                  rbufs[s].data() + ((i - 1) & 1) * pc, grow, batch_kernels);
+        harvest_lane_row(tables[s], i, ks[s], grow, pc);
+      }
+    }
+
+    // Lanes taller than min_rows retire from lockstep and finish solo.
+    for (std::size_t s = 0; s < S; ++s)
+      lane_fill_rows_frontier(*probs[s], tables[s], rbufs[s].data(),
+                              min_rows, ks[s], batch_kernels);
 
     st.width = width;
     st.lockstep_cells = S * (min_rows - 1) * (jK - 1);

@@ -20,4 +20,16 @@ std::string to_string(Mode m) {
   return "?";
 }
 
+std::string to_string(Storage s) {
+  switch (s) {
+    case Storage::kAuto:
+      return "auto";
+    case Storage::kFull:
+      return "full";
+    case Storage::kFrontier:
+      return "frontier";
+  }
+  return "?";
+}
+
 }  // namespace lddp

@@ -32,6 +32,16 @@ enum class Mode {
 
 std::string to_string(Mode m);
 
+/// Table storage tier used by solve_frontier (core/framework.h).
+enum class Storage {
+  kAuto,      ///< framework picks (frontier wherever a window exists)
+  kFull,      ///< materialize the whole O(rows x cols) table
+  kFrontier,  ///< live front window + checkpoint rows every K fronts;
+              ///< tracebacks rematerialize K-row bands on demand
+};
+
+std::string to_string(Storage s);
+
 /// Workload-division parameters (Sections III and V-A).
 /// Negative values mean "let the framework pick a model-based default";
 /// the Tuner (core/tuner.h) refines them empirically.
@@ -57,6 +67,19 @@ struct RunConfig {
   /// and halo-only CPU<->GPU transfers, -1 picks a model-based default.
   /// Results are bit-identical across settings; only timing changes.
   long long tile = 0;
+  /// Table storage tier, consumed by solve_frontier (solve() always
+  /// materializes the full table and ignores this field). kAuto resolves
+  /// to kFrontier for every canonical pattern; kFull forces the legacy
+  /// full-table path behind the FrontierTable facade. Results — final
+  /// values and tracebacks — are bit-identical across tiers.
+  Storage storage = Storage::kAuto;
+  /// Checkpoint interval K (fronts between retained checkpoint rows) for
+  /// the frontier storage tier. 0 picks the model default
+  /// (~sqrt(rows), clamped to [4, 512]); any positive value is used
+  /// as-is (K = 1 keeps every row; K >= rows keeps only row 0 and the
+  /// last row). Smaller K means cheaper rematerialization and more
+  /// resident memory.
+  std::size_t checkpoint_interval = 0;
   /// Optional host pool for real execution; null runs everything on the
   /// calling thread (simulated timings are identical either way).
   cpu::ThreadPool* pool = nullptr;
@@ -114,6 +137,15 @@ struct SolveStats {
 
   std::size_t fronts = 0;
   std::size_t cells = 0;
+
+  /// High-water table storage of this solve across host and device:
+  /// full tier ~ rows*cols*sizeof(V) per residency; frontier tier ~ the
+  /// front window plus checkpoint rows plus remat scratch.
+  std::size_t peak_table_bytes = 0;
+  /// Frontier tier only (0 on the full tier): the checkpoint interval
+  /// actually used and the number of rows retained as checkpoints.
+  std::size_t checkpoint_interval = 0;
+  std::size_t checkpoint_rows = 0;
 
   // Heterogeneous split actually used (0/0 for non-hetero modes).
   long long t_switch = 0;

@@ -369,4 +369,10 @@ void hetero_param_ranges(Pattern canon, std::size_t rows, std::size_t cols,
   *share_max = static_cast<long long>(strip_max);
 }
 
+std::size_t default_checkpoint_interval(std::size_t rows) {
+  std::size_t k = 1;
+  while ((k + 1) * (k + 1) <= rows) ++k;  // floor(sqrt(rows)), exactly
+  return std::clamp<std::size_t>(k, 4, 512);
+}
+
 }  // namespace lddp::detail

@@ -88,4 +88,14 @@ std::size_t default_tile(const sim::PlatformSpec& platform,
                          std::size_t cols, std::size_t value_bytes,
                          ContributingSet deps, bool fused);
 
+/// Model default for the frontier checkpoint interval K
+/// (RunConfig::checkpoint_interval = 0). Resident checkpoint memory is
+/// ~rows/K rows and a traceback's band scratch is ~K rows, so the
+/// balanced high-water footprint rows^2/K + K*cols is minimized near
+/// K = sqrt(rows) for square tables; remat compute is K-independent
+/// (every band level is rematerialized at most once). Clamped to
+/// [4, 512]: below 4 the checkpoint store traffic approaches the full
+/// table again, above 512 a band no longer fits in L2-sized scratch.
+std::size_t default_checkpoint_interval(std::size_t rows);
+
 }  // namespace lddp::detail

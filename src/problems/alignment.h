@@ -105,9 +105,11 @@ struct Alignment {
   std::int32_t score = 0;
 };
 
-/// Traceback for Needleman–Wunsch from the bottom-right corner.
-inline Alignment nw_traceback(const NeedlemanWunschProblem& p,
-                              const Grid<std::int32_t>& t) {
+/// Traceback for Needleman–Wunsch from the bottom-right corner. `Table`
+/// is any table with at(i, j) — the solved Grid, or a FrontierTable whose
+/// band rematerialization serves the walked cells on demand.
+template <typename Table>
+Alignment nw_traceback(const NeedlemanWunschProblem& p, const Table& t) {
   const AlignmentScores& s = p.scores();
   Alignment out;
   std::size_t i = p.rows() - 1, j = p.cols() - 1;
@@ -138,7 +140,11 @@ inline Alignment nw_traceback(const NeedlemanWunschProblem& p,
 }
 
 /// Maximum cell of a Smith–Waterman table (the local-alignment score).
-inline std::int32_t sw_best_score(const Grid<std::int32_t>& t) {
+/// The ascending scan order is kept for tie determinism across tiers; on
+/// a FrontierTable it rematerializes bands at geometrically growing
+/// widths (the table's doubling policy bounds the recompute).
+template <typename Table>
+std::int32_t sw_best_score(const Table& t) {
   std::int32_t best = 0;
   for (std::size_t i = 0; i < t.rows(); ++i)
     for (std::size_t j = 0; j < t.cols(); ++j) best = std::max(best, t.at(i, j));
@@ -147,8 +153,8 @@ inline std::int32_t sw_best_score(const Grid<std::int32_t>& t) {
 
 /// Local alignment reconstructed from a Smith–Waterman table: walk back
 /// from the maximum cell until a zero cell.
-inline Alignment sw_traceback(const SmithWatermanProblem& p,
-                              const Grid<std::int32_t>& t) {
+template <typename Table>
+Alignment sw_traceback(const SmithWatermanProblem& p, const Table& t) {
   const AlignmentScores& s = p.scores();
   std::size_t bi = 0, bj = 0;
   for (std::size_t i = 0; i < t.rows(); ++i)
@@ -161,6 +167,8 @@ inline Alignment sw_traceback(const SmithWatermanProblem& p,
   out.score = t.at(bi, bj);
   std::size_t i = bi, j = bj;
   while (i > 0 && j > 0 && t.at(i, j) > 0) {
+    // Values are read fresh each step (by value): a FrontierTable may
+    // evict the band a previous read was served from.
     const std::int32_t v = t.at(i, j);
     if (v == t.at(i - 1, j - 1) +
                  (p.a()[i - 1] == p.b()[j - 1] ? s.match : s.mismatch)) {

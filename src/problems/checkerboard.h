@@ -122,8 +122,10 @@ inline Grid<CheckerboardProblem::Value> checkerboard_reference(
 }
 
 /// Cheapest cost of reaching the last row (the checkerboard answer).
-inline CheckerboardProblem::Value checkerboard_best(
-    const Grid<CheckerboardProblem::Value>& table) {
+/// Generic over the table facade: a FrontierTable serves the last row
+/// without rematerializing (it is always resident).
+template <typename Table>
+CheckerboardProblem::Value checkerboard_best(const Table& table) {
   CheckerboardProblem::Value best = table.at(table.rows() - 1, 0);
   for (std::size_t j = 1; j < table.cols(); ++j)
     best = std::min(best, table.at(table.rows() - 1, j));

@@ -130,8 +130,9 @@ class GotohProblem {
   AffineScores s_;
 };
 
-/// Alignment score from a solved table.
-inline std::int32_t gotoh_score(const Grid<GotohCell>& t) {
+/// Alignment score from a solved table (Grid or FrontierTable).
+template <typename Table>
+std::int32_t gotoh_score(const Table& t) {
   return t.at(t.rows() - 1, t.cols() - 1).best();
 }
 
@@ -142,12 +143,14 @@ struct GotohAlignment {
   std::int32_t score = 0;
 };
 
-inline GotohAlignment gotoh_traceback(const GotohProblem& p,
-                                      const Grid<GotohCell>& t) {
+/// `Table` is the solved Grid or a FrontierTable; at() values are bound
+/// to lifetime-extended copies, so band eviction between reads is safe.
+template <typename Table>
+GotohAlignment gotoh_traceback(const GotohProblem& p, const Table& t) {
   const AffineScores& s = p.scores();
   GotohAlignment out;
   std::size_t i = p.rows() - 1, j = p.cols() - 1;
-  const GotohCell& corner = t.at(i, j);
+  const GotohCell corner = t.at(i, j);
   out.score = corner.best();
   // Current state: 0 = M, 1 = X (gap in a's row, consumes b), 2 = Y.
   int state = corner.m >= corner.x && corner.m >= corner.y ? 0
@@ -158,7 +161,7 @@ inline GotohAlignment gotoh_traceback(const GotohProblem& p,
       LDDP_CHECK_MSG(i > 0 && j > 0, "traceback: M state at table edge");
       out.a += p.a()[i - 1];
       out.b += p.b()[j - 1];
-      const GotohCell& prev = t.at(i - 1, j - 1);
+      const GotohCell prev = t.at(i - 1, j - 1);
       const std::int32_t need =
           t.at(i, j).m -
           (p.a()[i - 1] == p.b()[j - 1] ? s.match : s.mismatch);
@@ -172,7 +175,7 @@ inline GotohAlignment gotoh_traceback(const GotohProblem& p,
       LDDP_CHECK_MSG(j > 0, "traceback: X state at left edge");
       out.a += '-';
       out.b += p.b()[j - 1];
-      const GotohCell& prev = t.at(i, j - 1);
+      const GotohCell prev = t.at(i, j - 1);
       const std::int32_t x = t.at(i, j).x;
       state = prev.x + s.gap_extend == x ? 1
               : prev.m + s.gap_open == x ? 0
@@ -182,7 +185,7 @@ inline GotohAlignment gotoh_traceback(const GotohProblem& p,
       LDDP_CHECK_MSG(i > 0, "traceback: Y state at top edge");
       out.a += p.a()[i - 1];
       out.b += '-';
-      const GotohCell& prev = t.at(i - 1, j);
+      const GotohCell prev = t.at(i - 1, j);
       const std::int32_t y = t.at(i, j).y;
       state = prev.y + s.gap_extend == y ? 2
               : prev.m + s.gap_open == y ? 0

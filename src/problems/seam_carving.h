@@ -106,8 +106,11 @@ class SeamCarveProblem {
   Grid<std::int32_t> energy_;
 };
 
-/// Minimal vertical seam (one column index per row) from a solved table.
-inline std::vector<std::size_t> extract_seam(const Grid<std::int32_t>& t) {
+/// Minimal vertical seam (one column index per row) from a solved table
+/// (Grid or FrontierTable — the NE contributing set makes the frontier
+/// tier's bands carry a right-hand guard for the j + 1 probes).
+template <typename Table>
+std::vector<std::size_t> extract_seam(const Table& t) {
   const std::size_t n = t.rows(), m = t.cols();
   std::vector<std::size_t> seam(n);
   std::size_t j = 0;

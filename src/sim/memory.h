@@ -63,6 +63,8 @@ class BufferPool {
     std::size_t hits = 0;          ///< acquisitions served from the cache
     std::size_t misses = 0;        ///< acquisitions that hit the heap
     std::size_t bytes_reused = 0;  ///< sum of requested bytes over hits
+    std::size_t live_bytes = 0;       ///< bytes currently checked out
+    std::size_t peak_live_bytes = 0;  ///< arena high-water across the run
   };
 
   BufferPool() = default;
@@ -94,11 +96,13 @@ class BufferPool {
       if (zeroed) std::memset(p, 0, bytes);
       ++stats_.hits;
       stats_.bytes_reused += bytes;
+      note_checkout(bytes);
       return p;
     }
     void* p = ::operator new(bytes);
     if (zeroed) std::memset(p, 0, bytes);
     ++stats_.misses;
+    note_checkout(bytes);
     return p;
   }
 
@@ -107,6 +111,8 @@ class BufferPool {
   virtual void release(void* p, std::size_t bytes, bool pinned) {
     if (p == nullptr) return;
     std::lock_guard<std::mutex> lock(mu_);
+    LDDP_DCHECK(stats_.live_bytes >= bytes);
+    stats_.live_bytes -= bytes;
     (pinned ? pinned_free_ : device_free_).push_back(Arena{p, bytes});
   }
 
@@ -134,6 +140,13 @@ class BufferPool {
     void* data;
     std::size_t bytes;
   };
+
+  // Caller holds mu_.
+  void note_checkout(std::size_t bytes) {
+    stats_.live_bytes += bytes;
+    stats_.peak_live_bytes =
+        std::max(stats_.peak_live_bytes, stats_.live_bytes);
+  }
 
   mutable std::mutex mu_;
   std::vector<Arena> device_free_;

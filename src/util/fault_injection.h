@@ -37,8 +37,9 @@ enum class Site : std::uint8_t {
   kGraphReplay,      ///< LaunchGraph::replay fused submission
   kStripWorker,      ///< ThreadPool strip-session worker chunk
   kLaneKernel,       ///< lane-cohort lockstep row
+  kRematerialize,    ///< FrontierTable checkpoint-band rematerialization
 };
-inline constexpr std::size_t kSiteCount = 8;
+inline constexpr std::size_t kSiteCount = 9;
 
 inline const char* to_string(Site s) {
   switch (s) {
@@ -58,6 +59,8 @@ inline const char* to_string(Site s) {
       return "strip-worker";
     case Site::kLaneKernel:
       return "lane-kernel";
+    case Site::kRematerialize:
+      return "rematerialize";
   }
   return "?";
 }

@@ -88,6 +88,18 @@ constexpr const char* kUsage = R"(usage: lddp_cli [flags]
                    injection site fails with probability RATE (default
                    0.02) as a pure function of (SEED, site, solve,
                    attempt), so failures replay bit-identically
+  --storage S      table storage tier: full | frontier | auto. frontier
+                   keeps the live front window + checkpoint rows every K
+                   fronts and rematerializes bands on demand for reads
+                   (bit-identical answers, O(n*K) transient memory); auto
+                   lets the model pick. Omitted = the classic full table
+  --checkpoint-k N checkpoint interval for --storage frontier/auto
+                   (default 0 = ~sqrt(rows), clamped [4, 512])
+  --mem-budget B   admission budget (bytes) on co-running solves' table
+                   memory for --batch (default 0 = unlimited)
+  --mem-stats      print memory observability: per-solve peak table bytes
+                   and remat counters; with --batch also the in-flight
+                   high-water and shared-arena hit/miss counters
   --tune           run the Section V-A parameter sweeps first; with
                    --batch, tunes through the shared cross-solve cache
   --list           list problems and exit
@@ -125,6 +137,40 @@ struct Report {
 int g_devices = 1;  // set from --devices before dispatch
 int g_batch = 1;    // --batch: replicate the request through BatchEngine
 BatchConfig g_batch_cfg;
+bool g_use_frontier = false;  // --storage frontier|auto given
+bool g_mem_stats = false;     // --mem-stats
+
+Storage parse_storage(const std::string& s) {
+  if (s == "full") return Storage::kFull;
+  if (s == "frontier") return Storage::kFrontier;
+  if (s == "auto") return Storage::kAuto;
+  throw CheckError("unknown --storage '" + s + "'");
+}
+
+/// --mem-stats footprint line for one frontier-capable table. Printed
+/// after the answer is computed so remat counters include its reads.
+template <typename V>
+void print_table_mem(const FrontierTable<V>& t, const SolveStats& s) {
+  std::printf("memory: peak table %.2f MiB (resident %.2f MiB)",
+              static_cast<double>(s.peak_table_bytes) / (1 << 20),
+              static_cast<double>(t.resident_bytes()) / (1 << 20));
+  if (t.frontier()) {
+    const auto& rs = t.remat_stats();
+    std::printf(" | K=%zu (%zu checkpoint rows) | remat: %zu band(s), "
+                "%zu rows, %zu cells",
+                t.checkpoint_interval(), t.checkpoint_row_count(), rs.bands,
+                rs.rows, rs.cells);
+  }
+  std::printf("\n");
+}
+
+/// Full-table fallback: the solve already recorded the host grid (plus
+/// any wavefront-contiguous device copy) high-water in stats.
+template <typename T>
+void print_table_mem(const T&, const SolveStats& s) {
+  std::printf("memory: peak table %.2f MiB (full storage)\n",
+              static_cast<double>(s.peak_table_bytes) / (1 << 20));
+}
 
 /// One --batch-mix entry: per-request mode plus optional tile override.
 struct MixEntry {
@@ -176,27 +222,7 @@ std::vector<MixEntry> parse_batch_mix(const std::string& spec) {
 /// the merged-schedule throughput report. With --batch-mix the replicas
 /// rotate through the per-request specs so CPU-only and accelerator-heavy
 /// solves overlap on the shared platform.
-template <typename P, typename AnswerFn>
-Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
-  BatchConfig bc = g_batch_cfg;
-  bc.platform = cfg.platform;
-  bc.trace_path = cfg.trace_path;
-  BatchEngine engine(bc);
-  std::vector<std::future<SolveResult<P>>> futures;
-  futures.reserve(static_cast<std::size_t>(g_batch));
-  for (int k = 0; k < g_batch; ++k) {
-    RunConfig rk = cfg;
-    if (!g_batch_mix.empty()) {
-      const MixEntry& e = g_batch_mix[static_cast<std::size_t>(k) %
-                                      g_batch_mix.size()];
-      rk.mode = e.mode;
-      if (e.has_tile) rk.tile = e.tile;
-    }
-    auto f = engine.submit(problem, rk);
-    LDDP_CHECK_MSG(f.has_value(), "batch queue rejected a request");
-    futures.push_back(std::move(*f));
-  }
-  const BatchReport rep = engine.wait();
+void print_batch_report(const BatchReport& rep, const BatchConfig& bc) {
   std::printf("batch: %zu solves, sched=%s, concurrency=%zu, pack=%s%s\n",
               rep.solves, to_string(bc.sched).c_str(), bc.concurrency,
               bc.pack_solves ? "on" : "off",
@@ -232,6 +258,47 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
                 rep.deadline_solves, rep.cancelled_solves,
                 rep.failed_solves, rep.retry_attempts);
   }
+  if (g_mem_stats) {
+    std::printf("batch memory: in-flight tables peak %.2f MiB",
+                static_cast<double>(rep.peak_inflight_table_bytes) /
+                    (1 << 20));
+    if (rep.memory_budget_bytes > 0)
+      std::printf(" of %.2f MiB budget (%zu deferral(s))",
+                  static_cast<double>(rep.memory_budget_bytes) / (1 << 20),
+                  rep.budget_deferrals);
+    std::printf(" | arena: %zu hit(s), %zu miss(es), live peak %.2f MiB\n",
+                rep.arena.hits, rep.arena.misses,
+                static_cast<double>(rep.arena.peak_live_bytes) / (1 << 20));
+  }
+}
+
+/// Submits the request `g_batch` times (rotating --batch-mix specs),
+/// prints the merged report, and answers from the first success. Shared
+/// by the full-table and frontier storage tiers via `submit_fn`.
+template <typename P, typename SubmitFn, typename AnswerFn>
+Report run_batch_generic(const P& problem, const RunConfig& cfg,
+                         SubmitFn&& submit_fn, AnswerFn&& answer) {
+  BatchConfig bc = g_batch_cfg;
+  bc.platform = cfg.platform;
+  bc.trace_path = cfg.trace_path;
+  BatchEngine engine(bc);
+  using Future = decltype(*submit_fn(engine, problem, cfg));
+  std::vector<std::decay_t<Future>> futures;
+  futures.reserve(static_cast<std::size_t>(g_batch));
+  for (int k = 0; k < g_batch; ++k) {
+    RunConfig rk = cfg;
+    if (!g_batch_mix.empty()) {
+      const MixEntry& e = g_batch_mix[static_cast<std::size_t>(k) %
+                                      g_batch_mix.size()];
+      rk.mode = e.mode;
+      if (e.has_tile) rk.tile = e.tile;
+    }
+    auto f = submit_fn(engine, problem, rk);
+    LDDP_CHECK_MSG(f.has_value(), "batch queue rejected a request");
+    futures.push_back(std::move(*f));
+  }
+  const BatchReport rep = engine.wait();
+  print_batch_report(rep, bc);
   // Under chaos / deadlines some futures legitimately carry structured
   // errors; answer from the first successful request.
   Report r;
@@ -243,6 +310,7 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
         r.stats = result.stats;
         r.answer = answer(result.table);
         answered = true;
+        if (g_mem_stats) print_table_mem(result.table, result.stats);
       }
     } catch (const std::exception& e) {
       if (!answered && r.answer.empty())
@@ -256,6 +324,24 @@ Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
 }
 
 template <typename P, typename AnswerFn>
+Report run_batch(const P& problem, const RunConfig& cfg, AnswerFn&& answer) {
+  if (g_use_frontier) {
+    return run_batch_generic(
+        problem, cfg,
+        [](BatchEngine& e, const P& p, const RunConfig& rc) {
+          return e.submit_frontier(p, rc);
+        },
+        answer);
+  }
+  return run_batch_generic(
+      problem, cfg,
+      [](BatchEngine& e, const P& p, const RunConfig& rc) {
+        return e.submit(p, rc);
+      },
+      answer);
+}
+
+template <typename P, typename AnswerFn>
 Report run(const P& problem, RunConfig cfg, bool tune_first,
            AnswerFn&& answer) {
   if (g_batch > 1) {
@@ -263,6 +349,7 @@ Report run(const P& problem, RunConfig cfg, bool tune_first,
     return run_batch(problem, cfg, answer);
   }
   if (g_devices > 1) {
+    LDDP_CHECK_MSG(!g_use_frontier, "--storage and --devices are exclusive");
     LDDP_CHECK_MSG(canonical(classify(problem.deps())) ==
                        Pattern::kHorizontal,
                    "--devices needs a horizontal-pattern problem");
@@ -283,10 +370,18 @@ Report run(const P& problem, RunConfig cfg, bool tune_first,
                 t.best.t_share);
     cfg.hetero = t.best;
   }
-  auto result = solve(problem, cfg);
   Report r;
+  if (g_use_frontier) {
+    auto result = solve_frontier(problem, cfg);
+    r.stats = result.stats;
+    r.answer = answer(result.table);
+    if (g_mem_stats) print_table_mem(result.table, result.stats);
+    return r;
+  }
+  auto result = solve(problem, cfg);
   r.stats = result.stats;
   r.answer = answer(result.table);
+  if (g_mem_stats) print_table_mem(result.table, r.stats);
   return r;
 }
 
@@ -376,6 +471,23 @@ int main(int argc, char** argv) try {
     if (!chaos_spec.empty())
       g_batch_cfg.chaos = chaos::ChaosSpec::parse(chaos_spec).plan();
   }
+  // Storage tier: any --storage value routes through the frontier-capable
+  // facade (full is the classic table behind it, so --mem-stats works
+  // uniformly); omitted keeps the untouched full-table path.
+  {
+    const std::string st = flags.get("storage", "");
+    if (!st.empty()) {
+      cfg.storage = parse_storage(st);
+      g_use_frontier = true;
+    }
+  }
+  const long long ck = flags.get_int("checkpoint-k", 0);
+  LDDP_CHECK_MSG(ck >= 0, "--checkpoint-k must be >= 0");
+  cfg.checkpoint_interval = static_cast<std::size_t>(ck);
+  const long long mem_budget = flags.get_int("mem-budget", 0);
+  LDDP_CHECK_MSG(mem_budget >= 0, "--mem-budget must be >= 0");
+  g_batch_cfg.memory_budget_bytes = static_cast<std::size_t>(mem_budget);
+  g_mem_stats = flags.get_bool("mem-stats");
   // With --batch, --tune opts the engine's cross-solve tuning cache in
   // instead of running a solo pre-sweep: each auto-parameter request
   // tunes once per (problem, shape, mode) class and later ones reuse it.
