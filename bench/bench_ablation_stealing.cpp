@@ -1,0 +1,248 @@
+// Ablation: work-stealing executor versus the static fork/join pools.
+// This bench measures *real wall-clock* — the substrate changes how fast
+// the host retires fronts, never the simulated schedule (results and
+// recorded timelines are bit-identical across schedules by contract;
+// tests/test_stealing_executor.cpp holds that line).
+//
+// Three measurements; (b) and (c) are gated (nonzero exit on regression
+// so the perf-smoke CI job catches it):
+//
+//  (a) Ragged solo solves: anti-diagonal Levenshtein 1k..8k in
+//      Mode::kCpuParallel, static 4-thread pool vs the shared stealing
+//      executor. Recorded, not gated — front lengths grow 1..n..1, so
+//      the share of fronts crossing the parallel-dispatch threshold (and
+//      with it the substrate's influence) rises with n.
+//  (b) Mixed-size batch of 16 (four 4k-wide + twelve 256): the batch
+//      engine with threads_per_solve=4 and 4 slots, legacy private
+//      per-slot pools vs the shared stealing executor (the cooperative
+//      pool is recorded as a third arm for context). The big solves use
+//      a horizontal-pattern synthetic (every front is 4096 cells wide)
+//      so each front actually reaches the substrate; 4k *anti-diagonal*
+//      tables would cross the dispatch threshold on only ~3 of 8k fronts
+//      and measure nothing. They are also sized ABOVE kLaneMaxCells —
+//      lane-eligible solves execute as interleaved SIMD scans and never
+//      touch the pool substrate at all. Private pools oversubscribe whenever
+//      slots x threads_per_solve exceeds the machine; stealing right-
+//      sizes ONE shared executor to the hardware. Gate: stealing
+//      achieves >= 1.25x solves/second over the private-pool substrate.
+//      Arms run interleaved so host drift cannot pick the winner.
+//  (c) Uniform small fronts: Levenshtein 1024 solo (every front below
+//      the dispatch threshold, so both substrates run inline). Gate:
+//      stealing is never worse than 1.05x static wall-clock — the
+//      executor must cost nothing when it is not used.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/batch_engine.h"
+#include "problems/levenshtein.h"
+#include "problems/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lddp;
+
+int failures = 0;
+
+std::string random_dna(std::size_t n, std::uint64_t seed) {
+  static constexpr char kAlpha[] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    s[i] = kAlpha[rng.uniform_int(0, 3)];
+  return s;
+}
+
+/// Horizontal-pattern synthetic (deps = {N}): every front is one full
+/// `cols`-cell row, so a 4096-wide table dispatches every front to the
+/// execution substrate under test.
+auto make_wide_problem(std::size_t rows, std::size_t cols,
+                       std::uint64_t salt) {
+  return problems::make_function_problem<std::uint64_t>(
+      rows, cols, ContributingSet({Dep::kN}), salt,
+      [salt](std::size_t i, std::size_t j, const Neighbors<std::uint64_t>& nb) {
+        return (salt + i * 1000003 + j * 10007) * 31 + nb.n;
+      });
+}
+
+/// (a) Ragged solo solves, static pool vs stealing executor.
+void solo_ragged(lddp::bench::JsonWriter& json) {
+  std::printf("=== (a) Ragged anti-diagonal solo solves, CPU parallel "
+              "(wall ms, best of 2) ===\n");
+  std::printf("%8s %12s %12s %9s\n", "n", "static", "stealing", "ratio");
+  cpu::ThreadPool static_pool(4);
+  sim::BufferPool buffers;
+  for (const std::size_t n : {1024u, 2048u, 4096u, 8192u}) {
+    const problems::LevenshteinProblem p(random_dna(n, 2 * n),
+                                         random_dna(n, 2 * n + 1));
+    RunConfig cfg;
+    cfg.mode = Mode::kCpuParallel;
+    cfg.buffer_pool = &buffers;
+
+    RunConfig st = cfg;
+    st.schedule = cpu::Schedule::kStatic;
+    st.pool = &static_pool;
+    const double wall_static = lddp::bench::min_wall_seconds(
+        [&] { solve(p, st); }, /*reps=*/2, /*warmup=*/1);
+
+    RunConfig wk = cfg;
+    wk.schedule = cpu::Schedule::kStealing;
+    const double wall_steal = lddp::bench::min_wall_seconds(
+        [&] { solve(p, wk); }, /*reps=*/2, /*warmup=*/1);
+
+    std::printf("%8zu %12.3f %12.3f %8.2fx\n", n, wall_static * 1e3,
+                wall_steal * 1e3, wall_static / wall_steal);
+    json.record_wall("solo_ragged/static", n, wall_static * 1e3);
+    json.record_wall("solo_ragged/stealing", n, wall_steal * 1e3);
+  }
+}
+
+/// One mixed batch through the engine; returns wall seconds for the batch.
+/// `worker_threads` is pinned to 4 so the contrast under test exists even
+/// on small hosts: the static substrate gives each of the 4 slots a
+/// private threads_per_solve pool (16 threads — oversubscribed whenever
+/// the machine has fewer cores), while the stealing substrate sizes ONE
+/// shared executor to min(hardware, slots x threads_per_solve).
+double batch_wall_once(cpu::Schedule schedule, bool pack) {
+  // 1024x4096 = 4M cells: over detail::kLaneMaxCells, so the big solves
+  // take the job->run path and actually exercise the slot's substrate.
+  static auto big = make_wide_problem(1024, 4096, 7);
+  static problems::LevenshteinProblem small(random_dna(256, 5),
+                                            random_dna(256, 6));
+  Stopwatch timer;
+  {
+    BatchConfig bc;
+    bc.schedule = schedule;
+    bc.pack_solves = pack;
+    bc.threads_per_solve = 4;
+    bc.concurrency = 4;
+    bc.worker_threads = 4;
+    BatchEngine engine(bc);
+    RunConfig rc;
+    rc.mode = Mode::kCpuParallel;
+    std::vector<std::future<SolveResult<decltype(big)>>> big_futs;
+    std::vector<std::future<SolveResult<decltype(small)>>> small_futs;
+    for (int k = 0; k < 4; ++k) {
+      auto f = engine.submit(big, rc);
+      if (f.has_value()) big_futs.push_back(std::move(*f));
+    }
+    for (int k = 0; k < 12; ++k) {
+      auto f = engine.submit(small, rc);
+      if (f.has_value()) small_futs.push_back(std::move(*f));
+    }
+    engine.wait();
+    for (auto& f : big_futs) f.get();
+    for (auto& f : small_futs) f.get();
+  }
+  return timer.seconds();
+}
+
+/// (b) Mixed-size batch, gated >= 1.25x against the legacy private-pool
+/// substrate. Three arms:
+///   * private  — schedule=static, pack_solves=off: every slot owns a
+///     threads_per_solve pool. This is the substrate the stealing
+///     executor replaces, and the GATED baseline.
+///   * coop     — schedule=static, pack_solves=on: the cooperative
+///     single-pool time-share (recorded for context, not gated — it also
+///     flips on cross-solve lane packing, so it is not a pure substrate
+///     comparison).
+///   * stealing — pack_solves=off so it differs from `private` in the
+///     substrate ONLY.
+/// The arms are measured INTERLEAVED (private, coop, stealing, private,
+/// ...) and each takes its best rep: host-level drift across the run
+/// (frequency scaling, noisy neighbours, allocator state) then biases
+/// every arm equally instead of whichever happened to run last.
+void batch_mixed(lddp::bench::JsonWriter& json) {
+  std::printf("\n=== (b) Mixed batch of 16 (four 1024x4096 wide + twelve "
+              "256), threads_per_solve=4, 4 slots ===\n");
+  constexpr int kReps = 4;
+  double wall_pr = 1e300, wall_co = 1e300, wall_wk = 1e300;
+  batch_wall_once(cpu::Schedule::kStatic, false);   // warm every substrate
+  batch_wall_once(cpu::Schedule::kStatic, true);    // (and the problem
+  batch_wall_once(cpu::Schedule::kStealing, false); // tables)
+  for (int rep = 0; rep < kReps; ++rep) {
+    wall_pr = std::min(wall_pr,
+                       batch_wall_once(cpu::Schedule::kStatic, false));
+    wall_co = std::min(wall_co,
+                       batch_wall_once(cpu::Schedule::kStatic, true));
+    wall_wk = std::min(wall_wk,
+                       batch_wall_once(cpu::Schedule::kStealing, false));
+  }
+  const double pr = 16.0 / wall_pr;
+  const double co = 16.0 / wall_co;
+  const double wk = 16.0 / wall_wk;
+  const double speedup = pr > 0.0 ? wk / pr : 0.0;
+  std::printf("private %8.2f solves/s | coop %8.2f solves/s | stealing "
+              "%8.2f solves/s | stealing/private %.2fx\n",
+              pr, co, wk, speedup);
+  json.record_wall("batch_mixed/private_pools", 16, wall_pr * 1e3, pr);
+  json.record_wall("batch_mixed/coop_pool", 16, wall_co * 1e3, co);
+  json.record_wall("batch_mixed/stealing", 16, wall_wk * 1e3, wk);
+  if (speedup < 1.25) {
+    std::fprintf(stderr,
+                 "GATE FAIL: mixed-batch stealing speedup %.2fx < 1.25x "
+                 "over private pools\n",
+                 speedup);
+    ++failures;
+  }
+}
+
+/// (c) Uniform small fronts, gated never-worse 1.05x.
+void small_fronts_never_worse(lddp::bench::JsonWriter& json) {
+  std::printf("\n=== (c) Uniform small fronts (Levenshtein 1024, every "
+              "front below the dispatch threshold) ===\n");
+  const problems::LevenshteinProblem p(random_dna(1024, 21),
+                                       random_dna(1024, 22));
+  cpu::ThreadPool static_pool(4);
+  sim::BufferPool buffers;
+  RunConfig cfg;
+  cfg.mode = Mode::kCpuParallel;
+  cfg.buffer_pool = &buffers;
+
+  RunConfig st = cfg;
+  st.schedule = cpu::Schedule::kStatic;
+  st.pool = &static_pool;
+  const double wall_static = lddp::bench::min_wall_seconds(
+      [&] { solve(p, st); }, /*reps=*/5, /*warmup=*/2);
+
+  RunConfig wk = cfg;
+  wk.schedule = cpu::Schedule::kStealing;
+  const double wall_steal = lddp::bench::min_wall_seconds(
+      [&] { solve(p, wk); }, /*reps=*/5, /*warmup=*/2);
+
+  const double ratio = wall_steal / wall_static;
+  std::printf("static %.3f ms | stealing %.3f ms | ratio %.3f\n",
+              wall_static * 1e3, wall_steal * 1e3, ratio);
+  json.record_wall("small_fronts/static", 1024, wall_static * 1e3);
+  json.record_wall("small_fronts/stealing", 1024, wall_steal * 1e3);
+  if (ratio > 1.05) {
+    std::fprintf(stderr,
+                 "GATE FAIL: stealing %.2fx slower than static on small "
+                 "fronts (limit 1.05x)\n",
+                 ratio);
+    ++failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  lddp::bench::stabilize_allocator();
+  lddp::bench::JsonWriter json("ablation_stealing");
+
+  solo_ragged(json);
+  batch_mixed(json);
+  small_fronts_never_worse(json);
+  json.save();
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d gate(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

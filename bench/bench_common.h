@@ -13,6 +13,7 @@
 #include <climits>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -116,12 +117,21 @@ class JsonWriter {
       return;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    // Hardware context rides along with the toolchain stanza: wall-clock
+    // rows (and especially executor-schedule ablations) are meaningless
+    // without the core count and substrate they ran on.
     std::fprintf(f,
                  "  \"build\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
-                 "\"git_sha\": \"%s\", \"batch_kernels_default\": %s},\n",
+                 "\"git_sha\": \"%s\", \"batch_kernels_default\": %s, "
+                 "\"hardware_concurrency\": %u, \"schedule\": \"%s\", "
+                 "\"executor_workers\": %zu},\n",
                  json_escape(__VERSION__).c_str(),
                  json_escape(LDDP_CXX_FLAGS).c_str(), LDDP_GIT_SHA,
-                 RunConfig{}.batch_kernels ? "true" : "false");
+                 RunConfig{}.batch_kernels ? "true" : "false",
+                 std::thread::hardware_concurrency(),
+                 cpu::to_string(cpu::resolve_schedule(RunConfig{}.schedule))
+                     .c_str(),
+                 std::size_t{1} + cpu::shared_executor_workers());
     std::fprintf(f, "  \"results\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];

@@ -73,17 +73,36 @@ BatchEngine::BatchEngine(BatchConfig cfg) : cfg_(std::move(cfg)) {
   }
   const std::size_t nslots = std::max<std::size_t>(nworkers, 1);
   pools_.reserve(nslots);
+  // Substrate decision. kStealing replaces both the per-slot private pools
+  // and the fixed coop pool with ONE engine-owned work-stealing executor:
+  // every slot submits morsels to the same worker set, so per-solve thread
+  // quotas become soft priorities instead of hard partitions. The executor
+  // is sized to the machine, not to concurrency x threads_per_solve —
+  // extra workers beyond the engine's own slot threads, never negative
+  // (on few-core hosts the slots themselves saturate the machine and all
+  // fronts run inline, avoiding oversubscription entirely).
+  const bool stealing =
+      cpu::resolve_schedule(cfg_.schedule) == cpu::Schedule::kStealing &&
+      cfg_.threads_per_solve > 1;
+  if (stealing) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t want = std::min<std::size_t>(
+        hw, nslots * static_cast<std::size_t>(cfg_.threads_per_solve));
+    const std::size_t extra = want > nslots ? want - nslots : 0;
+    stealing_exec_ = std::make_unique<cpu::StealingExecutor>(extra);
+    stealing_pool_ = std::make_unique<cpu::ThreadPool>(stealing_exec_.get());
+  }
   // Packed batches co-schedule every slot's strip sessions on ONE
   // cooperative pool (threads_per_solve host threads total) instead of
   // giving each slot a private pool (concurrency x threads_per_solve
   // threads contending for the same cores).
-  const bool coop =
-      cfg_.pack_solves && cfg_.threads_per_solve > 1 && nslots > 1;
+  const bool coop = !stealing && cfg_.pack_solves &&
+                    cfg_.threads_per_solve > 1 && nslots > 1;
   if (coop)
     coop_pool_ = std::make_unique<cpu::ThreadPool>(cfg_.threads_per_solve,
                                                    /*coop_strips=*/true);
   for (std::size_t s = 0; s < nslots; ++s) {
-    pools_.push_back(!coop && cfg_.threads_per_solve > 1
+    pools_.push_back(!stealing && !coop && cfg_.threads_per_solve > 1
                          ? std::make_unique<cpu::ThreadPool>(
                                cfg_.threads_per_solve)
                          : nullptr);

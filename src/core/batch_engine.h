@@ -91,6 +91,17 @@ struct BatchConfig {
   /// ThreadPool of this size, so strip sessions of concurrent solves never
   /// contend for a master). <= 1 runs each solve single-threaded.
   std::size_t threads_per_solve = 1;
+  /// CPU execution substrate (effective when threads_per_solve > 1).
+  /// kAuto resolves to kStealing: ONE engine-owned work-stealing executor
+  /// serves every in-flight solve — per-solve worker counts become soft
+  /// targets rather than hard thread partitions, the executor is sized to
+  /// min(hardware, slots x threads_per_solve) so the host is never
+  /// oversubscribed, and a finishing solve's workers immediately drain
+  /// the morsels of the solves still running. kStatic restores the legacy
+  /// substrate exactly: private per-slot pools, or the one cooperative
+  /// pool under pack_solves. Results and merged simulated reports are
+  /// bit-identical across substrates; only host wall-clock changes.
+  cpu::Schedule schedule = cpu::Schedule::kAuto;
   /// Per-solve cap on bytes borrowed from the shared buffer-pool arenas
   /// (QuotaBufferPool); over-quota acquisitions fall through to the heap.
   /// 0 = unlimited.
@@ -409,6 +420,11 @@ class BatchEngine {
                    sim::BufferPool* buffers) mutable {
       rc.platform = platform;
       rc.pool = pool;
+      // The engine owns the substrate decision (BatchConfig::schedule):
+      // pin the per-request schedule to kStatic so solve() uses the
+      // engine-assigned pool verbatim instead of re-routing to the
+      // process-wide shared executor.
+      rc.schedule = cpu::Schedule::kStatic;
       rc.buffer_pool = buffers;
       // Cross-solve tuning cache: auto-parameter heterogeneous requests
       // reuse one sweep per equivalence class (first contact pays it).
@@ -484,6 +500,11 @@ class BatchEngine {
                    sim::BufferPool* buffers) mutable {
       rc.platform = platform;
       rc.pool = pool;
+      // The engine owns the substrate decision (BatchConfig::schedule):
+      // pin the per-request schedule to kStatic so solve() uses the
+      // engine-assigned pool verbatim instead of re-routing to the
+      // process-wide shared executor.
+      rc.schedule = cpu::Schedule::kStatic;
       rc.buffer_pool = buffers;
       rc.trace_path.clear();
       run_lifecycle<FrontierSolveResult<P>>(
@@ -896,9 +917,15 @@ class BatchEngine {
   // oversubscription).
   std::vector<std::unique_ptr<cpu::ThreadPool>> pools_;
   std::unique_ptr<cpu::ThreadPool> coop_pool_;
+  // Stealing substrate (BatchConfig::schedule resolving to kStealing): ONE
+  // engine-owned executor shared by every slot, fronted by a workerless
+  // facade pool. Replaces both private pools and the coop pool.
+  std::unique_ptr<cpu::StealingExecutor> stealing_exec_;
+  std::unique_ptr<cpu::ThreadPool> stealing_pool_;
   std::vector<std::thread> workers_;
 
   cpu::ThreadPool* slot_pool(std::size_t slot) {
+    if (stealing_pool_) return stealing_pool_.get();
     return coop_pool_ ? coop_pool_.get() : pools_[slot].get();
   }
 };

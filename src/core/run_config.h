@@ -83,6 +83,15 @@ struct RunConfig {
   /// Optional host pool for real execution; null runs everything on the
   /// calling thread (simulated timings are identical either way).
   cpu::ThreadPool* pool = nullptr;
+  /// CPU execution substrate for real (host) work. kStealing routes every
+  /// parallel front through the process-wide work-stealing executor
+  /// (cpu::shared_stealing_pool()), overriding `pool`; kStatic and kAuto
+  /// keep `pool` exactly as given — a null pool stays inline, so existing
+  /// configurations are byte-for-byte unchanged. The batch engine resolves
+  /// kAuto to kStealing at the engine level and overrides this field with
+  /// its own substrate decision for admitted requests. Results are
+  /// bit-identical across schedules; only host wall-clock changes.
+  cpu::Schedule schedule = cpu::Schedule::kAuto;
   /// Optional device/pinned-host buffer pool; repeated solve() calls then
   /// reuse arenas instead of re-allocating per run. Must outlive the call.
   sim::BufferPool* buffer_pool = nullptr;

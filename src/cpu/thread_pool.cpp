@@ -15,11 +15,6 @@ inline void cpu_relax() {
 #endif
 }
 
-// Spin budget before a waiter parks (worker) or starts yielding (master).
-// A few thousand pauses cover the skew between threads finishing their
-// chunks of the same front; anything longer means genuine idleness.
-constexpr int kStripSpinIters = 4096;
-
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, bool coop_strips)
@@ -29,6 +24,13 @@ ThreadPool::ThreadPool(std::size_t num_threads, bool coop_strips)
   for (std::size_t w = 0; w + 1 < num_threads; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
   }
+}
+
+ThreadPool::ThreadPool(StealingExecutor* exec) : exec_(exec) {
+  LDDP_CHECK_MSG(exec != nullptr, "stealing facade needs an executor");
+  // No workers of our own: strip sessions see workers_.empty() and no-op
+  // (the executor needs no persistent barrier), and every parallel region
+  // routes straight to the executor below.
 }
 
 void ThreadPool::acquire_master() {
@@ -130,12 +132,17 @@ void ThreadPool::strip_worker_loop(std::size_t thread_index) {
   // begin_strips before the wakeup); the worker runs every generation the
   // master issues after it exactly once.
   std::uint64_t seen = strip_enter_gen_;
+  // Spin budget before a waiter parks (worker) or starts yielding
+  // (master): a few thousand pauses cover the skew between threads
+  // finishing their chunks of the same front; anything longer means
+  // genuine idleness. Env-tunable via LDDP_SPIN_US.
+  const int spin_budget = idle_spin_iters();
   for (;;) {
     // Spin-then-park until the next front (generation bump) or session end.
     int spins = 0;
     while (strip_gen_.load(std::memory_order_seq_cst) == seen &&
            !strip_exit_.load(std::memory_order_seq_cst)) {
-      if (++spins < kStripSpinIters) {
+      if (++spins < spin_budget) {
         cpu_relax();
       } else {
         std::unique_lock<std::mutex> lock(strip_mu_);
@@ -234,9 +241,10 @@ void ThreadPool::strip_dispatch(
     std::lock_guard<std::mutex> lock(strip_mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  const int spin_budget = idle_spin_iters();
   int spins = 0;
   while (strip_done_.load(std::memory_order_seq_cst) != workers_.size()) {
-    if (++spins < kStripSpinIters)
+    if (++spins < spin_budget)
       cpu_relax();
     else
       std::this_thread::yield();
@@ -266,8 +274,16 @@ void ThreadPool::maybe_yield_strips() {
 
 void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body) {
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (begin >= end) return;
+  if (exec_ != nullptr) {
+    // Stealing facade: no master arbitration — concurrent drivers submit
+    // overlapping regions and the shared executor's workers flow to
+    // whichever has morsels left.
+    exec_->parallel_region(begin, end, grain, body);
+    return;
+  }
   if (workers_.empty()) {
     body(begin, end);
     return;
@@ -342,6 +358,11 @@ void ThreadPool::run_strips(
 
 ThreadPool& default_pool() {
   static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+ThreadPool& shared_stealing_pool() {
+  static ThreadPool pool(&shared_executor());
   return pool;
 }
 

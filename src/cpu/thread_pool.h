@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "cpu/stealing_executor.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 
@@ -56,12 +57,28 @@ class ThreadPool {
   /// of either serializing whole solves or oversubscribing the host with
   /// N private pools — the batch engine's packed CPU co-scheduling.
   explicit ThreadPool(std::size_t num_threads, bool coop_strips = false);
+
+  /// Facade over a work-stealing executor (Schedule::kStealing): the pool
+  /// owns no threads of its own — every parallel region routes to
+  /// `exec`'s morsel-stealing runtime, strip sessions are no-ops (the
+  /// executor needs no persistent barrier; regions from any number of
+  /// concurrent masters interleave freely), and there is no master
+  /// arbitration. Lets every existing call site — strategies, platform,
+  /// batch engine — switch substrate without code changes. `exec` must
+  /// outlive the pool.
+  explicit ThreadPool(StealingExecutor* exec);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.size() + 1; }  // + master
+  std::size_t size() const {
+    return exec_ != nullptr ? exec_->size() : workers_.size() + 1;
+  }
+
+  /// The stealing executor behind this pool, or null for a classic
+  /// static-chunking pool.
+  StealingExecutor* stealing() const { return exec_; }
 
   /// Runs body(i) for every i in [begin, end), statically chunked across
   /// all threads (workers + the calling thread). Blocks until every
@@ -71,10 +88,15 @@ class ThreadPool {
 
   /// Chunked variant: body(chunk_begin, chunk_end) once per chunk — lets
   /// hot loops avoid a std::function call per cell. Inside an active strip
-  /// session this dispatches through the persistent-strip barrier.
+  /// session this dispatches through the persistent-strip barrier. On a
+  /// stealing facade, `grain` is the adaptive morsel size in cells
+  /// (0 = executor default, typically computed by the caller from the
+  /// calibrated per-cell cost model); static pools chunk one block per
+  /// thread regardless and ignore it.
   void parallel_for_chunked(
       std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& body);
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
 
   /// Persistent-strip execution: enters a strip session for the duration
   /// of the call and runs front_body(f) for f in [0, num_fronts) in order
@@ -143,6 +165,7 @@ class ThreadPool {
   void strip_worker_loop(std::size_t thread_index);
 
   std::vector<std::thread> workers_;
+  StealingExecutor* exec_ = nullptr;  // non-null: stealing facade
   bool coop_strips_ = false;
   std::mutex master_mu_;
   std::condition_variable master_cv_;
@@ -196,5 +219,11 @@ class StripSession {
 /// Process-wide default pool sized to the hardware. Lazily constructed;
 /// intended for examples and tests that don't care about explicit sizing.
 ThreadPool& default_pool();
+
+/// Process-wide stealing facade over cpu::shared_executor() — the pool
+/// RunConfig{schedule = Schedule::kStealing} routes solo solves through.
+/// Safe to share across concurrent solves: the executor has no master
+/// arbitration, so their regions genuinely overlap. Lazily constructed.
+ThreadPool& shared_stealing_pool();
 
 }  // namespace lddp::cpu

@@ -3,6 +3,7 @@
 // schedule against each other exactly as the paper's figures require.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <type_traits>
@@ -84,7 +85,8 @@ class Platform {
         pool_->parallel_for_chunked(0, cells,
                                     [&body](std::size_t lo, std::size_t hi) {
                                       body(lo, hi);
-                                    });
+                                    },
+                                    front_grain(work, opts));
       } else {
         body(0, cells);
       }
@@ -93,7 +95,8 @@ class Platform {
                                   [&body](std::size_t lo, std::size_t hi) {
                                     for (std::size_t i = lo; i < hi; ++i)
                                       body(i);
-                                  });
+                                  },
+                                  front_grain(work, opts));
     } else {
       for (std::size_t i = 0; i < cells; ++i) body(i);
     }
@@ -149,6 +152,25 @@ class Platform {
 
  private:
   static constexpr std::size_t kParallelExecThreshold = 4096;
+  /// Target real time of one stealing morsel. ~8 us is 2–3 orders above
+  /// the deque push/steal cost yet short enough that a front splits into
+  /// enough morsels to rebalance a ragged wavefront.
+  static constexpr double kMorselTargetSeconds = 8e-6;
+
+  /// Adaptive morsel size for the stealing substrate, from the calibrated
+  /// per-cell cost model: the cell count this CPU retires in one morsel
+  /// target interval under this work profile. Static pools ignore the
+  /// hint, so computing it is only worth a branch on the stealing path.
+  std::size_t front_grain(const cpu::WorkProfile& work,
+                          const CpuFrontOpts& opts) const {
+    if (pool_ == nullptr || pool_->stealing() == nullptr) return 0;
+    // cpu_peak_throughput is full-occupancy; a morsel runs on ONE thread,
+    // so size it from the per-core rate.
+    const double rate = cpu::cpu_peak_throughput(spec_.cpu, work,
+                                                 opts.mem_amplification) /
+                        static_cast<double>(std::max(1, spec_.cpu.cores));
+    return static_cast<std::size_t>(rate * kMorselTargetSeconds);
+  }
 
   PlatformSpec spec_;
   cpu::ThreadPool* pool_;

@@ -188,7 +188,25 @@ inline FaultContext& context() {
   return ctx;
 }
 
+/// Per-thread ordinal of the next parallel region dispatched under the
+/// current fault scope — the interleaving-independent half of the
+/// stealing executor's per-morsel fault salt. FaultScope zeroes it on
+/// entry (and restores on exit), so the sequence is a pure function of
+/// (solve, attempt): the Nth region a solve attempt submits gets ordinal
+/// N on every replay, regardless of which engine worker runs the attempt
+/// or what ran on that thread before.
+inline std::uint64_t& region_seq() {
+  thread_local std::uint64_t seq = 0;
+  return seq;
+}
+
 }  // namespace detail
+
+/// Claims the next region ordinal of this thread's fault scope (see
+/// detail::region_seq). Called by the stealing executor at region
+/// submission; meaningful only under an armed scope, but cheap enough to
+/// call unconditionally.
+inline std::uint64_t next_region_sequence() { return detail::region_seq()++; }
 
 /// Active context of this thread, or null when no FaultScope is open.
 inline const FaultContext* current() {
@@ -207,15 +225,20 @@ class FaultScope {
  public:
   FaultScope(const FaultPlan* plan, std::uint64_t solve,
              std::uint64_t attempt)
-      : saved_(detail::context()) {
+      : saved_(detail::context()), saved_seq_(detail::region_seq()) {
     detail::context() = FaultContext{plan, solve, attempt};
+    detail::region_seq() = 0;
   }
-  ~FaultScope() { detail::context() = saved_; }
+  ~FaultScope() {
+    detail::context() = saved_;
+    detail::region_seq() = saved_seq_;
+  }
   FaultScope(const FaultScope&) = delete;
   FaultScope& operator=(const FaultScope&) = delete;
 
  private:
   FaultContext saved_;
+  std::uint64_t saved_seq_;
 };
 
 /// The site check: throws InjectedFault when the ambient plan says this

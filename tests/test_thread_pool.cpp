@@ -83,7 +83,7 @@ TEST(ThreadPoolTest, WorkerExceptionPropagatesToMaster) {
 }
 
 TEST(ThreadPoolTest, ZeroThreadsRejected) {
-  EXPECT_THROW(ThreadPool(0), CheckError);
+  EXPECT_THROW(ThreadPool(std::size_t{0}), CheckError);
 }
 
 TEST(ThreadPoolTest, MoreThreadsThanWork) {
